@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Every file regenerates one table or figure of the paper: it runs the
+corresponding analysis, prints the same rows/series the paper reports, and
+asserts the paper's qualitative claims (who wins, by roughly what factor,
+where crossovers fall). Absolute values differ — the substrate is an
+analytical simulator plus a single-core numpy DNN framework, not the
+authors' 2080Ti testbed — but the *shapes* must hold.
+
+Set ``MMBENCH_FULL=1`` to run the training-based experiments (Figures 4-5)
+at full scope (all workloads, bigger budgets) instead of the fast default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scope() -> bool:
+    return os.environ.get("MMBENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def training_budget() -> dict:
+    """Training budget for the accuracy experiments."""
+    if full_scope():
+        return dict(n_train=512, n_test=256, epochs=8)
+    return dict(n_train=256, n_test=192, epochs=5)
+
+
+def print_table(title: str, headers: list[str], rows) -> None:
+    from repro.profiling.report import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,32 @@
+"""Figure 10: execution time for different modalities.
+
+Paper shapes asserted: modalities are imbalanced and the image modality is
+the straggler wherever present (4.09x on MuJoCo Push in the paper), which
+is what forces modality synchronization before fusion.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.synchronization import modality_time_analysis
+
+
+def test_fig10_per_modality_encoder_time(benchmark):
+    times = benchmark.pedantic(
+        lambda: modality_time_analysis(batch_size=64),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for workload, modalities in times.items():
+        for modality, t in modalities.items():
+            rows.append([workload, modality, round(t, 2)])
+    print_table("Figure 10: per-modality encoder time (normalized to fastest)",
+                ["workload", "modality", "norm. time"], rows)
+
+    # Every multi-modal workload has an imbalance.
+    for workload, modalities in times.items():
+        assert max(modalities.values()) > 1.05, workload
+
+    # MuJoCo Push: the image modality is the straggler.
+    push = times["mujoco_push"]
+    assert max(push, key=push.get) == "image"
+    assert push["image"] > 1.3

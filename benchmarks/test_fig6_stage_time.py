@@ -1,0 +1,29 @@
+"""Figure 6: execution time of a batch across the three stages.
+
+Paper shapes asserted: the encoder stage dominates for most workloads,
+while the transformer/LSTM-fusion robotics workloads (MuJoCo Push) spend
+more time in fusion than in their encoders.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.stage import stage_time_analysis
+from repro.workloads.registry import list_workloads
+
+
+def test_fig6_stage_execution_time(benchmark):
+    times = benchmark.pedantic(
+        lambda: stage_time_analysis(workloads=list_workloads(), batch_size=32),
+        rounds=1, iterations=1,
+    )
+
+    rows = [[w, *(f"{stages[s] * 1e6:.1f} us" for s in ("encoder", "fusion", "head"))]
+            for w, stages in times.items()]
+    print_table("Figure 6: per-stage device time (batch=32, RTX 2080Ti model)",
+                ["workload", "encoder", "fusion", "head"], rows)
+
+    assert len(times) == 9
+    encoder_dominant = sum(
+        1 for stages in times.values() if stages["encoder"] >= max(stages.values())
+    )
+    assert encoder_dominant >= 5  # "generally, encoder takes much longer"
+    assert times["mujoco_push"]["fusion"] > times["mujoco_push"]["encoder"]

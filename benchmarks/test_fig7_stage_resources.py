@@ -1,0 +1,43 @@
+"""Figure 7: resource usage of the three stages.
+
+The five Nsight Compute metrics (DRAM utilization, achieved occupancy,
+IPC, gld efficiency, gst efficiency) per stage for every workload. Paper
+shapes asserted: encoder stages show higher DRAM utilization / IPC /
+occupancy than fusion and head; gld/gst efficiency is roughly flat.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.stage import stage_resource_analysis
+from repro.workloads.registry import list_workloads
+
+METRICS = ("dram_utilization", "achieved_occupancy", "ipc",
+           "gld_efficiency", "gst_efficiency")
+
+
+def test_fig7_stage_resource_usage(benchmark):
+    data = benchmark.pedantic(
+        lambda: stage_resource_analysis(workloads=list_workloads(), batch_size=32),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for workload, stages in data.items():
+        for stage in ("encoder", "fusion", "head"):
+            counters = stages[stage]
+            rows.append([workload, stage] + [round(counters[m], 3) for m in METRICS])
+    print_table("Figure 7: per-stage resource usage (batch=32, RTX 2080Ti model)",
+                ["workload", "stage", "DRAM_UTI", "GPU_OCU", "IPC",
+                 "GLD_EFF", "GST_EFF"], rows)
+
+    # Encoder stages are the resource-hungry ones for most workloads.
+    richer = 0
+    for workload, stages in data.items():
+        if (stages["encoder"]["dram_utilization"] >= stages["fusion"]["dram_utilization"]
+                and stages["encoder"]["ipc"] >= stages["head"]["ipc"]):
+            richer += 1
+    assert richer >= 6, f"encoder richer in only {richer}/9 workloads"
+
+    # gld/gst efficiency: all stages present nearly the same pattern.
+    for workload, stages in data.items():
+        values = [stages[s]["gld_efficiency"] for s in ("encoder", "fusion", "head")]
+        assert max(values) - min(values) < 0.35, workload

@@ -1,0 +1,54 @@
+"""Figure 8: kernel operation breakdown of the three stages.
+
+Paper shapes asserted: different stages within an application are
+dominated by different kernel categories, and different modality encoders
+have very different mixes (MM-IMDB's VGG branch is Conv/Gemm heavy while
+its ALBERT branch is element-wise/Gemm with no convolutions at all).
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import print_table
+from repro.core.analysis.heterogeneity import kernel_breakdown_analysis
+from repro.data.synthetic import random_batch
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def test_fig8_kernel_type_breakdown(benchmark):
+    data = benchmark.pedantic(
+        lambda: kernel_breakdown_analysis(workloads=list_workloads(), batch_size=32),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for workload, stages in data.items():
+        for stage, cats in stages.items():
+            ranked = sorted(cats.items(), key=lambda kv: -kv[1])[:3]
+            rows.append([workload, stage,
+                         ", ".join(f"{c} {v:.0%}" for c, v in ranked)])
+    print_table("Figure 8: dominant kernel categories per stage (time share)",
+                ["workload", "stage", "top categories"], rows)
+
+    # Shares are distributions.
+    for stages in data.values():
+        for cats in stages.values():
+            assert abs(sum(cats.values()) - 1.0) < 1e-9
+
+    # Stage heterogeneity: within apps, stages differ in dominant category.
+    hetero = sum(
+        1 for stages in data.values()
+        if len({max(c, key=c.get) for c in stages.values()}) >= 2
+    )
+    assert hetero >= 6
+
+    # Modality heterogeneity (MM-IMDB): VGG convs vs ALBERT's conv-free mix.
+    info = get_workload("mmimdb")
+    profile = MMBenchProfiler("2080ti").profile(info.build(seed=0),
+                                                random_batch(info.shapes, 32, seed=0))
+    per_modality = defaultdict(lambda: defaultdict(float))
+    for kx in profile.report.kernels:
+        if kx.event.modality:
+            per_modality[kx.event.modality][kx.event.category.value] += kx.duration
+    assert per_modality["image"]["Conv"] > 0
+    assert per_modality["text"].get("Conv", 0.0) == 0.0

@@ -1,0 +1,56 @@
+"""Table 1: the commonly-used fusion operators.
+
+Regenerates the operator catalogue by instantiating and executing each
+fusion operator, reporting its parameter count and traced device work.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.trace.tracer import Tracer
+from repro.workloads.fusion import FUSION_REGISTRY, make_fusion
+
+MEANINGS = {
+    "zero": "discards these features",
+    "sum": "sum features",
+    "concat": "concat features (ReLU(Concat(x,y)W+b))",
+    "tensor": "outer-product-based attention",
+    "attention": "attention mechanism",
+    "linear_glu": "linear layer with the GLU",
+    "transformer": "multi-modal transformer fusion",
+    "late_lstm": "late fusion via LSTM",
+}
+
+
+def _run_operator(name: str):
+    rng = np.random.default_rng(0)
+    fusion = make_fusion(name, [32, 32], 32, rng=rng)
+    feats = [Tensor(rng.standard_normal((8, 32)).astype(np.float32)) for _ in range(2)]
+    tracer = Tracer()
+    with tracer.activate(), nn.no_grad():
+        out = fusion(feats)
+    trace = tracer.finish()
+    return fusion, out, trace
+
+
+def test_table1_fusion_operator_catalogue(benchmark):
+    def run_all():
+        rows = []
+        for name in sorted(FUSION_REGISTRY):
+            fusion, out, trace = _run_operator(name)
+            rows.append([
+                name, MEANINGS[name], fusion.num_parameters(),
+                f"{trace.total_flops:.3g}", len(trace.kernels), str(out.shape),
+            ])
+        return rows
+
+    rows = benchmark(run_all)
+    print_table("Table 1: fusion operators (batch=8, dim=32)",
+                ["fusion", "meaning", "params", "flops", "kernels", "output"], rows)
+    assert len(rows) == len(FUSION_REGISTRY)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["zero"][2] == 0  # Zero has no parameters
+    # Tensor fusion moves the most intermediate data of the vector fusions.
+    assert float(by_name["tensor"][3]) > float(by_name["sum"][3])

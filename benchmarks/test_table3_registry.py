@@ -1,0 +1,40 @@
+"""Table 3: characteristics of each application in MMBench.
+
+Regenerates the workload characteristics table from the registry plus live
+measurements (parameter counts and per-sample FLOPs from traced forwards).
+"""
+
+from benchmarks.conftest import print_table
+from repro.data.synthetic import random_batch
+from repro.profiling.flops import flops_per_sample
+from repro.workloads.registry import WORKLOADS, list_workloads
+
+
+def test_table3_application_characteristics(benchmark):
+    def build_table():
+        rows = []
+        for name in list_workloads():
+            info = WORKLOADS[name]
+            model = info.build(seed=0)
+            batch = random_batch(info.shapes, 2, seed=0)
+            rows.append([
+                name, info.domain, info.model_size,
+                ",".join(info.modalities),
+                ",".join(info.fusions[:3]) + ("..." if len(info.fusions) > 3 else ""),
+                info.task_kind,
+                model.num_parameters(),
+                f"{flops_per_sample(model, batch):.3g}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table 3: application characteristics",
+                ["workload", "domain", "size", "modalities", "fusions", "task",
+                 "params", "flops/sample"], rows)
+
+    assert len(rows) == 9
+    domains = {r[1] for r in rows}
+    assert len(domains) == 5
+    # Large models are larger than the Small one (AV-MNIST).
+    params = {r[0]: r[6] for r in rows}
+    assert params["mmimdb"] > params["avmnist"]

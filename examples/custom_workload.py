@@ -1,0 +1,75 @@
+"""Extend MMBench with a new application: a smart-home event detector.
+
+Demonstrates the extension path a downstream user takes: define the
+modality shapes, pick encoders from the zoo (or write your own
+``repro.nn`` module), choose a Table-1 fusion operator, wrap everything in
+``MultiModalModel`` — and immediately get staged profiling, device
+re-pricing, and trainability for free.
+
+    python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro.core.train import train_model
+from repro.data.generators import ChannelSpec, LatentMultimodalDataset
+from repro.data.shapes import ModalityKind, ModalitySpec, TaskSpec, WorkloadShapes
+from repro.data.synthetic import random_batch
+from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.report import profile_summary
+from repro.workloads.base import MultiModalModel
+from repro.workloads.encoders import CNNEncoder, SequenceGRUEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import ClassificationHead
+
+# 1. Declare the new workload's modalities and task: a door camera frame,
+#    a microphone spectrogram, and a motion-sensor time series classify a
+#    household event into 6 categories.
+SMART_HOME = WorkloadShapes(
+    name="smart_home",
+    modalities=(
+        ModalitySpec("camera", ModalityKind.IMAGE, (3, 32, 32)),
+        ModalitySpec("microphone", ModalityKind.AUDIO, (1, 20, 20)),
+        ModalitySpec("motion", ModalityKind.SEQUENCE, (24, 6)),
+    ),
+    task=TaskSpec(kind="classification", num_classes=6),
+)
+
+
+def build_smart_home(fusion: str = "attention", seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    dim = 32
+    encoders = {
+        "camera": CNNEncoder(3, dim, rng, input_hw=(32, 32)),
+        "microphone": CNNEncoder(1, dim, rng, input_hw=(20, 20)),
+        "motion": SequenceGRUEncoder(6, dim, rng),
+    }
+    fusion_module = make_fusion(fusion, [dim] * 3, dim, rng=rng)
+    head = ClassificationHead(dim, SMART_HOME.task.num_classes, rng)
+    return MultiModalModel(f"smart_home[{fusion}]", SMART_HOME, encoders,
+                           fusion_module, head)
+
+
+def main() -> None:
+    model = build_smart_home()
+
+    # 2. Profile it like any built-in workload (dataset-free inputs).
+    batch = random_batch(SMART_HOME, 16, seed=0)
+    result = MMBenchProfiler("2080ti").profile(model, batch)
+    print(profile_summary(result))
+
+    # 3. Train it on a synthetic dataset where the microphone is the major
+    #    modality (glass-break sounds) but motion carries complementary cues.
+    channels = {
+        "camera": ChannelSpec(snr=0.8, corrupt_prob=0.3),
+        "microphone": ChannelSpec(snr=1.4, corrupt_prob=0.1),
+        "motion": ChannelSpec(snr=0.9, corrupt_prob=0.25),
+    }
+    dataset = LatentMultimodalDataset(SMART_HOME, channels, seed=7)
+    trained = train_model(model, dataset, n_train=256, n_test=128, epochs=5)
+    print(f"\nsmart-home event accuracy: {trained.metric:.3f} (chance = 0.167)")
+    assert trained.metric > 0.4
+
+
+if __name__ == "__main__":
+    main()

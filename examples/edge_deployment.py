@@ -1,0 +1,57 @@
+"""Edge deployment planning: pick a batch size for a Jetson board.
+
+Reproduces the paper's Sec. 5.2 workflow as a downstream user would apply
+it: capture the workload's trace once, re-price it on each candidate
+device, and find the largest batch size that stays clear of the
+unified-memory capacity cliff.
+
+    python examples/edge_deployment.py
+"""
+
+from repro.core.analysis.edge import EDGE_SCALE
+from repro.data.synthetic import random_batch
+from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.report import format_seconds, format_table
+from repro.trace.timeline import scale_trace
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    info = get_workload("avmnist")
+    model = info.build("slfs", seed=0)
+    profiler = MMBenchProfiler("2080ti")
+
+    rows = []
+    recommended: dict[str, int] = {}
+    for device in ("nano", "orin", "2080ti"):
+        for batch_size in (40, 80, 160, 320):
+            batch = random_batch(model.shapes, batch_size, seed=0)
+            # Extrapolate to full-scale AV-MNIST (see DESIGN.md).
+            trace = scale_trace(profiler.capture(model, batch), EDGE_SCALE)
+            report = profiler.price(
+                model, trace, batch_size, device=device,
+                model_bytes=model.parameter_bytes() * EDGE_SCALE,
+                input_bytes=model.input_bytes(batch_size) * EDGE_SCALE,
+            )
+            per_task = report.total_time / batch_size
+            rows.append([
+                device, batch_size, format_seconds(per_task),
+                f"{report.memory_pressure:.2f}",
+                "THRASHING" if report.slowdown > 1.0 else "ok",
+            ])
+            if report.slowdown == 1.0:
+                best = recommended.get(device)
+                if best is None or batch_size > best:
+                    recommended[device] = batch_size
+
+    print(format_table(
+        ["device", "batch", "time/task", "mem pressure", "status"], rows,
+        title="AV-MNIST (slfs) deployment sweep",
+    ))
+    print()
+    for device, batch in sorted(recommended.items()):
+        print(f"largest safe batch on {device}: {batch}")
+
+
+if __name__ == "__main__":
+    main()

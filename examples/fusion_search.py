@@ -1,0 +1,51 @@
+"""Fusion-scheme search: accuracy vs device time for every Table-1 operator.
+
+Sec. 4.2.2: "It's of great importance to design or search for the most
+effective fusion method." This example runs that search for MuJoCo Push:
+every applicable fusion operator is trained on the same data and profiled
+on the same device model, producing the accuracy/latency frontier a system
+designer would use.
+
+    python examples/fusion_search.py
+"""
+
+from repro.core.train import train_model
+from repro.data.generators import LatentMultimodalDataset
+from repro.data.synthetic import random_batch
+from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.report import format_seconds, format_table
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    info = get_workload("mujoco_push")
+    dataset = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=20)
+    profiler = MMBenchProfiler("2080ti")
+
+    rows = []
+    results = {}
+    for fusion in info.fusions:
+        model = info.build(fusion, seed=0)
+        trained = train_model(model, dataset, n_train=256, n_test=160, epochs=4)
+        profile = profiler.profile(model, random_batch(info.shapes, 32, seed=0))
+        fusion_time = profile.report.stage_time().get("fusion", 0.0)
+        results[fusion] = (trained.metric, profile.total_time)
+        rows.append([
+            fusion, f"{trained.metric:.4f}",
+            format_seconds(profile.total_time),
+            format_seconds(fusion_time),
+            f"{profile.parameters:,}",
+        ])
+
+    print(format_table(
+        ["fusion", "MSE (lower=better)", "batch-32 latency", "fusion-stage time",
+         "params"], rows,
+        title="MuJoCo Push fusion search (accuracy vs simulated 2080Ti latency)",
+    ))
+
+    best = min(results, key=lambda f: results[f][0])
+    print(f"\nbest fusion by MSE: {best}")
+
+
+if __name__ == "__main__":
+    main()

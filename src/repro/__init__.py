@@ -1,0 +1,17 @@
+"""MMBench reproduction: end-to-end multi-modal DNN benchmarking.
+
+Subpackages:
+
+* :mod:`repro.nn` — numpy autodiff DNN framework (the PyTorch substitute).
+* :mod:`repro.trace` — kernel/host event tracing with stage & modality context.
+* :mod:`repro.hw` — analytical device models (RTX 2080Ti, Jetson Nano/Orin),
+  roofline latency, Nsight-style counters, stall attribution, memory model.
+* :mod:`repro.data` — shape-faithful synthetic datasets and the learnable
+  latent-factor multi-modal generator.
+* :mod:`repro.workloads` — the nine MMBench applications (Table 3).
+* :mod:`repro.profiling` — the three-level profiling pipeline (Figure 3).
+* :mod:`repro.core` — the benchmark suite and the paper's analyses
+  (Figures 4-15).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""The benchmark suite and the paper's characterization analyses."""
+
+from repro.core import analysis
+from repro.core.suite import BenchmarkSuite, RunConfig
+from repro.core.train import (
+    TrainResult,
+    correct_mask,
+    evaluate,
+    loss_fn_for,
+    metric_fn_for,
+    train_model,
+)
+
+__all__ = [
+    "analysis",
+    "BenchmarkSuite",
+    "RunConfig",
+    "TrainResult",
+    "correct_mask",
+    "evaluate",
+    "loss_fn_for",
+    "metric_fn_for",
+    "train_model",
+]

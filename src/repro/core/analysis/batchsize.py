@@ -1,0 +1,111 @@
+"""Figures 12-13: the batch-size case study (Sec. 5.1).
+
+10,000 inference tasks are scheduled at batch size 40 vs 400 on AV-MNIST,
+comparing the multi-modal ``slfs`` implementation against its uni-modal
+(image) counterpart. The paper's findings to reproduce:
+
+* larger batches shift the kernel population toward large (>50us)
+  kernels, and the multi-modal network uses more large kernels;
+* a 10x batch increase reduces latency by much less than 10x, and the
+  multi-modal GPU time shrinks by a *smaller* factor than the uni-modal;
+* peak memory: the model component is batch-invariant while dataset and
+  intermediate grow linearly, with multi-modal carrying a larger
+  intermediate share (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.synthetic import random_batch
+from repro.hw.memory import MemoryBreakdown
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload
+
+VARIANTS = (("slfs", True), ("image", False))  # (name, is_multimodal)
+
+
+@dataclass
+class BatchSizeResult:
+    """One (variant, batch size) cell of Figure 12."""
+
+    variant: str
+    batch_size: int
+    n_batches: int
+    kernel_size_distribution: dict[str, float]  # fraction per duration bin
+    gpu_time_total: float  # for all `total_tasks` tasks
+    inference_time_total: float
+    per_batch_gpu_time: float
+    per_batch_total_time: float
+
+
+def _build_variant(info, variant: str, is_multimodal: bool, seed: int):
+    if is_multimodal:
+        return info.build(variant, seed=seed)
+    return info.build_unimodal(variant, seed=seed)
+
+
+def batch_size_study(
+    workload: str = "avmnist",
+    batch_sizes: tuple[int, ...] = (40, 400),
+    total_tasks: int = 10_000,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> list[BatchSizeResult]:
+    """Figure 12: kernel population and time vs batch size, uni vs multi."""
+    info = get_workload(workload)
+    profiler = MMBenchProfiler(device)
+    results: list[BatchSizeResult] = []
+    for variant, is_multi in VARIANTS:
+        model = _build_variant(info, variant, is_multi, seed)
+        for batch_size in batch_sizes:
+            batch = random_batch(model.shapes, batch_size, seed=seed)
+            profile = profiler.profile(model, batch)
+            n_batches = max(1, total_tasks // batch_size)
+            results.append(BatchSizeResult(
+                variant=variant,
+                batch_size=batch_size,
+                n_batches=n_batches,
+                kernel_size_distribution=profile.report.kernel_size_distribution(),
+                gpu_time_total=profile.report.gpu_time * n_batches,
+                inference_time_total=profile.report.total_time * n_batches,
+                per_batch_gpu_time=profile.report.gpu_time,
+                per_batch_total_time=profile.report.total_time,
+            ))
+    return results
+
+
+def peak_memory_study(
+    workload: str = "avmnist",
+    batch_sizes: tuple[int, ...] = (20, 40, 100, 200, 400),
+    device: str = "2080ti",
+    seed: int = 0,
+) -> dict[str, dict[int, MemoryBreakdown]]:
+    """Figure 13: peak memory decomposition vs batch size, uni vs multi."""
+    info = get_workload(workload)
+    profiler = MMBenchProfiler(device)
+    out: dict[str, dict[int, MemoryBreakdown]] = {}
+    for variant, is_multi in VARIANTS:
+        model = _build_variant(info, variant, is_multi, seed)
+        per_batch: dict[int, MemoryBreakdown] = {}
+        for batch_size in batch_sizes:
+            batch = random_batch(model.shapes, batch_size, seed=seed)
+            profile = profiler.profile(model, batch)
+            per_batch[batch_size] = profile.report.memory
+        out[variant] = per_batch
+    return out
+
+
+def speedup_factor(results: list[BatchSizeResult], variant: str,
+                   small: int, large: int) -> float:
+    """Inference-time ratio small-batch/large-batch for one variant.
+
+    A value well under ``large/small`` demonstrates the paper's point that
+    a 10x batch increase does not buy a 10x latency reduction.
+    """
+    by_key = {(r.variant, r.batch_size): r for r in results}
+    t_small = by_key[(variant, small)].inference_time_total
+    t_large = by_key[(variant, large)].inference_time_total
+    if t_large <= 0:
+        raise ValueError("degenerate large-batch time")
+    return t_small / t_large

@@ -1,0 +1,96 @@
+"""Concurrent-modality execution analysis (the Sec. 4.3.3 idle-resource claim).
+
+The paper observes that if the encoder sub-networks were executed
+concurrently — one stream per modality, each holding a share of the
+device — the modality imbalance would leave most of those resources idle:
+"If executed concurrently, nearly 75% of the resources assigned to the
+application will stay idle for more [than] 77% of the entire encoder
+execution" (MuJoCo Push, whose image encoder is a 4.09x straggler).
+
+This module derives exactly those quantities from an
+:class:`~repro.hw.engine.ExecutionReport`: the concurrent encoder wall
+time (the straggler's time), the serial time (what a single-stream
+executor pays), and the idle-resource geometry of the concurrent schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.engine import ExecutionReport
+
+
+@dataclass(frozen=True)
+class ConcurrencyAnalysis:
+    """Idle-resource geometry of a concurrent per-modality schedule."""
+
+    modality_times: dict[str, float]
+    straggler: str
+    straggler_ratio: float  # straggler time / fastest modality time
+    serial_encoder_time: float  # sum of modality times (single stream)
+    concurrent_encoder_time: float  # max of modality times (one stream each)
+    concurrency_speedup: float  # serial / concurrent
+    # With one equal resource share per modality: fraction of the
+    # (resources x encoder-window) area that sits idle.
+    idle_resource_fraction: float
+    # Fraction of the encoder window for which the non-straggler streams
+    # (covering (M-1)/M of the resources) have already finished.
+    idle_window_fraction: float
+    idle_stream_share: float  # (M-1)/M — the "75% of resources" in the paper
+
+
+def analyze_concurrency(report: ExecutionReport) -> ConcurrencyAnalysis:
+    """Analyze the encoder stage's concurrent-execution geometry."""
+    times = report.modality_time()
+    if len(times) < 2:
+        raise ValueError("concurrency analysis needs a multi-modal report")
+    straggler = max(times, key=times.get)
+    t_max = times[straggler]
+    t_min = min(times.values())
+    serial = sum(times.values())
+    m = len(times)
+
+    # Idle area: each of the m equal resource shares is busy for its
+    # modality's time and idle until the straggler finishes.
+    idle_area = sum(t_max - t for t in times.values())
+    idle_fraction = idle_area / (m * t_max) if t_max > 0 else 0.0
+
+    # The paper's phrasing: the other (m-1) streams go idle once their own
+    # work finishes; on average that happens after mean(non-straggler time).
+    others = [t for name, t in times.items() if name != straggler]
+    mean_other = sum(others) / len(others)
+    idle_window = 1.0 - (mean_other / t_max) if t_max > 0 else 0.0
+
+    return ConcurrencyAnalysis(
+        modality_times=times,
+        straggler=straggler,
+        straggler_ratio=t_max / t_min if t_min > 0 else float("inf"),
+        serial_encoder_time=serial,
+        concurrent_encoder_time=t_max,
+        concurrency_speedup=serial / t_max if t_max > 0 else 1.0,
+        idle_resource_fraction=idle_fraction,
+        idle_window_fraction=idle_window,
+        idle_stream_share=(m - 1) / m,
+    )
+
+
+def concurrency_study(
+    workloads: tuple[str, ...] = ("avmnist", "mmimdb", "mujoco_push", "vision_touch"),
+    batch_size: int = 64,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> dict[str, ConcurrencyAnalysis]:
+    """Run the idle-resource analysis across workloads."""
+    from repro.data.synthetic import random_batch
+    from repro.profiling.profiler import MMBenchProfiler
+    from repro.workloads.registry import get_workload
+
+    profiler = MMBenchProfiler(device)
+    out: dict[str, ConcurrencyAnalysis] = {}
+    for name in workloads:
+        info = get_workload(name)
+        model = info.build(seed=seed)
+        batch = random_batch(info.shapes, batch_size, seed=seed)
+        report = profiler.profile(model, batch).report
+        out[name] = analyze_concurrency(report)
+    return out

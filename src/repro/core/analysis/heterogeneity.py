@@ -1,0 +1,129 @@
+"""Figures 8-9: intra-network heterogeneity.
+
+Figure 8 breaks each stage's GPU time down by kernel category (Conv,
+BNorm, Elewise, Pooling, Relu, Gemm, Reduce, Other): different stages —
+and different modality encoders — are dominated by different operations
+(VGG by Gemm, ALBERT by activations), so no single accelerator
+specialization covers the whole application.
+
+Figure 9 takes two hotspot kernels on AV-MNIST and compares their
+fine-grained counters (a) across stages for a shared hotspot kernel —
+resource usage varies by orders of magnitude (the paper reports 15x in
+fp32 ops and 80x in read TPS for its Reduce kernel; our lean LeNet has no
+Reduce in every stage, so the default is the Gemm kernel, which every
+stage launches and which shows the same cross-stage spread) — and (b) across
+fusion methods (concat vs tensor) for the Elewise kernel — similar
+resource levels but a significant jump in DRAM read bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.synthetic import random_batch
+from repro.profiling.profiler import MMBenchProfiler
+from repro.trace.events import KernelCategory
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def kernel_breakdown_analysis(
+    workloads: list[str] | None = None,
+    batch_size: int = 32,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """{workload: {stage: {category: time share}}} — Figure 8."""
+    names = workloads or list_workloads()
+    profiler = MMBenchProfiler(device)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for name in names:
+        info = get_workload(name)
+        model = info.build(seed=seed)
+        batch = random_batch(info.shapes, batch_size, seed=seed)
+        result = profiler.profile(model, batch)
+        report = result.report
+        stages = {}
+        for stage in result.trace.stages():
+            stages[stage] = {
+                cat.value: share
+                for cat, share in report.category_time_breakdown(stage).items()
+            }
+        out[name] = stages
+    return out
+
+
+@dataclass
+class HotspotRecord:
+    """Counters of one hotspot kernel in one context (stage or fusion)."""
+
+    context: str  # stage name or fusion name
+    kernel_name: str
+    fp32_ops: float
+    dram_read_bytes: float
+    read_tps: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    l2_read_hit_rate: float
+    l2_write_hit_rate: float
+    duration: float
+
+
+def hotspot_across_stages(
+    workload: str = "avmnist",
+    category: KernelCategory = KernelCategory.GEMM,
+    batch_size: int = 32,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> list[HotspotRecord]:
+    """Figure 9a: the same kernel category's hotspot in each stage."""
+    info = get_workload(workload)
+    model = info.build(seed=seed)
+    batch = random_batch(info.shapes, batch_size, seed=seed)
+    profiler = MMBenchProfiler(device)
+    result = profiler.profile(model, batch)
+    records = []
+    for stage in result.trace.stages():
+        kx = result.report.hotspot(category, stage=stage)
+        if kx is None:
+            continue
+        c = kx.counters
+        records.append(HotspotRecord(
+            context=stage, kernel_name=kx.event.name, fp32_ops=c.fp32_ops,
+            dram_read_bytes=c.dram_read_bytes,
+            read_tps=c.read_transactions_per_second,
+            l1_hit_rate=c.l1_hit_rate, l2_hit_rate=c.l2_hit_rate,
+            l2_read_hit_rate=c.l2_read_hit_rate, l2_write_hit_rate=c.l2_write_hit_rate,
+            duration=c.duration,
+        ))
+    return records
+
+
+def hotspot_across_fusions(
+    workload: str = "avmnist",
+    fusions: tuple[str, ...] = ("concat", "tensor"),
+    category: KernelCategory = KernelCategory.ELEWISE,
+    batch_size: int = 32,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> list[HotspotRecord]:
+    """Figure 9b: a fusion-stage hotspot kernel across fusion methods."""
+    info = get_workload(workload)
+    profiler = MMBenchProfiler(device)
+    records = []
+    for fusion in fusions:
+        model = info.build(fusion, seed=seed)
+        batch = random_batch(info.shapes, batch_size, seed=seed)
+        result = profiler.profile(model, batch)
+        kx = result.report.hotspot(category, stage="fusion")
+        if kx is None:
+            continue
+        c = kx.counters
+        records.append(HotspotRecord(
+            context=fusion, kernel_name=kx.event.name, fp32_ops=c.fp32_ops,
+            dram_read_bytes=c.dram_read_bytes,
+            read_tps=c.read_transactions_per_second,
+            l1_hit_rate=c.l1_hit_rate, l2_hit_rate=c.l2_hit_rate,
+            l2_read_hit_rate=c.l2_read_hit_rate, l2_write_hit_rate=c.l2_write_hit_rate,
+            duration=c.duration,
+        ))
+    return records

@@ -1,0 +1,47 @@
+"""Serving sweeps: throughput/latency curves from the batching simulator.
+
+Extends the Sec. 5.1 batch-size case study from a closed 10,000-task batch
+run into an open-loop serving analysis: given an arrival rate, what batch
+size minimizes tail latency while sustaining the load? This is the
+question the paper's "OS schedules the appropriate kernels" framing leads
+to for a deployment engineer.
+"""
+
+from __future__ import annotations
+
+from repro.hw.scheduler import ServingResult, batch_time_from_profile, simulate_serving
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload
+
+
+def serving_sweep(
+    workload: str = "avmnist",
+    fusion: str | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8, 40, 100, 400),
+    n_tasks: int = 10_000,
+    arrival_rate: float | None = None,
+    device: str = "2080ti",
+    seed: int = 0,
+) -> dict[int, ServingResult]:
+    """Simulate serving ``n_tasks`` at each batch size; returns per-size stats.
+
+    ``arrival_rate=None`` reproduces the paper's closed-batch setting (all
+    tasks queued at t=0); a finite rate simulates an open Poisson stream.
+    """
+    info = get_workload(workload)
+    model = info.build(fusion, seed=seed)
+    profiler = MMBenchProfiler(device)
+    batch_time = batch_time_from_profile(profiler, model, device, seed=seed)
+
+    results: dict[int, ServingResult] = {}
+    for batch_size in batch_sizes:
+        results[batch_size] = simulate_serving(
+            batch_time, batch_size, n_tasks, arrival_rate=arrival_rate, seed=seed,
+        )
+    return results
+
+
+def best_batch_for_slo(results: dict[int, ServingResult], p99_slo: float) -> int | None:
+    """Largest batch size whose p99 latency meets the SLO (None if none do)."""
+    feasible = [b for b, r in results.items() if r.p99_latency <= p99_slo]
+    return max(feasible) if feasible else None

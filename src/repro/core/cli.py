@@ -1,0 +1,143 @@
+"""``mmbench`` command-line interface.
+
+Mirrors the paper's usage model (Fig. 2: model choice and measurement
+options as command-line parameters)::
+
+    mmbench list
+    mmbench run --workload avmnist --fusion tensor --batch-size 40
+    mmbench run --workload mmimdb --unimodal image --device nano
+    mmbench analyze stage-time --device 2080ti
+    mmbench analyze batch-size
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.suite import BenchmarkSuite, RunConfig
+from repro.profiling.report import format_table
+from repro.workloads.registry import WORKLOADS, list_workloads
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for name in list_workloads():
+        info = WORKLOADS[name]
+        rows.append([
+            name, info.domain, info.model_size,
+            ",".join(info.modalities), ",".join(info.fusions), info.task_kind,
+        ])
+    print(format_table(
+        ["workload", "domain", "size", "modalities", "fusions", "task"], rows,
+        title="MMBench workloads (Table 3)",
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = RunConfig(
+        workload=args.workload,
+        fusion=args.fusion,
+        unimodal=args.unimodal,
+        batch_size=args.batch_size,
+        device=args.device,
+        seed=args.seed,
+    )
+    suite = BenchmarkSuite(args.device)
+    result = suite.run_inference(config)
+    print(suite.summarize(result))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core.report import characterization_report
+
+    text = characterization_report(args.workload, fusion=args.fusion,
+                                   batch_size=args.batch_size)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.core import analysis
+
+    name = args.analysis
+    if name == "stage-time":
+        data = analysis.stage_time_analysis(device=args.device)
+        rows = [[w] + [f"{t * 1e3:.3f} ms" for t in stages.values()]
+                for w, stages in data.items()]
+        print(format_table(["workload", "encoder", "fusion", "head"], rows,
+                           title="Figure 6: per-stage execution time"))
+    elif name == "kernel-breakdown":
+        data = analysis.kernel_breakdown_analysis(device=args.device)
+        rows = []
+        for workload, stages in data.items():
+            for stage, cats in stages.items():
+                top = max(cats, key=cats.get)
+                rows.append([workload, stage, top, f"{cats[top]:.0%}"])
+        print(format_table(["workload", "stage", "dominant kernel", "share"], rows,
+                           title="Figure 8: dominant kernel category per stage"))
+    elif name == "batch-size":
+        results = analysis.batch_size_study(device=args.device)
+        rows = [[r.variant, r.batch_size, f"{r.gpu_time_total:.3f} s",
+                 f"{r.inference_time_total:.3f} s",
+                 f"{r.kernel_size_distribution['>100']:.0%} large kernels"]
+                for r in results]
+        print(format_table(["variant", "batch", "GPU time", "inference time", "kernel mix"],
+                           rows, title="Figure 12: batch size case study (10k tasks)"))
+    elif name == "edge":
+        results = analysis.edge_latency_study()
+        rows = [[r.device, r.variant, r.batch_size, f"{r.inference_time:.2f} s",
+                 f"{r.memory_pressure:.2f}"] for r in results]
+        print(format_table(["device", "variant", "batch", "inference time", "mem pressure"],
+                           rows, title="Figure 14: edge migration"))
+    else:
+        print(f"unknown analysis {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="mmbench",
+                                     description="MMBench reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the nine workloads").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="profile one workload")
+    run.add_argument("--workload", default="avmnist", choices=list_workloads())
+    run.add_argument("--fusion", default=None)
+    run.add_argument("--unimodal", default=None, metavar="MODALITY")
+    run.add_argument("--batch-size", type=int, default=8)
+    run.add_argument("--device", default="2080ti")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(fn=_cmd_run)
+
+    report = sub.add_parser("report", help="full characterization report (markdown)")
+    report.add_argument("--workload", default="avmnist", choices=list_workloads())
+    report.add_argument("--fusion", default=None)
+    report.add_argument("--batch-size", type=int, default=32)
+    report.add_argument("-o", "--output", default=None, metavar="FILE")
+    report.set_defaults(fn=_cmd_report)
+
+    analyze = sub.add_parser("analyze", help="run a characterization analysis")
+    analyze.add_argument("analysis",
+                         choices=["stage-time", "kernel-breakdown", "batch-size", "edge"])
+    analyze.add_argument("--device", default="2080ti")
+    analyze.set_defaults(fn=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""The MMBench suite front-end.
+
+Ties workloads, data, profiling and device models into the command-level
+operations the paper's scripts expose: run a workload (inference or
+training step), profile it at each metric level, and run any of the
+characterization analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.train import loss_fn_for, train_model
+from repro.data.generators import LatentMultimodalDataset
+from repro.data.synthetic import batch_bytes, random_batch, random_targets
+from repro.profiling.profiler import MMBenchProfiler, ProfileResult
+from repro.profiling.report import profile_summary
+from repro.workloads.registry import WorkloadInfo, get_workload, list_workloads
+from repro import nn
+
+
+@dataclass
+class RunConfig:
+    """Options mirroring MMBench's command-line flags (Fig. 2/3)."""
+
+    workload: str = "avmnist"
+    fusion: str | None = None  # None = workload default
+    unimodal: str | None = None  # modality name -> uni-modal baseline
+    batch_size: int = 8
+    device: str = "2080ti"
+    seed: int = 0
+    # Dataset-free abstraction (random inputs) vs latent-factor data.
+    synthetic_inputs: bool = True
+
+
+class BenchmarkSuite:
+    """Programmatic entry point for the whole benchmark suite."""
+
+    def __init__(self, device: str = "2080ti"):
+        self.device = device
+
+    # -- inventory ------------------------------------------------------------
+
+    def workloads(self) -> list[str]:
+        return list_workloads()
+
+    def info(self, workload: str) -> WorkloadInfo:
+        return get_workload(workload)
+
+    # -- build & run -----------------------------------------------------------
+
+    def build_model(self, config: RunConfig):
+        info = get_workload(config.workload)
+        if config.unimodal is not None:
+            return info.build_unimodal(config.unimodal, seed=config.seed)
+        return info.build(config.fusion, seed=config.seed)
+
+    def make_batch(self, config: RunConfig) -> dict[str, np.ndarray]:
+        info = get_workload(config.workload)
+        model_shapes = self.build_model(config).shapes
+        if config.synthetic_inputs:
+            return random_batch(model_shapes, config.batch_size, seed=config.seed)
+        dataset = LatentMultimodalDataset(info.shapes, info.default_channels(),
+                                          seed=config.seed)
+        batch, _ = dataset.sample(config.batch_size, seed=config.seed + 1)
+        wanted = set(model_shapes.modality_names)
+        return {k: v for k, v in batch.items() if k in wanted}
+
+    def run_inference(self, config: RunConfig) -> ProfileResult:
+        """One profiled inference batch (the paper's default measurement)."""
+        model = self.build_model(config)
+        batch = self.make_batch(config)
+        profiler = MMBenchProfiler(config.device or self.device)
+        return profiler.profile(model, batch)
+
+    def run_training_step(self, config: RunConfig) -> float:
+        """One forward+backward+step; returns the loss value."""
+        info = get_workload(config.workload)
+        model = self.build_model(config)
+        batch = self.make_batch(config)
+        targets = random_targets(info.shapes, config.batch_size, seed=config.seed)
+        loss_fn = loss_fn_for(info.task_kind)
+        optimizer = nn.optim.Adam(model.parameters(), lr=1e-3)
+        model.train()
+        optimizer.zero_grad()
+        loss = loss_fn(model(batch), targets)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    def train(self, config: RunConfig, n_train: int = 384, n_test: int = 256,
+              epochs: int = 6):
+        """Full training on a latent-factor dataset; returns a TrainResult."""
+        info = get_workload(config.workload)
+        dataset = LatentMultimodalDataset(info.shapes, info.default_channels(),
+                                          seed=config.seed + 17)
+        model = self.build_model(config)
+        return train_model(model, dataset, n_train=n_train, n_test=n_test,
+                           epochs=epochs, seed=config.seed)
+
+    # -- reporting --------------------------------------------------------------
+
+    def summarize(self, result: ProfileResult) -> str:
+        return profile_summary(result)

@@ -1,0 +1,165 @@
+"""Training/evaluation harness for the accuracy experiments (Figs. 4-5).
+
+Selects the loss and headline metric from the workload's task kind,
+runs mini-batch training with Adam, and provides per-sample correctness
+masks — the ingredient of the Figure-5 exclusive-correct-set analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.data.generators import LatentMultimodalDataset
+from repro.data.loader import DataLoader
+from repro.nn import losses
+from repro.nn.tensor import Tensor
+from repro.workloads.base import MultiModalModel
+
+
+def loss_fn_for(task_kind: str):
+    """The training loss for a task kind."""
+    if task_kind == "classification":
+        return losses.cross_entropy
+    if task_kind == "multilabel":
+        return losses.binary_cross_entropy_with_logits
+    if task_kind == "regression":
+        return losses.mse_loss
+    if task_kind == "segmentation":
+        return losses.segmentation_loss
+    if task_kind == "generation":
+        return _generation_loss
+    raise ValueError(f"unknown task kind {task_kind!r}")
+
+
+def _generation_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-position cross-entropy over (B, L, V) logits."""
+    b, length, vocab = logits.shape
+    flat = logits.reshape((b * length, vocab))
+    return losses.cross_entropy(flat, np.asarray(targets).reshape(-1))
+
+
+def metric_fn_for(task_kind: str):
+    """(metric function, higher_is_better) for a task kind."""
+    if task_kind == "classification":
+        return losses.accuracy, True
+    if task_kind == "multilabel":
+        return losses.f1_micro, True
+    if task_kind == "regression":
+        return losses.mse_metric, False
+    if task_kind == "segmentation":
+        return losses.dice_score, True
+    if task_kind == "generation":
+        return _token_accuracy, True
+    raise ValueError(f"unknown task kind {task_kind!r}")
+
+
+def _token_accuracy(logits, targets) -> float:
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((arr.argmax(axis=-1) == np.asarray(targets)).mean())
+
+
+def correct_mask(output: Tensor, targets: np.ndarray, task_kind: str) -> np.ndarray:
+    """Per-sample boolean correctness (drives the Figure-5 analysis)."""
+    arr = output.data
+    t = np.asarray(targets)
+    if task_kind == "classification":
+        return arr.argmax(axis=-1) == t
+    if task_kind == "multilabel":
+        pred = arr > 0
+        truth = t.astype(bool)
+        tp = (pred & truth).sum(axis=1).astype(np.float64)
+        denom = pred.sum(axis=1) + truth.sum(axis=1)
+        f1 = np.where(denom > 0, 2 * tp / np.maximum(denom, 1), 1.0)
+        return f1 > 0.5
+    if task_kind == "regression":
+        err = np.abs(arr - t).mean(axis=tuple(range(1, arr.ndim)))
+        return err < 0.35
+    if task_kind == "segmentation":
+        pred = arr > 0
+        truth = t.astype(bool)
+        axes = tuple(range(1, arr.ndim))
+        inter = (pred & truth).sum(axis=axes).astype(np.float64)
+        denom = pred.sum(axis=axes) + truth.sum(axis=axes)
+        dice = (2 * inter + 1.0) / (denom + 1.0)
+        return dice > 0.5
+    if task_kind == "generation":
+        return (arr.argmax(axis=-1) == t).all(axis=-1)
+    raise ValueError(f"unknown task kind {task_kind!r}")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    model: MultiModalModel
+    metric: float
+    higher_is_better: bool
+    loss_history: list[float] = field(default_factory=list)
+    test_outputs: Tensor | None = None
+    test_targets: np.ndarray | None = None
+
+
+def evaluate(model: MultiModalModel, batch: dict[str, np.ndarray], targets: np.ndarray,
+             task_kind: str, eval_batch_size: int = 64) -> tuple[Tensor, float]:
+    """Inference over a (possibly large) batch; returns (outputs, metric)."""
+    metric_fn, _ = metric_fn_for(task_kind)
+    outputs = []
+    loader = DataLoader(batch, targets, batch_size=eval_batch_size)
+    model.eval()
+    with nn.no_grad():
+        for xb, _ in loader:
+            outputs.append(model(xb).data)
+    merged = Tensor(np.concatenate(outputs, axis=0))
+    return merged, metric_fn(merged, targets)
+
+
+def train_model(
+    model: MultiModalModel,
+    dataset: LatentMultimodalDataset,
+    n_train: int = 256,
+    n_test: int = 128,
+    epochs: int = 4,
+    batch_size: int = 32,
+    lr: float = 2e-3,
+    seed: int = 0,
+) -> TrainResult:
+    """Train a workload model on a latent-factor dataset and evaluate it."""
+    task_kind = dataset.shapes.task.kind
+    loss_fn = loss_fn_for(task_kind)
+    _, higher = metric_fn_for(task_kind)
+
+    train_batch, train_targets = dataset.sample(n_train, seed=seed)
+    test_batch, test_targets = dataset.sample(n_test, seed=seed + 10_000)
+
+    # Uni-modal models only consume their own modality's stream.
+    wanted = set(model.modality_names)
+    train_batch = {k: v for k, v in train_batch.items() if k in wanted}
+    test_batch = {k: v for k, v in test_batch.items() if k in wanted}
+
+    optimizer = nn.optim.Adam(model.parameters(), lr=lr)
+    loader = DataLoader(train_batch, train_targets, batch_size=batch_size,
+                        shuffle=True, seed=seed)
+    history: list[float] = []
+    model.train()
+    for _ in range(epochs):
+        for xb, yb in loader:
+            optimizer.zero_grad()
+            out = model(xb)
+            loss = loss_fn(out, yb)
+            loss.backward()
+            nn.optim.clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            history.append(loss.item())
+
+    outputs, metric = evaluate(model, test_batch, test_targets, task_kind)
+    return TrainResult(
+        model=model,
+        metric=metric,
+        higher_is_better=higher,
+        loss_history=history,
+        test_outputs=outputs,
+        test_targets=test_targets,
+    )

@@ -1,0 +1,29 @@
+"""Synthetic data substrate: shapes, random abstraction, latent-factor sets."""
+
+from repro.data.generators import ChannelSpec, LatentMultimodalDataset
+from repro.data.loader import DataLoader
+from repro.data.shapes import (
+    ALL_SHAPES,
+    AVMNIST,
+    CMU_MOSEI,
+    MEDICAL_SEG,
+    MEDICAL_VQA,
+    MMIMDB,
+    MUJOCO_PUSH,
+    MUSTARD,
+    ModalityKind,
+    ModalitySpec,
+    TRANSFUSER,
+    TaskSpec,
+    VISION_TOUCH,
+    WorkloadShapes,
+)
+from repro.data.synthetic import batch_bytes, random_batch, random_modality_batch, random_targets
+
+__all__ = [
+    "ChannelSpec", "LatentMultimodalDataset", "DataLoader",
+    "ALL_SHAPES", "AVMNIST", "CMU_MOSEI", "MEDICAL_SEG", "MEDICAL_VQA",
+    "MMIMDB", "MUJOCO_PUSH", "MUSTARD", "TRANSFUSER", "VISION_TOUCH",
+    "ModalityKind", "ModalitySpec", "TaskSpec", "WorkloadShapes",
+    "batch_bytes", "random_batch", "random_modality_batch", "random_targets",
+]

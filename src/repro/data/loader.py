@@ -1,0 +1,51 @@
+"""Mini-batch iteration over multi-modal arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate (batch_dict, targets) mini-batches with optional shuffling."""
+
+    def __init__(
+        self,
+        batch: dict[str, np.ndarray],
+        targets: np.ndarray,
+        batch_size: int,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        lengths = {name: len(arr) for name, arr in batch.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"modalities have unequal lengths: {lengths}")
+        self.n = len(targets)
+        if self.n not in set(lengths.values()) and lengths:
+            raise ValueError(f"targets length {self.n} != modality length {lengths}")
+        self.batch = batch
+        self.targets = targets
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return self.n // self.batch_size
+        return (self.n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = np.arange(self.n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self.n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield (
+                {name: arr[idx] for name, arr in self.batch.items()},
+                self.targets[idx],
+            )

@@ -1,0 +1,210 @@
+"""Modality shape specifications for every MMBench workload (Table 3).
+
+MMBench's "user-friendly profiler integration" rests on a dataset-free
+computation abstraction: the suite knows the shape of every modality's
+input and can generate random tensors of those shapes, freeing
+architecture researchers from downloading hundred-GB datasets. This module
+is that shape catalogue.
+
+Spatial/sequence extents are reduced relative to the originals (the
+substrate is a single-core numpy framework, not a 2080Ti) but the
+modality *structure* — how many modalities, which kind, relative sizes,
+which encoder consumes each — matches Table 3. The image modality remains
+the largest in every workload that has one, which is what drives the
+straggler/imbalance findings (Figure 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ModalityKind(str, enum.Enum):
+    """Input data kind; selects the synthetic renderer and the preprocessor."""
+
+    IMAGE = "image"  # (C, H, W) float
+    AUDIO = "audio"  # (C, F, T) spectrogram float
+    TOKENS = "tokens"  # (T,) int token ids
+    SEQUENCE = "sequence"  # (T, D) float feature time series
+    VOLUME = "volume"  # (C, H, W) float medical slice
+    POINTMAP = "pointmap"  # (C, H, W) float BEV-projected LiDAR
+
+
+@dataclass(frozen=True)
+class ModalitySpec:
+    """One modality's per-sample shape and kind."""
+
+    name: str
+    kind: ModalityKind
+    shape: tuple[int, ...]
+    vocab_size: int = 0  # tokens only
+
+    @property
+    def numel(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def sample_bytes(self) -> int:
+        """Bytes of one raw sample (float32, or int64 for tokens)."""
+        itemsize = 8 if self.kind == ModalityKind.TOKENS else 4
+        return self.numel * itemsize
+
+    def validate(self) -> None:
+        if self.kind == ModalityKind.TOKENS:
+            if len(self.shape) != 1:
+                raise ValueError(f"token modality {self.name!r} must be 1-D, got {self.shape}")
+            if self.vocab_size <= 0:
+                raise ValueError(f"token modality {self.name!r} needs vocab_size > 0")
+        elif self.kind == ModalityKind.SEQUENCE:
+            if len(self.shape) != 2:
+                raise ValueError(f"sequence modality {self.name!r} must be (T, D), got {self.shape}")
+        else:
+            if len(self.shape) != 3:
+                raise ValueError(f"{self.kind.value} modality {self.name!r} must be (C, H, W), got {self.shape}")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Output structure of a workload."""
+
+    kind: str  # "classification" | "multilabel" | "regression" | "segmentation" | "generation"
+    num_classes: int = 0  # classification/multilabel/generation vocab
+    output_dim: int = 0  # regression
+    output_shape: tuple[int, ...] = ()  # segmentation
+
+
+@dataclass(frozen=True)
+class WorkloadShapes:
+    """All modalities and the task of one workload."""
+
+    name: str
+    modalities: tuple[ModalitySpec, ...]
+    task: TaskSpec
+
+    def modality(self, name: str) -> ModalitySpec:
+        for m in self.modalities:
+            if m.name == name:
+                return m
+        raise KeyError(f"workload {self.name!r} has no modality {name!r}")
+
+    @property
+    def modality_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.modalities)
+
+    @property
+    def sample_bytes(self) -> int:
+        return sum(m.sample_bytes for m in self.modalities)
+
+
+def _spec(name, kind, shape, vocab=0):
+    spec = ModalitySpec(name=name, kind=kind, shape=shape, vocab_size=vocab)
+    spec.validate()
+    return spec
+
+
+AVMNIST = WorkloadShapes(
+    name="avmnist",
+    modalities=(
+        _spec("image", ModalityKind.IMAGE, (1, 28, 28)),
+        _spec("audio", ModalityKind.AUDIO, (1, 20, 20)),
+    ),
+    task=TaskSpec(kind="classification", num_classes=10),
+)
+
+MMIMDB = WorkloadShapes(
+    name="mmimdb",
+    modalities=(
+        _spec("image", ModalityKind.IMAGE, (3, 64, 64)),
+        _spec("text", ModalityKind.TOKENS, (48,), vocab=1000),
+    ),
+    task=TaskSpec(kind="multilabel", num_classes=23),
+)
+
+CMU_MOSEI = WorkloadShapes(
+    name="cmu_mosei",
+    modalities=(
+        _spec("language", ModalityKind.TOKENS, (32,), vocab=1000),
+        _spec("vision", ModalityKind.SEQUENCE, (32, 35)),
+        _spec("audio", ModalityKind.SEQUENCE, (32, 74)),
+    ),
+    task=TaskSpec(kind="regression", output_dim=1),
+)
+
+MUSTARD = WorkloadShapes(
+    name="mustard",
+    modalities=(
+        _spec("language", ModalityKind.TOKENS, (24,), vocab=800),
+        _spec("vision", ModalityKind.SEQUENCE, (24, 35)),
+        _spec("audio", ModalityKind.SEQUENCE, (24, 74)),
+    ),
+    task=TaskSpec(kind="classification", num_classes=2),
+)
+
+MEDICAL_VQA = WorkloadShapes(
+    name="medical_vqa",
+    modalities=(
+        _spec("image", ModalityKind.IMAGE, (3, 64, 64)),
+        _spec("text", ModalityKind.TOKENS, (24,), vocab=500),
+    ),
+    task=TaskSpec(kind="generation", num_classes=64),  # answer vocab
+)
+
+MEDICAL_SEG = WorkloadShapes(
+    name="medical_seg",
+    modalities=(
+        _spec("t1", ModalityKind.VOLUME, (1, 32, 32)),
+        _spec("t1c", ModalityKind.VOLUME, (1, 32, 32)),
+        _spec("t2", ModalityKind.VOLUME, (1, 32, 32)),
+        _spec("flair", ModalityKind.VOLUME, (1, 32, 32)),
+    ),
+    task=TaskSpec(kind="segmentation", output_shape=(1, 32, 32)),
+)
+
+MUJOCO_PUSH = WorkloadShapes(
+    name="mujoco_push",
+    modalities=(
+        _spec("position", ModalityKind.SEQUENCE, (16, 8)),
+        _spec("sensor", ModalityKind.SEQUENCE, (16, 6)),
+        _spec("image", ModalityKind.IMAGE, (1, 32, 32)),
+        _spec("control", ModalityKind.SEQUENCE, (16, 4)),
+    ),
+    task=TaskSpec(kind="regression", output_dim=2),
+)
+
+VISION_TOUCH = WorkloadShapes(
+    name="vision_touch",
+    modalities=(
+        _spec("image", ModalityKind.IMAGE, (3, 32, 32)),
+        _spec("force", ModalityKind.SEQUENCE, (32, 6)),
+        _spec("proprioception", ModalityKind.SEQUENCE, (8, 8)),
+        _spec("depth", ModalityKind.IMAGE, (1, 32, 32)),
+    ),
+    task=TaskSpec(kind="classification", num_classes=2),
+)
+
+TRANSFUSER = WorkloadShapes(
+    name="transfuser",
+    modalities=(
+        _spec("image", ModalityKind.IMAGE, (3, 64, 64)),
+        _spec("lidar", ModalityKind.POINTMAP, (2, 64, 64)),
+    ),
+    task=TaskSpec(kind="regression", output_dim=8),  # 4 waypoints x (x, y)
+)
+
+ALL_SHAPES: dict[str, WorkloadShapes] = {
+    s.name: s
+    for s in (
+        AVMNIST,
+        MMIMDB,
+        CMU_MOSEI,
+        MUSTARD,
+        MEDICAL_VQA,
+        MEDICAL_SEG,
+        MUJOCO_PUSH,
+        VISION_TOUCH,
+        TRANSFUSER,
+    )
+}

@@ -1,0 +1,57 @@
+"""The dataset-free computation abstraction (Sec. 3.1).
+
+MMBench "can randomly generate the input with the same shape as the
+datasets, which allows computer architecture researchers to skip the
+tedious work of downloading and storing data". This module implements
+exactly that: given a :class:`~repro.data.shapes.WorkloadShapes`, it
+produces batches with the right shapes/dtypes and statistics (unit-scale
+floats, valid token ids) but no learnable signal. Use
+:mod:`repro.data.generators` when accuracy matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.shapes import ModalityKind, ModalitySpec, WorkloadShapes
+
+
+def random_modality_batch(
+    spec: ModalitySpec, batch_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A random batch of one modality with the dataset's shape and dtype."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if spec.kind == ModalityKind.TOKENS:
+        return rng.integers(0, spec.vocab_size, size=(batch_size, *spec.shape), dtype=np.int64)
+    return rng.standard_normal(size=(batch_size, *spec.shape)).astype(np.float32)
+
+
+def random_batch(
+    shapes: WorkloadShapes, batch_size: int, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """A full random multi-modal batch keyed by modality name."""
+    rng = np.random.default_rng(seed)
+    return {m.name: random_modality_batch(m, batch_size, rng) for m in shapes.modalities}
+
+
+def random_targets(shapes: WorkloadShapes, batch_size: int, seed: int = 0) -> np.ndarray:
+    """Random targets matching the workload's task structure."""
+    rng = np.random.default_rng(seed + 1)
+    task = shapes.task
+    if task.kind == "classification":
+        return rng.integers(0, task.num_classes, size=batch_size)
+    if task.kind == "multilabel":
+        return (rng.random((batch_size, task.num_classes)) < 0.2).astype(np.int64)
+    if task.kind == "regression":
+        return rng.standard_normal((batch_size, task.output_dim)).astype(np.float32)
+    if task.kind == "segmentation":
+        return (rng.random((batch_size, *task.output_shape)) < 0.3).astype(np.int64)
+    if task.kind == "generation":
+        return rng.integers(0, task.num_classes, size=(batch_size, 4))
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def batch_bytes(batch: dict[str, np.ndarray]) -> int:
+    """Total bytes of a multi-modal batch (feeds the H2D transfer model)."""
+    return int(sum(arr.nbytes for arr in batch.values()))

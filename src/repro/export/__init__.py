@@ -1,0 +1,5 @@
+"""Exports for accelerator-simulation frameworks (Timeloop-style)."""
+
+from repro.export.timeloop import export_problems, export_summary, kernel_to_problem
+
+__all__ = ["export_problems", "export_summary", "kernel_to_problem"]

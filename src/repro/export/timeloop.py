@@ -1,0 +1,71 @@
+"""Timeloop-style layer-shape export (Sec. 3.1).
+
+The paper notes that accelerator-simulation frameworks such as
+Timeloop [33] "simply take the data shape and network shape as input", and
+that MMBench "is able to directly provide this abstraction and free users
+of manual conversion". This module walks a traced workload and emits the
+per-layer problem shapes in a Timeloop-like dict format (one problem per
+Conv/Gemm kernel), ready to serialize as YAML-equivalent structures.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import KernelCategory, KernelEvent
+from repro.trace.tracer import Trace
+
+
+def kernel_to_problem(kernel: KernelEvent) -> dict | None:
+    """One traced kernel -> a Timeloop problem dict (Conv/Gemm only)."""
+    if kernel.category == KernelCategory.GEMM:
+        meta = kernel.meta
+        if not {"m", "n", "k"} <= set(meta):
+            return None
+        return {
+            "problem": {
+                "shape": "gemm",
+                "M": int(meta["m"]),
+                "N": int(meta["n"]),
+                "K": int(meta["k"]),
+            },
+            "stage": kernel.stage,
+            "modality": kernel.modality,
+        }
+    if kernel.category == KernelCategory.CONV:
+        meta = kernel.meta
+        if not {"kh", "kw", "stride"} <= set(meta):
+            return None
+        return {
+            "problem": {
+                "shape": "cnn-layer",
+                "R": int(meta["kh"]),
+                "S": int(meta["kw"]),
+                "Wstride": int(meta["stride"]),
+                "Hstride": int(meta["stride"]),
+                "flops": kernel.flops,
+            },
+            "stage": kernel.stage,
+            "modality": kernel.modality,
+        }
+    return None
+
+
+def export_problems(trace: Trace) -> list[dict]:
+    """All exportable layer problems from a trace, in execution order."""
+    problems = []
+    for kernel in trace.kernels:
+        problem = kernel_to_problem(kernel)
+        if problem is not None:
+            problems.append(problem)
+    return problems
+
+
+def export_summary(trace: Trace) -> dict:
+    """Aggregate export header: totals a simulator needs for sanity checks."""
+    problems = export_problems(trace)
+    return {
+        "num_problems": len(problems),
+        "total_flops": trace.total_flops,
+        "total_bytes": trace.total_bytes,
+        "stages": trace.stages(),
+        "modalities": trace.modalities(),
+    }

@@ -1,0 +1,46 @@
+"""Hardware simulation substrate: device models, latency, counters, stalls."""
+
+from repro.hw.counters import KernelCounters, aggregate_counters, derive_counters
+from repro.hw.device import (
+    DEVICES,
+    DeviceSpec,
+    JETSON_NANO,
+    JETSON_ORIN,
+    RTX_2080TI,
+    get_device,
+)
+from repro.hw.energy import (
+    EnergyBreakdown,
+    energy_delay_product,
+    modality_energy,
+    report_energy,
+    stage_energy,
+)
+from repro.hw.engine import (
+    ExecutionEngine,
+    ExecutionReport,
+    KERNEL_SIZE_BINS,
+    KernelExecution,
+)
+from repro.hw.latency import LatencyBreakdown, dram_traffic, kernel_latency, machine_fill
+from repro.hw.memory import (
+    MemoryBreakdown,
+    capacity_pressure,
+    memory_breakdown,
+    thrash_factor,
+)
+from repro.hw.stalls import STALL_REASONS, aggregate_stalls, stall_breakdown
+from repro.hw.scheduler import ServingResult, batch_time_from_profile, simulate_serving
+from repro.hw.transfer import d2h_time, h2d_time, host_data_prep_time
+
+__all__ = [
+    "EnergyBreakdown", "energy_delay_product", "modality_energy", "report_energy", "stage_energy",
+    "ServingResult", "batch_time_from_profile", "simulate_serving",
+    "KernelCounters", "aggregate_counters", "derive_counters",
+    "DEVICES", "DeviceSpec", "JETSON_NANO", "JETSON_ORIN", "RTX_2080TI", "get_device",
+    "ExecutionEngine", "ExecutionReport", "KERNEL_SIZE_BINS", "KernelExecution",
+    "LatencyBreakdown", "dram_traffic", "kernel_latency", "machine_fill",
+    "MemoryBreakdown", "capacity_pressure", "memory_breakdown", "thrash_factor",
+    "STALL_REASONS", "aggregate_stalls", "stall_breakdown",
+    "d2h_time", "h2d_time", "host_data_prep_time",
+]

@@ -1,0 +1,120 @@
+"""Device energy model.
+
+The paper motivates MMBench with the energy constraints of edge inference
+("supporting the inference of such diverse and heterogeneous workloads
+with high energy efficiency ... is becoming a great challenge") and its
+modality analysis proposes throttling encoders to save energy; the
+Timeloop integration it advertises outputs latency *and energy*. This
+module provides the matching energy accounting for the reproduction.
+
+Per-kernel energy is the sum of a compute term (pJ/FLOP), a memory term
+(pJ/DRAM-byte) and idle leakage over the kernel's duration; host work
+burns host power. The per-device coefficients follow the usual
+technology-node figures (server-class Turing vs 20 nm Maxwell vs
+Ampere-class Orin) with the board-level TDPs from the datasheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceSpec
+from repro.hw.engine import ExecutionReport
+
+# Energy coefficients per device, keyed by DeviceSpec.name.
+#   pj_per_flop: dynamic compute energy
+#   pj_per_dram_byte: DRAM access energy
+#   idle_watts: board idle power while the device is active
+#   host_watts: CPU power during host-side work
+_COEFFICIENTS: dict[str, dict[str, float]] = {
+    "rtx2080ti": dict(pj_per_flop=9.0, pj_per_dram_byte=70.0, idle_watts=55.0,
+                      host_watts=65.0),
+    "jetson_nano": dict(pj_per_flop=21.0, pj_per_dram_byte=120.0, idle_watts=1.5,
+                        host_watts=3.0),
+    "jetson_orin": dict(pj_per_flop=6.0, pj_per_dram_byte=60.0, idle_watts=6.0,
+                        host_watts=10.0),
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (joules) for one execution report."""
+
+    compute: float
+    memory: float
+    idle: float
+    host: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.memory + self.idle + self.host
+
+    @property
+    def device_total(self) -> float:
+        return self.compute + self.memory + self.idle
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute": self.compute,
+            "memory": self.memory,
+            "idle": self.idle,
+            "host": self.host,
+            "total": self.total,
+        }
+
+
+def coefficients_for(device: DeviceSpec) -> dict[str, float]:
+    try:
+        return _COEFFICIENTS[device.name]
+    except KeyError:
+        raise KeyError(
+            f"no energy coefficients for device {device.name!r}; "
+            f"known: {sorted(_COEFFICIENTS)}"
+        ) from None
+
+
+def report_energy(report: ExecutionReport) -> EnergyBreakdown:
+    """Energy of one priced inference run."""
+    coeff = coefficients_for(report.device)
+    compute = sum(kx.event.flops for kx in report.kernels) * coeff["pj_per_flop"] * 1e-12
+    memory = sum(kx.latency.dram_bytes for kx in report.kernels) * coeff["pj_per_dram_byte"] * 1e-12
+    idle = report.gpu_time * coeff["idle_watts"]
+    host = report.host_time * coeff["host_watts"]
+    return EnergyBreakdown(compute=compute, memory=memory, idle=idle, host=host)
+
+
+def stage_energy(report: ExecutionReport) -> dict[str, float]:
+    """Device energy per stage (joules), compute + memory + idle share."""
+    coeff = coefficients_for(report.device)
+    out: dict[str, float] = {}
+    for kx in report.kernels:
+        joules = (
+            kx.event.flops * coeff["pj_per_flop"] * 1e-12
+            + kx.latency.dram_bytes * coeff["pj_per_dram_byte"] * 1e-12
+            + kx.duration * coeff["idle_watts"]
+        )
+        out[kx.event.stage] = out.get(kx.event.stage, 0.0) + joules
+    return out
+
+
+def energy_delay_product(report: ExecutionReport) -> float:
+    """EDP in joule-seconds — the standard efficiency figure of merit."""
+    return report_energy(report).total * report.total_time
+
+
+def modality_energy(report: ExecutionReport) -> dict[str, float]:
+    """Device energy per modality — the basis of the encoder-throttling
+    tradeoff the paper's Sec. 4.2.3 discusses."""
+    coeff = coefficients_for(report.device)
+    out: dict[str, float] = {}
+    for kx in report.kernels:
+        modality = kx.event.modality
+        if modality is None:
+            continue
+        joules = (
+            kx.event.flops * coeff["pj_per_flop"] * 1e-12
+            + kx.latency.dram_bytes * coeff["pj_per_dram_byte"] * 1e-12
+            + kx.duration * coeff["idle_watts"]
+        )
+        out[modality] = out.get(modality, 0.0) + joules
+    return out

@@ -1,0 +1,309 @@
+"""Execution engine: replays a trace against a device model.
+
+This is the reproduction's stand-in for "run the workload on the 2080Ti /
+Jetson and profile it with Nsight". Given a :class:`~repro.trace.Trace`
+(captured once, device-independently) and a
+:class:`~repro.hw.device.DeviceSpec`, the engine prices every kernel with
+the roofline latency model, derives its profiler counters and stall
+attribution, prices every host event (transfers, synchronization, data
+preparation) and produces an :class:`ExecutionReport` with all the
+aggregations the paper's figures need.
+
+The timeline model is serialized: GPU kernels execute back-to-back and
+host work (launches, copies, data prep, syncs) adds to wall time. This is
+the conservative single-stream behaviour the paper observes — GPUs "stay
+idle for most of the application time" waiting on host-side work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.hw.counters import KernelCounters, aggregate_counters, derive_counters
+from repro.hw.device import DeviceSpec
+from repro.hw.latency import LatencyBreakdown, kernel_latency, saturated_latency
+from repro.hw.memory import MemoryBreakdown, capacity_pressure, memory_breakdown, thrash_factor
+from repro.hw.stalls import aggregate_stalls, stall_breakdown
+from repro.hw.transfer import d2h_time, h2d_time, host_data_prep_time
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.tracer import Trace
+
+# Kernel-duration bins (microseconds) used by the Figure-12 histogram.
+KERNEL_SIZE_BINS = ("0-10", "10-50", "50-100", ">100")
+
+
+@dataclass
+class KernelExecution:
+    """One kernel launch priced on a device."""
+
+    event: KernelEvent
+    latency: LatencyBreakdown
+    counters: KernelCounters
+    stalls: dict[str, float]
+
+    @property
+    def duration(self) -> float:
+        return self.latency.total
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the analyses need about one inference run on one device."""
+
+    device: DeviceSpec
+    kernels: list[KernelExecution]
+    gpu_time: float
+    host_time: float  # CPU + runtime: launches, copies, data prep, syncs
+    launch_time: float
+    transfer_time: float
+    data_prep_time: float
+    sync_time: float
+    memory: MemoryBreakdown
+    memory_pressure: float
+    slowdown: float  # thrashing multiplier already applied to times
+    host_events: list[HostEvent] = field(default_factory=list)
+
+    # -- headline numbers ------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return self.gpu_time + self.host_time
+
+    @property
+    def cpu_runtime_share(self) -> float:
+        """Fraction of wall time spent in CPU + runtime work (Figure 11)."""
+        total = self.total_time
+        return self.host_time / total if total > 0 else 0.0
+
+    # -- per-stage aggregations (Figures 6, 7, 8) -------------------------------
+
+    def stage_time(self) -> dict[str, float]:
+        """Device time per stage, including per-kernel launch overhead."""
+        out: dict[str, float] = defaultdict(float)
+        for kx in self.kernels:
+            out[kx.event.stage] += kx.duration + self.device.kernel_launch_overhead * self.slowdown
+        return dict(out)
+
+    def stage_counters(self) -> dict[str, dict[str, float]]:
+        """Duration-weighted counters per stage (Figure 7)."""
+        groups: dict[str, list[tuple[KernelCounters, float]]] = defaultdict(list)
+        for kx in self.kernels:
+            groups[kx.event.stage].append((kx.counters, kx.duration))
+        return {stage: aggregate_counters(items) for stage, items in groups.items()}
+
+    def stage_stalls(self) -> dict[str, dict[str, float]]:
+        """Duration-weighted stall breakdown per stage (Figure 15)."""
+        groups: dict[str, list[tuple[dict[str, float], float]]] = defaultdict(list)
+        for kx in self.kernels:
+            groups[kx.event.stage].append((kx.stalls, kx.duration))
+        return {stage: aggregate_stalls(items) for stage, items in groups.items()}
+
+    def overall_stalls(self) -> dict[str, float]:
+        return aggregate_stalls([(kx.stalls, kx.duration) for kx in self.kernels])
+
+    def category_time_breakdown(self, stage: str | None = None) -> dict[KernelCategory, float]:
+        """Time share per kernel category, optionally within one stage (Fig. 8)."""
+        totals: dict[KernelCategory, float] = defaultdict(float)
+        for kx in self.kernels:
+            if stage is not None and kx.event.stage != stage:
+                continue
+            totals[kx.event.category] += kx.duration
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {}
+        return {cat: t / grand for cat, t in totals.items()}
+
+    # -- per-modality aggregations (Figure 10) ----------------------------------
+
+    def modality_time(self) -> dict[str, float]:
+        """Encoder-stage device time per modality."""
+        out: dict[str, float] = defaultdict(float)
+        for kx in self.kernels:
+            if kx.event.modality is not None:
+                out[kx.event.modality] += (
+                    kx.duration + self.device.kernel_launch_overhead * self.slowdown
+                )
+        return dict(out)
+
+    def modality_imbalance(self) -> float:
+        """Straggler ratio: slowest modality time over fastest (>= 1)."""
+        times = list(self.modality_time().values())
+        if len(times) < 2 or min(times) <= 0:
+            return 1.0
+        return max(times) / min(times)
+
+    # -- kernel population (Figure 12) -----------------------------------------
+
+    def kernel_size_distribution(self) -> dict[str, float]:
+        """Fraction of kernels per duration bin (microseconds)."""
+        counts = dict.fromkeys(KERNEL_SIZE_BINS, 0)
+        for kx in self.kernels:
+            us = kx.duration * 1e6
+            if us < 10:
+                counts["0-10"] += 1
+            elif us < 50:
+                counts["10-50"] += 1
+            elif us < 100:
+                counts["50-100"] += 1
+            else:
+                counts[">100"] += 1
+        n = len(self.kernels)
+        return {b: c / n for b, c in counts.items()} if n else dict.fromkeys(KERNEL_SIZE_BINS, 0.0)
+
+    def hotspot(self, category: KernelCategory, stage: str | None = None) -> "KernelExecution | None":
+        """Largest kernel of a category (optionally in a stage) by duration."""
+        pool = [
+            kx
+            for kx in self.kernels
+            if kx.event.category == category and (stage is None or kx.event.stage == stage)
+        ]
+        return max(pool, key=lambda kx: kx.duration) if pool else None
+
+
+class ExecutionEngine:
+    """Prices traces against device models.
+
+    ``concurrent_modalities=True`` models one CUDA stream per modality in
+    the encoder stage: on a device with enough SMs, each stream gets a fair
+    share of compute and bandwidth and the encoder's wall time is the
+    straggler stream's time; on a device with fewer SMs than modalities
+    (the Jetson Nano's single SM) the streams time-share and execution
+    degenerates to serial. This is the mechanism behind the paper's
+    observation that the multi/uni time ratio is higher on edge boards —
+    "GPU servers possess more idle resources" to absorb the extra
+    modalities (Sec. 5.2).
+    """
+
+    def __init__(self, device: DeviceSpec, concurrent_modalities: bool = False):
+        self.device = device
+        self.concurrent_modalities = concurrent_modalities
+
+    def _concurrent_encoder_time(self, encoder_kernels: list[KernelEvent]) -> float:
+        """Encoder wall time under one work-conserving stream per modality.
+
+        Classic makespan bound: the wall time is the larger of
+        (a) the critical stream's time running alone (latency bound — on an
+        underutilized device, streams overlap essentially for free), and
+        (b) the device's time to chew the *total* work at full rates
+        (throughput bound — once the machine is saturated, concurrency
+        cannot help and execution degenerates toward serial).
+        """
+        streams: dict[str, list[KernelEvent]] = defaultdict(list)
+        unattributed: list[KernelEvent] = []
+        for ev in encoder_kernels:
+            if ev.modality is None:
+                unattributed.append(ev)
+            else:
+                streams[ev.modality].append(ev)
+        n = len(streams)
+        if n < 2 or self.device.sm_count < n:
+            # Single modality, or too few SMs to co-schedule (Jetson Nano's
+            # single SM time-shares): serial execution.
+            return sum(kernel_latency(ev, self.device).total for ev in encoder_kernels)
+
+        latency_bound = max(
+            sum(kernel_latency(ev, self.device).total for ev in events)
+            for events in streams.values()
+        )
+        throughput_bound = sum(
+            saturated_latency(ev, self.device) for ev in encoder_kernels if ev.modality
+        )
+        tail = sum(kernel_latency(ev, self.device).total for ev in unattributed)
+        return max(latency_bound, throughput_bound) + tail
+
+    def _price_host_event(self, ev: HostEvent) -> tuple[str, float]:
+        """Return (bucket, seconds) for one host event."""
+        d = self.device
+        if ev.kind == HostOpKind.H2D:
+            return "transfer", h2d_time(ev.bytes, d)
+        if ev.kind == HostOpKind.D2H:
+            return "transfer", d2h_time(ev.bytes, d)
+        if ev.kind == HostOpKind.DATA_PREP:
+            # Intermediate feature maps are re-laid-out, padded and glued on
+            # the host — the "lengthy intermediate data operations" that can
+            # even outweigh GPU computation (Sec. 4.3.3).
+            return "data_prep", host_data_prep_time(ev.bytes, d, ops_per_byte=8.0)
+        if ev.kind == HostOpKind.PREPROCESS:
+            return "data_prep", host_data_prep_time(ev.bytes, d, ops_per_byte=6.0)
+        if ev.kind == HostOpKind.SYNC:
+            # A cudaStreamSynchronize-style round trip.
+            return "sync", 5.0 * d.kernel_launch_overhead
+        if ev.kind == HostOpKind.LAUNCH:
+            return "launch", d.kernel_launch_overhead
+        raise ValueError(f"unknown host event kind {ev.kind}")
+
+    def run(self, trace: Trace, model_bytes: float = 0.0, input_bytes: float = 0.0) -> ExecutionReport:
+        """Price every event in the trace and aggregate.
+
+        ``model_bytes``: parameter footprint of the model; ``input_bytes``:
+        total size of the input batch across modalities. Both feed the
+        memory model; capacity pressure beyond ~80% applies a thrashing
+        slowdown to all times (the Jetson Nano b=320 cliff of Figure 14).
+        """
+        kernels: list[KernelExecution] = []
+        gpu_time = 0.0
+        for ev in trace.kernels:
+            lat = kernel_latency(ev, self.device)
+            counters = derive_counters(ev, self.device, lat)
+            stalls = stall_breakdown(ev, self.device, lat)
+            kernels.append(KernelExecution(event=ev, latency=lat, counters=counters, stalls=stalls))
+            gpu_time += lat.total
+
+        if self.concurrent_modalities:
+            # Replace the encoder stage's serial time with the concurrent
+            # stream makespan; per-kernel records keep their isolated
+            # latencies (that is what Nsight reports per kernel, too).
+            encoder_events = [ev for ev in trace.kernels if ev.stage == "encoder"]
+            serial_encoder = sum(
+                kx.latency.total for kx in kernels if kx.event.stage == "encoder"
+            )
+            gpu_time += self._concurrent_encoder_time(encoder_events) - serial_encoder
+
+        launch_time = len(kernels) * self.device.kernel_launch_overhead
+        transfer_time = 0.0
+        data_prep_time = 0.0
+        sync_time = 0.0
+        for ev in trace.host_events:
+            bucket, seconds = self._price_host_event(ev)
+            if bucket == "transfer":
+                transfer_time += seconds
+            elif bucket == "data_prep":
+                data_prep_time += seconds
+            elif bucket == "sync":
+                sync_time += seconds
+            else:
+                launch_time += seconds
+
+        mem = memory_breakdown(trace, model_bytes=model_bytes, input_bytes=input_bytes)
+        pressure = capacity_pressure(mem, self.device)
+        slowdown = thrash_factor(pressure)
+
+        host_time = (launch_time + transfer_time + data_prep_time + sync_time) * slowdown
+        gpu_time *= slowdown
+        if slowdown != 1.0:
+            for kx in kernels:
+                kx.latency = LatencyBreakdown(
+                    total=kx.latency.total * slowdown,
+                    compute_time=kx.latency.compute_time * slowdown,
+                    memory_time=kx.latency.memory_time * slowdown,
+                    fixed_overhead=kx.latency.fixed_overhead,
+                    dram_bytes=kx.latency.dram_bytes,
+                    compute_utilization=kx.latency.compute_utilization,
+                    occupancy=kx.latency.occupancy,
+                )
+
+        return ExecutionReport(
+            device=self.device,
+            kernels=kernels,
+            gpu_time=gpu_time,
+            host_time=host_time,
+            launch_time=launch_time * slowdown,
+            transfer_time=transfer_time * slowdown,
+            data_prep_time=data_prep_time * slowdown,
+            sync_time=sync_time * slowdown,
+            memory=mem,
+            memory_pressure=pressure,
+            slowdown=slowdown,
+            host_events=list(trace.host_events),
+        )

@@ -1,0 +1,82 @@
+"""Peak-memory accounting: model / dataset / intermediate (Figure 13).
+
+The paper decomposes peak memory into three components and shows that the
+model's share is batch-invariant while dataset and intermediate grow
+linearly with batch size — and that multi-modal DNNs carry a larger
+intermediate share (more modalities, plus fusion features), making them
+hit GPU capacity earlier.
+
+``MemoryModel`` derives the same decomposition from a trace: model bytes
+come from the parameter count, dataset bytes from the input batch, and the
+intermediate component from the largest per-stage sum of live activation
+outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceSpec
+from repro.trace.tracer import Trace
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Peak memory decomposition in bytes."""
+
+    model: float
+    dataset: float
+    intermediate: float
+
+    @property
+    def total(self) -> float:
+        return self.model + self.dataset + self.intermediate
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "intermediate": self.intermediate,
+            "total": self.total,
+        }
+
+
+def memory_breakdown(trace: Trace, model_bytes: float, input_bytes: float) -> MemoryBreakdown:
+    """Decompose peak memory for one inference batch.
+
+    The intermediate component is the maximum over stages of the stage's
+    total activation output — a standard proxy for the live set under a
+    stage-granular allocator. It preserves the two properties Figure 13
+    demonstrates: linearity in batch size and a larger share for
+    multi-modal models.
+    """
+    stage_bytes: dict[str, float] = {}
+    for k in trace.kernels:
+        stage_bytes[k.stage] = stage_bytes.get(k.stage, 0.0) + k.bytes_written
+    intermediate = max(stage_bytes.values()) if stage_bytes else 0.0
+    return MemoryBreakdown(model=float(model_bytes), dataset=float(input_bytes),
+                           intermediate=float(intermediate))
+
+
+def capacity_pressure(breakdown: MemoryBreakdown, device: DeviceSpec) -> float:
+    """Fraction of device memory the run needs (>1 means over capacity)."""
+    capacity = device.dram_capacity
+    if device.unified_memory:
+        # The OS, CUDA runtime and host process share the same physical
+        # memory on Jetson boards; reserve a fixed cut for them.
+        capacity = capacity * 0.75 - 0.5e9
+    return breakdown.total / max(capacity, 1.0)
+
+
+def thrash_factor(pressure: float) -> float:
+    """Latency multiplier once a run approaches/overflows device memory.
+
+    Below 80% pressure there is no penalty. Past that, paging and allocator
+    retries inflate time sharply — the mechanism behind the Jetson Nano's
+    latency *increase* at batch 320 in Figure 14.
+    """
+    if pressure <= 0.8:
+        return 1.0
+    # Quadratic blow-up past the knee; capped to keep the model sane.
+    over = pressure - 0.8
+    return min(1.0 + 6.0 * over * over + 2.0 * over, 12.0)

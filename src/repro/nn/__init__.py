@@ -1,0 +1,37 @@
+"""A from-scratch numpy DNN framework (the PyTorch substitute).
+
+Public surface::
+
+    from repro import nn
+    from repro.nn import functional as F
+
+    model = nn.Sequential(nn.Linear(10, 32), nn.ReLU(), nn.Linear(32, 2))
+    out = model(nn.Tensor(x))
+"""
+
+from repro.nn import functional
+from repro.nn import init
+from repro.nn import losses
+from repro.nn import optim
+from repro.nn.serialization import load_npz, save_npz
+from repro.nn.layers import *  # noqa: F401,F403
+from repro.nn.layers import __all__ as _layers_all
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "init",
+    "losses",
+    "optim",
+    "load_npz",
+    "save_npz",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Tensor",
+    "as_tensor",
+    "is_grad_enabled",
+    "no_grad",
+] + list(_layers_all)

@@ -1,0 +1,37 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is deterministic given a seed — a requirement for the
+reproducible accuracy experiments (Figure 4/5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import DEFAULT_DTYPE
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init, the default for conv and linear layers."""
+    bound = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, used for attention projections."""
+    bound = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape: tuple[int, ...], std: float, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian init (embedding tables, output heads)."""
+    return (rng.standard_normal(size=shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

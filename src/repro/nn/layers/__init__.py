@@ -1,0 +1,27 @@
+"""Neural network layers."""
+
+from repro.nn.layers.activation import GELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.attention import (
+    CrossAttentionLayer,
+    FeedForward,
+    MultiheadAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.nn.layers.conv import Conv1d, Conv2d, ConvBlock
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from repro.nn.layers.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.rnn import GRU, GRUCell, LSTM, LSTMCell
+
+__all__ = [
+    "GELU", "LeakyReLU", "ReLU", "Sigmoid", "Softmax", "Tanh",
+    "CrossAttentionLayer", "FeedForward", "MultiheadAttention",
+    "TransformerEncoder", "TransformerEncoderLayer",
+    "Conv1d", "Conv2d", "ConvBlock", "Dropout", "Embedding", "Linear",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm",
+    "AvgPool2d", "Flatten", "GlobalAvgPool2d", "MaxPool2d",
+    "GRU", "GRUCell", "LSTM", "LSTMCell",
+]

@@ -1,0 +1,138 @@
+"""Attention and transformer layers.
+
+Transformers appear in three roles in MMBench: as text encoders (ALBERT /
+BERT / RoBERTa stand-ins), as the transformer *fusion* operator (Table 1 /
+Table 3), and as the TransFuser multi-modal fusion backbone. All three are
+built from the :class:`MultiheadAttention` here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import LayerNorm
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MultiheadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` heads.
+
+    Supports self-attention (``query is key is value``) and cross-attention
+    (query from one modality, key/value from another), which is how the
+    attention fusion operator of Table 1 is expressed.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        x = x.reshape((n, t, self.num_heads, self.head_dim))
+        return F.transpose(x, (0, 2, 1, 3))  # (N, heads, T, head_dim)
+
+    def forward(self, query: Tensor, key: Tensor | None = None, value: Tensor | None = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else key
+        n, tq, _ = query.shape
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * scale
+        weights = F.softmax(scores, axis=-1)
+        context = F.matmul(weights, v)  # (N, heads, Tq, head_dim)
+        context = F.transpose(context, (0, 2, 1, 3)).reshape((n, tq, self.embed_dim))
+        return self.out_proj(context)
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block with GELU."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.fc1 = Linear(embed_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, embed_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN transformer encoder layer."""
+
+    def __init__(self, embed_dim: int, num_heads: int, ffn_dim: int | None = None,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        ffn_dim = ffn_dim or 4 * embed_dim
+        self.attn = MultiheadAttention(embed_dim, num_heads, rng=rng)
+        self.ffn = FeedForward(embed_dim, ffn_dim, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.drop = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        attn_out = self.attn(self.norm1(x))
+        if self.drop is not None:
+            attn_out = self.drop(attn_out)
+        x = x + attn_out
+        ffn_out = self.ffn(self.norm2(x))
+        if self.drop is not None:
+            ffn_out = self.drop(ffn_out)
+        return x + ffn_out
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers with optional learned positional embedding."""
+
+    def __init__(self, embed_dim: int, num_heads: int, num_layers: int,
+                 max_len: int = 128, ffn_dim: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        from repro.nn.module import ModuleList, Parameter
+
+        rng = rng or np.random.default_rng(0)
+        self.layers = ModuleList(
+            [TransformerEncoderLayer(embed_dim, num_heads, ffn_dim, rng=rng) for _ in range(num_layers)]
+        )
+        self.pos_embedding = Parameter(init.normal((max_len, embed_dim), 0.02, rng))
+        self.max_len = max_len
+
+    def forward(self, x: Tensor) -> Tensor:
+        t = x.shape[1]
+        if t > self.max_len:
+            raise ValueError(f"sequence length {t} exceeds max_len {self.max_len}")
+        pos = F.getitem(self.pos_embedding, slice(0, t))
+        x = x + pos
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class CrossAttentionLayer(Module):
+    """Cross-attention block: query attends over a context sequence."""
+
+    def __init__(self, embed_dim: int, num_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.attn = MultiheadAttention(embed_dim, num_heads, rng=rng)
+        self.ffn = FeedForward(embed_dim, 2 * embed_dim, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+
+    def forward(self, query: Tensor, context: Tensor) -> Tensor:
+        x = query + self.attn(self.norm1(query), context, context)
+        return x + self.ffn(self.norm2(x))

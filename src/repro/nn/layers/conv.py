@@ -1,0 +1,107 @@
+"""Convolution layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2D convolution over (N, C, H, W) inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_spatial(self, h: int, w: int) -> tuple[int, int]:
+        """Spatial dims of the output given input dims (shape inference)."""
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return ((h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class Conv1d(Module):
+    """1D convolution over (N, C, T) inputs (temporal sensor streams)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class ConvBlock(Module):
+    """Conv -> BatchNorm -> ReLU, the ubiquitous CNN building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 stride: int = 1, padding: int = 1, rng: np.random.Generator | None = None):
+        super().__init__()
+        from repro.nn.layers.norm import BatchNorm2d
+
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, stride, padding,
+                           bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(self.bn(self.conv(x)))

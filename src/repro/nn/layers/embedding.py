@@ -1,0 +1,33 @@
+"""Token embedding layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), 0.02, rng), name="weight"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.min() < 0 or indices.max() >= self.num_embeddings:
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return F.embedding(self.weight, indices)

@@ -1,0 +1,54 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel axis of (N, C, H, W) tensors."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=DEFAULT_DTYPE))
+        self.register_buffer("running_var", np.ones(num_features, dtype=DEFAULT_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalization over (N, C) or (N, C, L) tensors."""
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (transformer-style)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.gamma = Parameter(init.ones((normalized_shape,)), name="gamma")
+        self.beta = Parameter(init.zeros((normalized_shape,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)

@@ -1,0 +1,116 @@
+"""Recurrent layers (LSTM, GRU) built from autodiff primitives.
+
+These power the late-fusion (LSTM) variants of the workloads — e.g. the
+MuJoCo Push late-fusion implementation whose MSE the paper contrasts with
+tensor fusion in Sec. 4.2.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+def _slice_last(x: Tensor, start: int, stop: int) -> Tensor:
+    return F.getitem(x, (slice(None), slice(start, stop)))
+
+
+class LSTMCell(Module):
+    """A single LSTM step."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_ih = Parameter(init.kaiming_uniform((4 * h, input_size), input_size, rng))
+        self.w_hh = Parameter(init.kaiming_uniform((4 * h, h), h, rng))
+        self.bias = Parameter(init.zeros((4 * h,)))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = F.linear(x, self.w_ih, self.bias) + F.linear(h_prev, self.w_hh)
+        hs = self.hidden_size
+        i = F.sigmoid(_slice_last(gates, 0, hs))
+        f = F.sigmoid(_slice_last(gates, hs, 2 * hs))
+        g = F.tanh(_slice_last(gates, 2 * hs, 3 * hs))
+        o = F.sigmoid(_slice_last(gates, 3 * hs, 4 * hs))
+        c = f * c_prev + i * g
+        h = o * F.tanh(c)
+        return h, c
+
+
+class LSTM(Module):
+    """Unrolled LSTM over (N, T, D) sequences; returns all hidden states.
+
+    ``forward`` returns ``(outputs, (h_n, c_n))`` where ``outputs`` is
+    (N, T, H).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        n, t, _ = x.shape
+        h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        c = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        outputs = []
+        for step in range(t):
+            x_t = F.getitem(x, (slice(None), step))
+            h, c = self.cell(x_t, (h, c))
+            outputs.append(h)
+        out = F.stack(outputs, axis=1)
+        return out, (h, c)
+
+
+class GRUCell(Module):
+    """A single GRU step."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_ih = Parameter(init.kaiming_uniform((3 * h, input_size), input_size, rng))
+        self.w_hh = Parameter(init.kaiming_uniform((3 * h, h), h, rng))
+        self.b_ih = Parameter(init.zeros((3 * h,)))
+        self.b_hh = Parameter(init.zeros((3 * h,)))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gi = F.linear(x, self.w_ih, self.b_ih)
+        gh = F.linear(h_prev, self.w_hh, self.b_hh)
+        r = F.sigmoid(_slice_last(gi, 0, hs) + _slice_last(gh, 0, hs))
+        z = F.sigmoid(_slice_last(gi, hs, 2 * hs) + _slice_last(gh, hs, 2 * hs))
+        n = F.tanh(_slice_last(gi, 2 * hs, 3 * hs) + r * _slice_last(gh, 2 * hs, 3 * hs))
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * h_prev
+
+
+class GRU(Module):
+    """Unrolled GRU over (N, T, D) sequences; returns ``(outputs, h_n)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        n, t, _ = x.shape
+        h = Tensor(np.zeros((n, self.hidden_size), dtype=np.float32))
+        outputs = []
+        for step in range(t):
+            x_t = F.getitem(x, (slice(None), step))
+            h = self.cell(x_t, h)
+            outputs.append(h)
+        return F.stack(outputs, axis=1), h

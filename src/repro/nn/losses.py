@@ -1,0 +1,108 @@
+"""Loss functions for the workload task types of Table 3.
+
+Classification (cross-entropy, binary cross-entropy for multi-label),
+regression (MSE, L1), segmentation (Dice + BCE), and generation
+(sequence cross-entropy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy for integer class targets.
+
+    ``logits``: (N, C); ``targets``: int array (N,).
+    """
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=-1)
+    idx = (np.arange(n), np.asarray(targets))
+    picked = F.getitem(log_probs, idx)
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable BCE over logits for multi-label targets in {0,1}."""
+    t = Tensor(np.asarray(targets, dtype=np.float32))
+    # log(1 + exp(x)) computed as max(x,0) + log(1 + exp(-|x|)) via primitives:
+    # BCE = softplus(x) - x * t, averaged.
+    x = logits
+    relu_x = F.relu(x)
+    softplus = relu_x + F.log(F.exp(-abs_(x)) + 1.0)
+    return (softplus - x * t).mean()
+
+
+def abs_(x: Tensor) -> Tensor:
+    """|x| via relu(x) + relu(-x)."""
+    return F.relu(x) + F.relu(-x)
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    t = Tensor(np.asarray(targets, dtype=np.float32))
+    diff = pred - t
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error (used by the TransFuser waypoint head)."""
+    t = Tensor(np.asarray(targets, dtype=np.float32))
+    return abs_(pred - t).mean()
+
+
+def dice_loss(logits: Tensor, targets: np.ndarray, eps: float = 1.0) -> Tensor:
+    """Soft Dice loss for binary segmentation maps.
+
+    ``logits``: (N, 1, H, W) raw scores; ``targets``: {0,1} of same shape.
+    """
+    probs = F.sigmoid(logits)
+    t = Tensor(np.asarray(targets, dtype=np.float32))
+    intersection = (probs * t).sum()
+    denom = probs.sum() + t.sum()
+    dice = (2.0 * intersection + eps) / (denom + eps)
+    return 1.0 - dice
+
+
+def segmentation_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """BCE + Dice, the standard medical-segmentation compound loss."""
+    return binary_cross_entropy_with_logits(logits, targets) + dice_loss(logits, targets)
+
+
+# -- metrics (plain numpy; no autodiff needed) --------------------------------
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((arr.argmax(axis=-1) == np.asarray(targets)).mean())
+
+
+def f1_micro(logits: Tensor | np.ndarray, targets: np.ndarray, threshold: float = 0.0) -> float:
+    """Micro-averaged F1 for multi-label classification (MM-IMDB metric)."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = (arr > threshold).astype(np.int64)
+    t = np.asarray(targets).astype(np.int64)
+    tp = float((pred & t).sum())
+    fp = float((pred & (1 - t)).sum())
+    fn = float(((1 - pred) & t).sum())
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom > 0 else 0.0
+
+
+def dice_score(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Dice similarity coefficient (Medical Seg. metric)."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = (arr > 0).astype(np.float64)
+    t = np.asarray(targets).astype(np.float64)
+    inter = (pred * t).sum()
+    denom = pred.sum() + t.sum()
+    return float((2 * inter + 1.0) / (denom + 1.0))
+
+
+def mse_metric(pred: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    arr = pred.data if isinstance(pred, Tensor) else np.asarray(pred)
+    return float(np.mean((arr - np.asarray(targets)) ** 2))

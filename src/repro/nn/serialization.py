@@ -1,0 +1,38 @@
+"""Model checkpointing to .npz archives.
+
+The paper's edge workflow requires it: "Models must first be trained on
+servers" and then deployed to Jetson boards for inference-only execution
+(Sec. 3.3). ``save_npz`` / ``load_npz`` move a module's full state dict
+(parameters and buffers, e.g. BatchNorm running statistics) through a
+single compressed numpy archive.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+# npz archives mangle "/" in names; state-dict keys use ".", which is safe.
+_FORMAT_KEY = "__repro_format__"
+_FORMAT_VERSION = "1"
+
+
+def save_npz(model: Module, path: str | os.PathLike) -> None:
+    """Write the model's state dict to ``path`` (compressed)."""
+    state = model.state_dict()
+    state[_FORMAT_KEY] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(path, **state)
+
+
+def load_npz(model: Module, path: str | os.PathLike) -> None:
+    """Load a checkpoint written by :func:`save_npz` into ``model``.
+
+    Raises ``KeyError``/``ValueError`` on missing or mismatched entries, so
+    loading a checkpoint from a differently-configured model fails loudly.
+    """
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _FORMAT_KEY}
+    model.load_state_dict(state)

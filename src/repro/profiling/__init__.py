@@ -1,0 +1,18 @@
+"""The MMBench profiling pipeline (Figure 3): three metric levels."""
+
+from repro.profiling.flops import count_flops, count_parameters, flops_per_sample
+from repro.profiling.profiler import MMBenchProfiler, ProfileResult
+from repro.profiling.training import training_flops_ratio, training_trace
+from repro.profiling.report import (
+    format_bytes,
+    format_seconds,
+    format_table,
+    profile_summary,
+)
+
+__all__ = [
+    "training_flops_ratio", "training_trace",
+    "count_flops", "count_parameters", "flops_per_sample",
+    "MMBenchProfiler", "ProfileResult",
+    "format_bytes", "format_seconds", "format_table", "profile_summary",
+]

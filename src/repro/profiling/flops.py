@@ -1,0 +1,40 @@
+"""Algorithm-level metrics: parameter and FLOP counting.
+
+The first category of MMBench's evaluation metrics (Sec. 3.4): "basic
+algorithm level information such as model accuracy, parameter number and
+FLOPs", derived here from the model itself and a traced forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.trace.tracer import Tracer
+from repro.workloads.base import MultiModalModel
+
+
+def count_parameters(model: nn.Module) -> dict[str, int]:
+    """Total and per-top-level-submodule parameter counts."""
+    out = {"total": model.num_parameters()}
+    for name, child in model._modules.items():
+        out[name] = child.num_parameters()
+    return out
+
+
+def count_flops(model: MultiModalModel, batch: dict[str, np.ndarray]) -> dict[str, float]:
+    """Inference FLOPs per stage and total, from a traced forward pass."""
+    tracer = Tracer()
+    with tracer.activate(), nn.no_grad():
+        model(batch)
+    trace = tracer.finish()
+    out: dict[str, float] = {"total": trace.total_flops}
+    for stage in trace.stages():
+        out[stage] = sum(k.flops for k in trace.kernels_in_stage(stage))
+    return out
+
+
+def flops_per_sample(model: MultiModalModel, batch: dict[str, np.ndarray]) -> float:
+    """Per-sample inference FLOPs (total / batch size)."""
+    batch_size = len(next(iter(batch.values())))
+    return count_flops(model, batch)["total"] / batch_size

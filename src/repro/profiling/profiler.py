@@ -1,0 +1,151 @@
+"""The MMBench profiling pipeline (Figure 3).
+
+One call to :meth:`MMBenchProfiler.profile` runs a traced inference over a
+batch and produces all three metric categories the paper defines:
+
+1. **Algorithm level** (from the application itself): parameter count,
+   FLOPs, modality list, task kind — what the paper gets from Python
+   module logs.
+2. **System level** (Nsight Systems / memory-profiler analogues): GPU vs
+   CPU+Runtime time, transfer/data-prep/sync decomposition, peak memory
+   breakdown.
+3. **Architecture level** (Nsight Compute analogue): per-stage counters,
+   kernel category mix, per-kernel records, stall attribution.
+
+The profile is captured once (device-independently) and can be re-priced
+on any :class:`~repro.hw.device.DeviceSpec` — the reproduction's version
+of pointing the same scripts at the server or a Jetson board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.hw.device import DeviceSpec, get_device
+from repro.hw.engine import ExecutionEngine, ExecutionReport
+from repro.trace.events import KernelCategory
+from repro.trace.tracer import Trace, Tracer
+from repro.workloads.base import MultiModalModel
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiling session produced."""
+
+    model_name: str
+    device: DeviceSpec
+    batch_size: int
+    trace: Trace
+    report: ExecutionReport
+    # Algorithm level.
+    parameters: int
+    parameter_bytes: int
+    flops: float
+    modalities: list[str]
+
+    # -- convenience views ------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return self.report.total_time
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second at this batch size."""
+        return self.batch_size / self.total_time if self.total_time > 0 else 0.0
+
+    def algorithm_metrics(self) -> dict[str, float]:
+        return {
+            "parameters": float(self.parameters),
+            "parameter_bytes": float(self.parameter_bytes),
+            "flops": self.flops,
+            "flops_per_sample": self.flops / self.batch_size,
+            "num_modalities": float(len(self.modalities)),
+        }
+
+    def system_metrics(self) -> dict[str, float]:
+        r = self.report
+        return {
+            "total_time": r.total_time,
+            "gpu_time": r.gpu_time,
+            "cpu_runtime_time": r.host_time,
+            "cpu_runtime_share": r.cpu_runtime_share,
+            "launch_time": r.launch_time,
+            "transfer_time": r.transfer_time,
+            "data_prep_time": r.data_prep_time,
+            "sync_time": r.sync_time,
+            "peak_memory": r.memory.total,
+            "memory_model": r.memory.model,
+            "memory_dataset": r.memory.dataset,
+            "memory_intermediate": r.memory.intermediate,
+            "memory_pressure": r.memory_pressure,
+        }
+
+    def architecture_metrics(self) -> dict[str, dict]:
+        r = self.report
+        return {
+            "stage_time": r.stage_time(),
+            "stage_counters": r.stage_counters(),
+            "stage_stalls": r.stage_stalls(),
+            "kernel_categories": {
+                cat.value: share for cat, share in r.category_time_breakdown().items()
+            },
+            "kernel_size_distribution": r.kernel_size_distribution(),
+        }
+
+
+class MMBenchProfiler:
+    """Profiles staged multi-modal models on analytical device models."""
+
+    def __init__(self, device: str | DeviceSpec = "2080ti"):
+        self.device = get_device(device) if isinstance(device, str) else device
+
+    def capture(self, model: MultiModalModel, batch: dict[str, np.ndarray]) -> Trace:
+        """Trace one inference forward pass (device-independent)."""
+        tracer = Tracer()
+        model.eval()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        return tracer.finish()
+
+    def price(
+        self, model: MultiModalModel, trace: Trace, batch_size: int,
+        device: str | DeviceSpec | None = None,
+        model_bytes: float | None = None,
+        input_bytes: float | None = None,
+    ) -> ExecutionReport:
+        """Re-price an existing trace on a device model.
+
+        ``model_bytes``/``input_bytes`` default to the model's own
+        footprint; pass overrides when pricing a scaled trace (see
+        :func:`repro.trace.timeline.scale_trace`).
+        """
+        dev = self.device if device is None else (
+            get_device(device) if isinstance(device, str) else device
+        )
+        engine = ExecutionEngine(dev)
+        return engine.run(
+            trace,
+            model_bytes=model.parameter_bytes() if model_bytes is None else model_bytes,
+            input_bytes=model.input_bytes(batch_size) if input_bytes is None else input_bytes,
+        )
+
+    def profile(self, model: MultiModalModel, batch: dict[str, np.ndarray]) -> ProfileResult:
+        """Trace + price + collect all three metric categories."""
+        batch_size = len(next(iter(batch.values())))
+        trace = self.capture(model, batch)
+        report = self.price(model, trace, batch_size)
+        return ProfileResult(
+            model_name=model.name,
+            device=self.device,
+            batch_size=batch_size,
+            trace=trace,
+            report=report,
+            parameters=model.num_parameters(),
+            parameter_bytes=model.parameter_bytes(),
+            flops=trace.total_flops,
+            modalities=model.modality_names,
+        )

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for profiles and analyses.
+
+MMBench's "result scoreboards": every analysis returns plain dicts, and
+these helpers format them as aligned text tables for the CLI, examples and
+benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(
+    headers: list[str], rows: Iterable[Iterable], title: str | None = None
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_bytes(n: float) -> str:
+    """Human-friendly size."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TB"
+
+
+def profile_summary(result) -> str:
+    """One profile as a readable multi-section report."""
+    lines = [
+        f"== MMBench profile: {result.model_name} on {result.device.name} "
+        f"(batch={result.batch_size}) ==",
+        "",
+        "[algorithm]",
+    ]
+    for key, value in result.algorithm_metrics().items():
+        lines.append(f"  {key:20s} {_fmt(value)}")
+    lines.append("")
+    lines.append("[system]")
+    sysm = result.system_metrics()
+    for key in ("total_time", "gpu_time", "cpu_runtime_time", "launch_time",
+                "transfer_time", "data_prep_time", "sync_time"):
+        lines.append(f"  {key:20s} {format_seconds(sysm[key])}")
+    lines.append(f"  {'cpu_runtime_share':20s} {sysm['cpu_runtime_share']:.1%}")
+    for key in ("peak_memory", "memory_model", "memory_dataset", "memory_intermediate"):
+        lines.append(f"  {key:20s} {format_bytes(sysm[key])}")
+    lines.append("")
+    lines.append("[architecture]")
+    arch = result.architecture_metrics()
+    lines.append("  stage times:")
+    for stage, t in arch["stage_time"].items():
+        lines.append(f"    {stage:10s} {format_seconds(t)}")
+    lines.append("  kernel categories (time share):")
+    for cat, share in sorted(arch["kernel_categories"].items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {cat:10s} {share:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Training-step profiling.
+
+MMBench abstracts both "the training and inference process" (Sec. 3.3);
+MLPerf-style suites measure both. The reproduction's tracer captures
+forward kernels; the backward pass runs through autodiff closures that do
+not re-emit kernels, so a training trace is *synthesized* from the forward
+trace with the standard accounting used by FLOP estimators everywhere:
+
+* every forward kernel with parameters or activations gets a backward
+  counterpart of ~2x its work (grad w.r.t. inputs + grad w.r.t. weights,
+  each roughly a forward-sized pass),
+* the optimizer adds one element-wise update kernel over every parameter
+  (Adam reads/writes two moment buffers besides the weights),
+* the loss adds a small reduce kernel over the outputs.
+
+This mirrors the classic "training ≈ 3x inference FLOPs" rule while
+keeping the per-category and per-stage structure of the workload, which
+is what the architecture-level analyses consume.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import KernelCategory, KernelEvent
+from repro.trace.tracer import Trace
+
+# Optimizer state traffic multipliers relative to parameter bytes.
+_OPTIMIZER_STATE_READS = {"sgd": 1.0, "sgd_momentum": 2.0, "adam": 3.0}
+
+
+def training_trace(forward: Trace, param_bytes: float, optimizer: str = "adam") -> Trace:
+    """Synthesize a full training-step trace from a forward trace."""
+    if optimizer not in _OPTIMIZER_STATE_READS:
+        raise KeyError(
+            f"unknown optimizer {optimizer!r}; known: {sorted(_OPTIMIZER_STATE_READS)}"
+        )
+    kernels: list[KernelEvent] = [k for k in forward.kernels]
+
+    # Backward kernels, in reverse execution order, inheriting the stage
+    # and modality of their forward counterparts.
+    for k in reversed(forward.kernels):
+        kernels.append(KernelEvent(
+            name=f"{k.name}_bwd",
+            category=k.category,
+            flops=2.0 * k.flops,
+            bytes_read=2.0 * k.bytes_read,
+            bytes_written=2.0 * k.bytes_written,
+            threads=k.threads,
+            stage=k.stage,
+            modality=k.modality,
+            coalesced_fraction=k.coalesced_fraction,
+            reuse_factor=k.reuse_factor,
+            meta=dict(k.meta),
+        ))
+
+    # Loss reduce over the head outputs.
+    head_out = 0.0
+    for k in forward.kernels:
+        if k.stage == "head":
+            head_out = max(head_out, k.bytes_written)
+    kernels.append(KernelEvent(
+        name="loss_reduce",
+        category=KernelCategory.REDUCE,
+        flops=head_out / 4.0,
+        bytes_read=head_out,
+        bytes_written=4.0,
+        threads=max(int(head_out / 4.0), 1),
+        stage="head",
+        coalesced_fraction=0.85,
+    ))
+
+    # Optimizer update: element-wise over every parameter + state buffers.
+    state_reads = _OPTIMIZER_STATE_READS[optimizer]
+    kernels.append(KernelEvent(
+        name=f"{optimizer}_update",
+        category=KernelCategory.ELEWISE,
+        flops=param_bytes / 4.0 * (2.0 + 2.0 * state_reads),
+        bytes_read=param_bytes * (1.0 + state_reads),
+        bytes_written=param_bytes * (1.0 + max(state_reads - 1.0, 0.0)),
+        threads=max(int(param_bytes / 4.0), 1),
+        stage="head",
+    ))
+
+    return Trace(kernels=kernels, host_events=list(forward.host_events))
+
+
+def training_flops_ratio(forward: Trace, param_bytes: float, optimizer: str = "adam") -> float:
+    """Training-step FLOPs over inference FLOPs (expected ~3x + update)."""
+    train = training_trace(forward, param_bytes, optimizer)
+    if forward.total_flops <= 0:
+        raise ValueError("forward trace has no FLOPs")
+    return train.total_flops / forward.total_flops

@@ -1,0 +1,51 @@
+"""Execution tracing: kernel/host event capture with stage & modality context."""
+
+from repro.trace.events import (
+    HostEvent,
+    HostOpKind,
+    KernelCategory,
+    KernelEvent,
+    STAGE_ENCODER,
+    STAGE_FUSION,
+    STAGE_HEAD,
+    STAGE_PREPROCESS,
+    STAGES,
+)
+from repro.trace.tracer import (
+    Trace,
+    Tracer,
+    active_tracer,
+    emit_host,
+    emit_kernel,
+    modality_scope,
+    stage_scope,
+)
+from repro.trace.timeline import (
+    hotspot_kernels,
+    kernel_category_breakdown,
+    modality_work,
+    stage_work,
+)
+
+__all__ = [
+    "HostEvent",
+    "HostOpKind",
+    "KernelCategory",
+    "KernelEvent",
+    "STAGE_ENCODER",
+    "STAGE_FUSION",
+    "STAGE_HEAD",
+    "STAGE_PREPROCESS",
+    "STAGES",
+    "Trace",
+    "Tracer",
+    "active_tracer",
+    "emit_host",
+    "emit_kernel",
+    "modality_scope",
+    "stage_scope",
+    "hotspot_kernels",
+    "kernel_category_breakdown",
+    "modality_work",
+    "stage_work",
+]

@@ -1,0 +1,109 @@
+"""Trace event records emitted during model execution.
+
+The tracer (see :mod:`repro.trace.tracer`) collects two kinds of records:
+
+* :class:`KernelEvent` — one per device kernel launch. These are emitted by
+  the primitive ops in :mod:`repro.nn.functional` and carry the work
+  descriptors (FLOPs, bytes moved, thread parallelism) that the hardware
+  model in :mod:`repro.hw` turns into latencies and counters.
+* :class:`HostEvent` — one per host-side (CPU + runtime) operation, such as
+  a host-to-device copy, a tensor re-layout performed on the CPU, or a
+  synchronization point.
+
+Both record the *stage* (``encoder`` / ``fusion`` / ``head`` /
+``preprocess``) and *modality* context that was active when they were
+emitted, which is what enables MMBench's fine-grained per-stage and
+per-modality characterization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class KernelCategory(str, enum.Enum):
+    """GPU kernel taxonomy used for the Figure-8 operator breakdown.
+
+    Mirrors the eight categories in the paper: convolutions, batch
+    normalization, element-wise ops, pooling, ReLU activations, general
+    matrix multiplies, reductions, and everything else.
+    """
+
+    CONV = "Conv"
+    BNORM = "BNorm"
+    ELEWISE = "Elewise"
+    POOLING = "Pooling"
+    RELU = "Relu"
+    GEMM = "Gemm"
+    REDUCE = "Reduce"
+    OTHER = "Other"
+
+
+class HostOpKind(str, enum.Enum):
+    """Host-side operation taxonomy for CPU+Runtime attribution."""
+
+    H2D = "h2d"
+    D2H = "d2h"
+    LAUNCH = "launch"
+    SYNC = "sync"
+    DATA_PREP = "data_prep"
+    PREPROCESS = "preprocess"
+
+
+# Stages of the canonical three-stage multi-modal execution pattern.
+STAGE_PREPROCESS = "preprocess"
+STAGE_ENCODER = "encoder"
+STAGE_FUSION = "fusion"
+STAGE_HEAD = "head"
+STAGES = (STAGE_ENCODER, STAGE_FUSION, STAGE_HEAD)
+
+
+@dataclass
+class KernelEvent:
+    """A single device kernel launch and its work descriptors.
+
+    The event stores *work*, not *time*: latency, counters and stall
+    attributions are derived later by an execution engine for a particular
+    :class:`~repro.hw.device.DeviceSpec`. This mirrors how MMBench decouples
+    the workload from the platform it is profiled on.
+    """
+
+    name: str
+    category: KernelCategory
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    threads: int
+    stage: str = STAGE_ENCODER
+    modality: str | None = None
+    seq: int = 0
+    # Access-pattern descriptors used by the counter model.
+    coalesced_fraction: float = 1.0
+    reuse_factor: float = 1.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved; guards the zero-byte corner case."""
+        total = self.bytes_total
+        if total <= 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / total
+
+
+@dataclass
+class HostEvent:
+    """A host-side (CPU + runtime) operation."""
+
+    kind: HostOpKind
+    bytes: float = 0.0
+    stage: str = STAGE_ENCODER
+    modality: str | None = None
+    seq: int = 0
+    name: str = ""
+    meta: dict = field(default_factory=dict)

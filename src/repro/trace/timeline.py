@@ -1,0 +1,107 @@
+"""Aggregation helpers over traces: per-stage and per-modality summaries.
+
+These are pure functions over :class:`~repro.trace.tracer.Trace` objects;
+the hardware-dependent quantities (time, counters) live in
+:mod:`repro.hw.engine`. Keeping the split explicit means the same trace can
+be replayed on several device models — exactly how the edge-migration case
+study (Sec. 5.2) compares the Jetson Nano, Jetson Orin and the GPU server.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.trace.events import KernelCategory, KernelEvent
+from repro.trace.tracer import Trace
+
+
+def kernel_category_breakdown(
+    kernels: list[KernelEvent], weight: str = "flops"
+) -> dict[KernelCategory, float]:
+    """Fraction of work per kernel category (Figure 8 when weighted by time).
+
+    ``weight`` selects the per-kernel magnitude: ``"flops"``, ``"bytes"`` or
+    ``"count"``. Returns fractions that sum to 1.0 (empty input -> {}).
+    """
+    totals: dict[KernelCategory, float] = defaultdict(float)
+    for k in kernels:
+        if weight == "flops":
+            totals[k.category] += k.flops
+        elif weight == "bytes":
+            totals[k.category] += k.bytes_total
+        elif weight == "count":
+            totals[k.category] += 1.0
+        else:
+            raise ValueError(f"unknown weight {weight!r}")
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {cat: v / grand for cat, v in totals.items()}
+
+
+def stage_work(trace: Trace) -> dict[str, dict[str, float]]:
+    """Per-stage totals of flops / bytes / kernel count."""
+    out: dict[str, dict[str, float]] = {}
+    for stage in trace.stages():
+        ks = trace.kernels_in_stage(stage)
+        out[stage] = {
+            "flops": sum(k.flops for k in ks),
+            "bytes": sum(k.bytes_total for k in ks),
+            "kernels": float(len(ks)),
+        }
+    return out
+
+
+def modality_work(trace: Trace) -> dict[str, dict[str, float]]:
+    """Per-modality totals of flops / bytes / kernel count (encoder stage)."""
+    out: dict[str, dict[str, float]] = {}
+    for modality in trace.modalities():
+        ks = trace.kernels_for_modality(modality)
+        out[modality] = {
+            "flops": sum(k.flops for k in ks),
+            "bytes": sum(k.bytes_total for k in ks),
+            "kernels": float(len(ks)),
+        }
+    return out
+
+
+def scale_trace(trace: Trace, factor: float) -> Trace:
+    """Scale a trace's work descriptors by ``factor``.
+
+    Multiplies every kernel's FLOPs, bytes and thread count and every host
+    event's byte size. Used to extrapolate a reduced-scale model trace to
+    the paper's full-scale configuration (see the edge-migration analysis,
+    where capacity effects only appear at realistic sizes). Latencies and
+    counters are *derived* quantities, so scaling the work descriptors and
+    re-pricing is exact under the analytical device model.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    kernels = []
+    for k in trace.kernels:
+        kernels.append(KernelEvent(
+            name=k.name, category=k.category,
+            flops=k.flops * factor,
+            bytes_read=k.bytes_read * factor,
+            bytes_written=k.bytes_written * factor,
+            threads=max(1, int(k.threads * factor)),
+            stage=k.stage, modality=k.modality, seq=k.seq,
+            coalesced_fraction=k.coalesced_fraction,
+            reuse_factor=k.reuse_factor,
+            meta=dict(k.meta),
+        ))
+    host = []
+    for h in trace.host_events:
+        clone = type(h)(kind=h.kind, bytes=h.bytes * factor, stage=h.stage,
+                        modality=h.modality, seq=h.seq, name=h.name, meta=dict(h.meta))
+        host.append(clone)
+    return Trace(kernels=kernels, host_events=host)
+
+
+def hotspot_kernels(
+    kernels: list[KernelEvent], category: KernelCategory, top: int = 5
+) -> list[KernelEvent]:
+    """The largest kernels of a category by FLOPs (Figure 9 deep dives)."""
+    matching = [k for k in kernels if k.category == category]
+    matching.sort(key=lambda k: (k.flops, k.bytes_total), reverse=True)
+    return matching[:top]

@@ -1,0 +1,213 @@
+"""Global tracer that the numpy DNN framework emits kernel events into.
+
+The tracer is deliberately cheap when inactive: :func:`emit_kernel` checks a
+module-level flag and returns immediately, so the numeric framework pays a
+single branch per op when no profiling session is running.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.stage("encoder"), tracer.modality("image"):
+            model.encode(x)
+    trace = tracer.finish()
+
+Stage and modality contexts nest; the innermost value wins. This is how
+MMBench "splits the multi-modal DNN into different stages and characterizes
+the sub-nets respectively".
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.trace.events import (
+    HostEvent,
+    HostOpKind,
+    KernelCategory,
+    KernelEvent,
+    STAGE_ENCODER,
+)
+
+# The currently-active tracer, or None. A single global keeps the per-op
+# emission cost to one attribute load + branch.
+_ACTIVE: "Tracer | None" = None
+
+
+def active_tracer() -> "Tracer | None":
+    """Return the currently active tracer, if any."""
+    return _ACTIVE
+
+
+def emit_kernel(
+    name: str,
+    category: KernelCategory,
+    flops: float,
+    bytes_read: float,
+    bytes_written: float,
+    threads: int,
+    coalesced_fraction: float = 1.0,
+    reuse_factor: float = 1.0,
+    **meta,
+) -> None:
+    """Record a kernel launch on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    tracer.record_kernel(
+        KernelEvent(
+            name=name,
+            category=category,
+            flops=float(flops),
+            bytes_read=float(bytes_read),
+            bytes_written=float(bytes_written),
+            threads=int(threads),
+            coalesced_fraction=coalesced_fraction,
+            reuse_factor=reuse_factor,
+            meta=meta,
+        )
+    )
+
+
+def emit_host(kind: HostOpKind, bytes: float = 0.0, name: str = "", **meta) -> None:
+    """Record a host-side operation on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    tracer.record_host(HostEvent(kind=kind, bytes=float(bytes), name=name, meta=meta))
+
+
+@contextlib.contextmanager
+def stage_scope(name: str):
+    """Enter a stage context on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+        return
+    with tracer.stage(name):
+        yield
+
+
+@contextlib.contextmanager
+def modality_scope(name: str):
+    """Enter a modality context on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+        return
+    with tracer.modality(name):
+        yield
+
+
+@dataclass
+class Trace:
+    """The immutable result of a tracing session."""
+
+    kernels: list[KernelEvent] = field(default_factory=list)
+    host_events: list[HostEvent] = field(default_factory=list)
+
+    def kernels_in_stage(self, stage: str) -> list[KernelEvent]:
+        return [k for k in self.kernels if k.stage == stage]
+
+    def kernels_for_modality(self, modality: str) -> list[KernelEvent]:
+        return [k for k in self.kernels if k.modality == modality]
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.bytes_total for k in self.kernels)
+
+    def stages(self) -> list[str]:
+        """Stages present in this trace, in first-seen order."""
+        seen: dict[str, None] = {}
+        for k in self.kernels:
+            seen.setdefault(k.stage, None)
+        return list(seen)
+
+    def modalities(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for k in self.kernels:
+            if k.modality is not None:
+                seen.setdefault(k.modality, None)
+        return list(seen)
+
+
+class Tracer:
+    """Collects kernel and host events with stage/modality context."""
+
+    def __init__(self) -> None:
+        self._kernels: list[KernelEvent] = []
+        self._host: list[HostEvent] = []
+        self._stage_stack: list[str] = []
+        self._modality_stack: list[str] = []
+        self._seq = 0
+
+    # -- context management -------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Make this tracer the global event sink for the duration."""
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("another tracer is already active")
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = None
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        """Set the stage label for events emitted inside the block."""
+        self._stage_stack.append(name)
+        try:
+            yield
+        finally:
+            self._stage_stack.pop()
+
+    @contextlib.contextmanager
+    def modality(self, name: str):
+        """Set the modality label for events emitted inside the block."""
+        self._modality_stack.append(name)
+        try:
+            yield
+        finally:
+            self._modality_stack.pop()
+
+    @property
+    def current_stage(self) -> str:
+        return self._stage_stack[-1] if self._stage_stack else STAGE_ENCODER
+
+    @property
+    def current_modality(self) -> str | None:
+        return self._modality_stack[-1] if self._modality_stack else None
+
+    # -- recording -----------------------------------------------------------
+
+    def record_kernel(self, event: KernelEvent) -> None:
+        event.stage = self.current_stage
+        event.modality = self.current_modality
+        event.seq = self._seq
+        self._seq += 1
+        self._kernels.append(event)
+
+    def record_host(self, event: HostEvent) -> None:
+        event.stage = self.current_stage
+        event.modality = self.current_modality
+        event.seq = self._seq
+        self._seq += 1
+        self._host.append(event)
+
+    # -- results ---------------------------------------------------------------
+
+    def finish(self) -> Trace:
+        """Return the collected trace and reset the tracer."""
+        trace = Trace(kernels=self._kernels, host_events=self._host)
+        self._kernels = []
+        self._host = []
+        self._seq = 0
+        return trace

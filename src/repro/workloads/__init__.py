@@ -1,0 +1,30 @@
+"""The nine MMBench applications (Table 3)."""
+
+from repro.workloads import (
+    avmnist,
+    medseg,
+    medvqa,
+    mmimdb,
+    mosei,
+    mustard,
+    push,
+    transfuser,
+    visiontouch,
+)
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.fusion import FUSION_REGISTRY, FusionModule, make_fusion
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadInfo,
+    domains,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "avmnist", "medseg", "medvqa", "mmimdb", "mosei", "mustard",
+    "push", "transfuser", "visiontouch",
+    "MultiModalModel", "unimodal_shapes",
+    "FUSION_REGISTRY", "FusionModule", "make_fusion",
+    "WORKLOADS", "WorkloadInfo", "domains", "get_workload", "list_workloads",
+]

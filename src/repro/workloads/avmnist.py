@@ -1,0 +1,65 @@
+"""AV-MNIST: audio-visual digit classification (Multimedia domain).
+
+Images of handwritten digits paired with spectrograms of spoken digits;
+both modalities are encoded with LeNet (Table 3). This is the paper's
+workhorse workload: the hotspot-kernel study (Fig. 9), the batch-size case
+study (Figs. 12-13) and the edge-migration study (Figs. 14-15) all run on
+it. The paper's ``slfs`` variant — "an implementation of multi-modal with
+31x parameters" — is reproduced as a concat-fusion model with a widened
+feature/hidden dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import AVMNIST as SHAPES
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import LeNetEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import ClassificationHead
+
+FUSIONS = ("concat", "tensor", "sum", "attention", "linear_glu", "transformer", "late_lstm", "slfs")
+DEFAULT_FUSION = "concat"
+
+_FEATURE_DIM = 32
+_SLFS_FEATURE_DIM = 96  # widened variant: ~an order of magnitude more parameters
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MultiModalModel:
+    """Build the multi-modal AV-MNIST model with the chosen fusion."""
+    rng = np.random.default_rng(seed)
+    feature_dim = _SLFS_FEATURE_DIM if fusion == "slfs" else _FEATURE_DIM
+    fusion_name = "concat" if fusion == "slfs" else fusion
+    encoders = {
+        "image": LeNetEncoder(1, feature_dim, rng, input_hw=(28, 28)),
+        "audio": LeNetEncoder(1, feature_dim, rng, input_hw=(20, 20)),
+    }
+    fusion_module = make_fusion(fusion_name, [feature_dim, feature_dim], feature_dim, rng=rng)
+    head = ClassificationHead(feature_dim, SHAPES.task.num_classes, rng,
+                              hidden=2 * feature_dim)
+    return MultiModalModel(f"avmnist[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    """Single-modality baseline (``image`` or ``audio``)."""
+    rng = np.random.default_rng(seed)
+    hw = (28, 28) if modality == "image" else (20, 20)
+    encoder = LeNetEncoder(1, _FEATURE_DIM, rng, input_hw=hw)
+    head = ClassificationHead(_FEATURE_DIM, SHAPES.task.num_classes, rng)
+    return MultiModalModel(
+        f"avmnist:{modality}",
+        unimodal_shapes(SHAPES, modality),
+        {modality: encoder},
+        None,
+        head,
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Image is the major modality; audio is noisier and partly corrupted."""
+    return {
+        "image": ChannelSpec(snr=1.3, corrupt_prob=0.10),
+        "audio": ChannelSpec(snr=0.7, corrupt_prob=0.30),
+    }

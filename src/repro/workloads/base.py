@@ -1,0 +1,168 @@
+"""The staged multi-modal model skeleton.
+
+Every MMBench application follows the three-stage execution pattern the
+paper characterizes: per-modality *encoders* run first (with host-to-device
+transfers for each modality's raw input), a *modality synchronization
+barrier* waits for all encoders, the *fusion* network federates the
+features (with host-side intermediate-data preparation), and the *head*
+produces the task output.
+
+:class:`MultiModalModel` encodes that skeleton once, emitting the stage /
+modality / host events that the profiling pipeline consumes, so the nine
+workload modules only specify their encoders, fusion and head. Workloads
+with structurally different fusion (Medical Seg.'s bottleneck-map fusion,
+TransFuser's feature-map cross-attention) override the protected hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.shapes import ModalityKind, WorkloadShapes
+from repro.nn.tensor import Tensor
+from repro.trace.events import (
+    HostOpKind,
+    STAGE_ENCODER,
+    STAGE_FUSION,
+    STAGE_HEAD,
+    STAGE_PREPROCESS,
+)
+from repro.trace.tracer import emit_host, modality_scope, stage_scope
+from repro.workloads.fusion import FusionModule
+
+
+class MultiModalModel(nn.Module):
+    """Encoder(s) -> fusion -> head, with stage/modality tracing built in.
+
+    Parameters
+    ----------
+    name:
+        Workload name (registry key).
+    shapes:
+        The workload's modality/task structure.
+    encoders:
+        One module per modality, keyed by modality name. Order follows
+        ``shapes.modalities``.
+    fusion:
+        A :class:`~repro.workloads.fusion.FusionModule`, or ``None`` for
+        uni-modal models (the encoder feature feeds the head directly and
+        no fusion stage is traced — matching how the paper's uni-modal
+        baselines execute).
+    head:
+        The task head.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shapes: WorkloadShapes,
+        encoders: dict[str, nn.Module],
+        fusion: FusionModule | None,
+        head: nn.Module,
+    ):
+        super().__init__()
+        self.name = name
+        self.shapes = shapes
+        missing = [m.name for m in shapes.modalities if m.name not in encoders]
+        extra = [k for k in encoders if k not in {m.name for m in shapes.modalities}]
+        if missing or extra:
+            raise ValueError(
+                f"encoder/modality mismatch for {name!r}: missing={missing} extra={extra}"
+            )
+        self._encoder_order = [m.name for m in shapes.modalities]
+        for mod_name, enc in encoders.items():
+            setattr(self, f"encoder_{mod_name}", enc)
+        self.encoders = encoders
+        self.fusion = fusion
+        self.head = head
+
+    # -- hooks workloads may override ------------------------------------------
+
+    def _prepare_input(self, modality: str, array: np.ndarray):
+        """Raw numpy batch -> encoder input (Tensor, or ids for token encoders)."""
+        spec = self.shapes.modality(modality)
+        if spec.kind == ModalityKind.TOKENS:
+            return np.asarray(array)
+        return Tensor(np.asarray(array, dtype=np.float32))
+
+    def _encode(self, modality: str, array: np.ndarray) -> Tensor:
+        return self.encoders[modality](self._prepare_input(modality, array))
+
+    def _fuse(self, features: list[Tensor]) -> Tensor:
+        assert self.fusion is not None
+        return self.fusion(features)
+
+    def _run_head(self, fused: Tensor) -> Tensor:
+        return self.head(fused)
+
+    # -- the staged forward ------------------------------------------------------
+
+    def forward(self, batch: dict[str, np.ndarray]) -> Tensor:
+        """End-to-end staged inference/training forward over a raw batch."""
+        missing = [m for m in self._encoder_order if m not in batch]
+        if missing:
+            raise KeyError(f"batch missing modality {missing[0]!r}")
+        features: list[Tensor] = []
+        with stage_scope(STAGE_PREPROCESS):
+            # End-to-end execution includes raw-data preprocessing on the
+            # host (decoding, feature extraction) — Sec. 3.1's second
+            # design feature. Cost scales with the raw input size.
+            for mod_name in self._encoder_order:
+                emit_host(
+                    HostOpKind.PREPROCESS,
+                    bytes=float(np.asarray(batch[mod_name]).nbytes),
+                    name=f"preprocess:{mod_name}",
+                )
+        with stage_scope(STAGE_ENCODER):
+            for mod_name in self._encoder_order:
+                with modality_scope(mod_name):
+                    emit_host(
+                        HostOpKind.H2D,
+                        bytes=float(np.asarray(batch[mod_name]).nbytes),
+                        name=f"h2d:{mod_name}",
+                    )
+                    features.append(self._encode(mod_name, batch[mod_name]))
+
+        if self.fusion is None:
+            if len(features) != 1:
+                raise RuntimeError(f"{self.name}: fusion is None but got {len(features)} modalities")
+            fused = features[0]
+        else:
+            with stage_scope(STAGE_FUSION):
+                feature_bytes = float(sum(f.nbytes for f in features))
+                # Modality synchronization barrier: the fusion network
+                # waits for the completion of every modality's stream.
+                for mod_name in self._encoder_order:
+                    emit_host(HostOpKind.SYNC, name=f"modality_sync:{mod_name}")
+                # "Additional CPU-GPU synchronization is needed to process
+                # intermediate data, such as the feature maps generated from
+                # various modalities" (Sec. 1): the features round-trip to
+                # the host for preparation and return to the device.
+                emit_host(HostOpKind.D2H, bytes=feature_bytes, name="fusion_feature_d2h")
+                emit_host(HostOpKind.DATA_PREP, bytes=feature_bytes, name="fusion_data_prep")
+                emit_host(HostOpKind.H2D, bytes=feature_bytes, name="fusion_feature_h2d")
+                fused = self._fuse(features)
+
+        with stage_scope(STAGE_HEAD):
+            return self._run_head(fused)
+
+    # -- conveniences --------------------------------------------------------------
+
+    @property
+    def modality_names(self) -> list[str]:
+        return list(self._encoder_order)
+
+    @property
+    def is_multimodal(self) -> bool:
+        return len(self._encoder_order) > 1
+
+    def input_bytes(self, batch_size: int) -> int:
+        """Raw input footprint of one batch (feeds the memory model)."""
+        return batch_size * self.shapes.sample_bytes
+
+
+def unimodal_shapes(shapes: WorkloadShapes, modality: str) -> WorkloadShapes:
+    """Restrict a workload's shape spec to a single modality."""
+    spec = shapes.modality(modality)
+    return WorkloadShapes(name=f"{shapes.name}:{modality}", modalities=(spec,), task=shapes.task)

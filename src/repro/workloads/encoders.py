@@ -1,0 +1,344 @@
+"""Encoder zoo: reduced-scale versions of the paper's modality encoders.
+
+Table 3 maps each workload to its encoders: LeNet (AV-MNIST), VGG + ALBERT
+(MM-IMDB), BERT + OpenFace + Librosa features (CMU-MOSEI / MUStARD),
+DenseNet + RoBERTa (Medical VQA), U-Net (Medical Seg.), MLP/CNN sensor
+encoders (MuJoCo Push, Vision & Touch) and ResNet (TransFuser).
+
+Every encoder here keeps its namesake's *topology and operator mix* —
+which is what determines the kernel-category breakdown (Figure 8) and the
+stage imbalance (Figure 6) — at a width/depth that a single-core numpy
+substrate can execute. Scale factors are recorded in DESIGN.md.
+
+All encoders map a raw modality batch to a fixed-size feature vector
+``(B, out_dim)`` unless noted otherwise (U-Net and ResNet can return
+feature maps for spatially-structured fusion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class LeNetEncoder(nn.Module):
+    """LeNet-5-style CNN; AV-MNIST uses it for both image and audio.
+
+    ``input_hw`` sizes the flatten->fc tail (LeNet's classic structure).
+    """
+
+    def __init__(self, in_channels: int, out_dim: int, rng: np.random.Generator,
+                 input_hw: tuple[int, int] = (28, 28)):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, 6, 5, padding=2, rng=rng)
+        self.conv2 = nn.Conv2d(6, 16, 5, padding=2, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.flatten = nn.Flatten()
+        h, w = input_hw
+        self.fc = nn.Linear(16 * (h // 4) * (w // 4), out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool(F.relu(self.conv1(x)))
+        x = self.pool(F.relu(self.conv2(x)))
+        return F.relu(self.fc(self.flatten(x)))
+
+
+class VGGSEncoder(nn.Module):
+    """VGG-11 topology at reduced width; Gemm/Conv-dominated like VGG."""
+
+    def __init__(self, in_channels: int, out_dim: int, rng: np.random.Generator,
+                 width: int = 8, input_hw: tuple[int, int] = (64, 64)):
+        super().__init__()
+        w = width
+        self.block1 = nn.ConvBlock(in_channels, w, rng=rng)
+        self.block2 = nn.ConvBlock(w, 2 * w, rng=rng)
+        self.block3a = nn.ConvBlock(2 * w, 4 * w, rng=rng)
+        self.block3b = nn.ConvBlock(4 * w, 4 * w, rng=rng)
+        self.block4a = nn.ConvBlock(4 * w, 8 * w, rng=rng)
+        self.block4b = nn.ConvBlock(8 * w, 8 * w, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.flatten = nn.Flatten()
+        h, ww = input_hw
+        spatial = (h // 16) * (ww // 16)
+        # VGG's hallmark: heavy fully-connected classifier tail (Gemm).
+        self.fc1 = nn.Linear(8 * w * spatial, 8 * w, rng=rng)
+        self.fc2 = nn.Linear(8 * w, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool(self.block1(x))
+        x = self.pool(self.block2(x))
+        x = self.pool(self.block3b(self.block3a(x)))
+        x = self.pool(self.block4b(self.block4a(x)))
+        x = self.flatten(x)
+        return F.relu(self.fc2(F.relu(self.fc1(x))))
+
+
+class TextTransformerEncoder(nn.Module):
+    """Transformer text encoder; stands in for ALBERT / BERT / RoBERTa.
+
+    GELU/element-wise heavy, matching the paper's observation that the
+    ALBERT encoder is dominated by activation kernels rather than Gemm.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        embed_dim: int = 64,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        max_len: int = 128,
+    ):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.encoder = nn.TransformerEncoder(
+            embed_dim, num_heads, num_layers, max_len=max_len, rng=rng
+        )
+        self.fc = nn.Linear(embed_dim, out_dim, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        x = self.embed(tokens)
+        x = self.encoder(x)
+        pooled = x.mean(axis=1)
+        return F.relu(self.fc(pooled))
+
+
+class AlbertSEncoder(TextTransformerEncoder):
+    """ALBERT-style: parameter sharing across layers (one layer, applied twice)."""
+
+    def __init__(self, vocab_size: int, out_dim: int, rng: np.random.Generator,
+                 embed_dim: int = 64, num_heads: int = 4, max_len: int = 128):
+        super().__init__(vocab_size, out_dim, rng, embed_dim, num_heads,
+                         num_layers=1, max_len=max_len)
+        self.repeats = 2
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        x = self.embed(tokens)
+        t = x.shape[1]
+        pos = F.getitem(self.encoder.pos_embedding, slice(0, t))
+        x = x + pos
+        shared = self.encoder.layers[0]
+        for _ in range(self.repeats):  # cross-layer parameter sharing
+            x = shared(x)
+        return F.relu(self.fc(x.mean(axis=1)))
+
+
+class SequenceMLPEncoder(nn.Module):
+    """Per-timestep MLP + temporal mean pool for feature time series.
+
+    Used for the OpenFace (visual) and Librosa (acoustic) feature streams
+    of the affective-computing workloads and the robot sensor streams.
+    """
+
+    def __init__(self, feat_dim: int, out_dim: int, rng: np.random.Generator, hidden: int = 32):
+        super().__init__()
+        self.fc1 = nn.Linear(feat_dim, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = F.relu(self.fc1(x))  # (B, T, hidden)
+        pooled = h.mean(axis=1)
+        return F.relu(self.fc2(pooled))
+
+
+class SequenceGRUEncoder(nn.Module):
+    """GRU over a feature time series; last hidden state is the feature."""
+
+    def __init__(self, feat_dim: int, out_dim: int, rng: np.random.Generator, hidden: int = 32):
+        super().__init__()
+        self.gru = nn.GRU(feat_dim, hidden, rng=rng)
+        self.fc = nn.Linear(hidden, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        _, h = self.gru(x)
+        return F.relu(self.fc(h))
+
+
+class CNNEncoder(nn.Module):
+    """Compact 3-stage CNN for robot camera / depth streams."""
+
+    def __init__(self, in_channels: int, out_dim: int, rng: np.random.Generator,
+                 width: int = 8, input_hw: tuple[int, int] = (32, 32)):
+        super().__init__()
+        self.block1 = nn.ConvBlock(in_channels, width, rng=rng)
+        self.block2 = nn.ConvBlock(width, 2 * width, rng=rng)
+        self.block3 = nn.ConvBlock(2 * width, 4 * width, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.flatten = nn.Flatten()
+        h, w = input_hw
+        self.fc = nn.Linear(4 * width * (h // 8) * (w // 8), out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool(self.block1(x))
+        x = self.pool(self.block2(x))
+        x = self.pool(self.block3(x))
+        return F.relu(self.fc(self.flatten(x)))
+
+
+class TemporalConvEncoder(nn.Module):
+    """1D-CNN over a (B, T, D) feature stream (force/torque sensors).
+
+    The Vision & Touch paper encodes the force stream with temporal
+    convolutions; this is the matching reduced-scale encoder.
+    """
+
+    def __init__(self, feat_dim: int, out_dim: int, rng: np.random.Generator,
+                 width: int = 16):
+        super().__init__()
+        self.conv1 = nn.Conv1d(feat_dim, width, 5, stride=2, padding=2, rng=rng)
+        self.conv2 = nn.Conv1d(width, 2 * width, 3, stride=2, padding=1, rng=rng)
+        self.fc = nn.Linear(2 * width, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = F.transpose(x, (0, 2, 1))  # (B, D, T)
+        h = F.relu(self.conv1(h))
+        h = F.relu(self.conv2(h))
+        pooled = h.mean(axis=2)  # (B, 2*width)
+        return F.relu(self.fc(pooled))
+
+
+class MLPEncoder(nn.Module):
+    """Flatten-and-MLP encoder for low-dimensional sensor modalities."""
+
+    def __init__(self, in_features: int, out_dim: int, rng: np.random.Generator, hidden: int = 64):
+        super().__init__()
+        self.fc1 = nn.Linear(in_features, hidden, rng=rng)
+        self.fc2 = nn.Linear(hidden, hidden, rng=rng)
+        self.fc3 = nn.Linear(hidden, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        flat = x.reshape((x.shape[0], -1))
+        h = F.relu(self.fc1(flat))
+        h = F.relu(self.fc2(h))
+        return F.relu(self.fc3(h))
+
+
+class _DenseLayer(nn.Module):
+    def __init__(self, in_channels: int, growth: int, rng: np.random.Generator):
+        super().__init__()
+        self.bn = nn.BatchNorm2d(in_channels)
+        self.conv = nn.Conv2d(in_channels, growth, 3, padding=1, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        new = self.conv(F.relu(self.bn(x)))
+        return F.concat([x, new], axis=1)
+
+
+class DenseNetSEncoder(nn.Module):
+    """DenseNet topology: two dense blocks with concat-based feature reuse.
+
+    The dense connectivity makes this encoder unusually heavy in
+    memory-movement (concat) and BatchNorm kernels — visible in its
+    Figure-8 kernel mix.
+    """
+
+    def __init__(self, in_channels: int, out_dim: int, rng: np.random.Generator,
+                 growth: int = 8, layers_per_block: int = 2):
+        super().__init__()
+        self.stem = nn.Conv2d(in_channels, 2 * growth, 3, stride=2, padding=1, rng=rng)
+        c = 2 * growth
+        self.block1 = nn.ModuleList([])
+        for _ in range(layers_per_block):
+            self.block1.append(_DenseLayer(c, growth, rng))
+            c += growth
+        self.trans = nn.Conv2d(c, c // 2, 1, rng=rng)
+        c = c // 2
+        self.pool = nn.AvgPool2d(2)
+        self.block2 = nn.ModuleList([])
+        for _ in range(layers_per_block):
+            self.block2.append(_DenseLayer(c, growth, rng))
+            c += growth
+        self.bn_final = nn.BatchNorm2d(c)
+        self.gap = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(c, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.stem(x))
+        for layer in self.block1:
+            x = layer(x)
+        x = self.pool(self.trans(x))
+        for layer in self.block2:
+            x = layer(x)
+        x = F.relu(self.bn_final(x))
+        return F.relu(self.fc(self.gap(x)))
+
+
+class UNetEncoder(nn.Module):
+    """U-Net contracting path; returns the bottleneck feature map.
+
+    Skip features are stored on ``self.skips`` after each forward so a
+    decoder head can consume them (single-threaded execution makes this
+    safe; the workload wires encoder and decoder together).
+    """
+
+    def __init__(self, in_channels: int, rng: np.random.Generator, width: int = 8):
+        super().__init__()
+        w = width
+        self.enc1 = nn.ConvBlock(in_channels, w, rng=rng)
+        self.enc2 = nn.ConvBlock(w, 2 * w, rng=rng)
+        self.bottleneck = nn.ConvBlock(2 * w, 4 * w, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.width = width
+        self.skips: list[Tensor] = []
+
+    def forward(self, x: Tensor) -> Tensor:
+        s1 = self.enc1(x)
+        s2 = self.enc2(self.pool(s1))
+        self.skips = [s1, s2]
+        return self.bottleneck(self.pool(s2))  # (B, 4w, H/4, W/4)
+
+
+class _ResidualBlock(nn.Module):
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                               bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.use_projection = stride != 1 or in_channels != out_channels
+        if self.use_projection:
+            self.proj = nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.proj(x) if self.use_projection else x
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + identity)
+
+
+class ResNetSEncoder(nn.Module):
+    """ResNet-10-style encoder at reduced width (TransFuser backbones).
+
+    With ``return_map=True`` the forward returns the final feature map
+    (B, 4w, H/8, W/8) instead of a pooled vector, which the TransFuser
+    fusion transformer consumes.
+    """
+
+    def __init__(self, in_channels: int, out_dim: int, rng: np.random.Generator,
+                 width: int = 8, return_map: bool = False):
+        super().__init__()
+        w = width
+        self.stem = nn.ConvBlock(in_channels, w, rng=rng)
+        self.stage1 = _ResidualBlock(w, 2 * w, stride=2, rng=rng)
+        self.stage2 = _ResidualBlock(2 * w, 4 * w, stride=2, rng=rng)
+        self.pool = nn.MaxPool2d(2)
+        self.return_map = return_map
+        self.out_channels = 4 * w
+        if not return_map:
+            # The pooled-vector head only exists when it is actually used,
+            # so map-mode encoders carry no dead parameters.
+            self.gap = nn.GlobalAvgPool2d()
+            self.fc = nn.Linear(4 * w, out_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool(self.stem(x))
+        x = self.stage1(x)
+        x = self.stage2(x)
+        if self.return_map:
+            return x
+        return F.relu(self.fc(self.gap(x)))

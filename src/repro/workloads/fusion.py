@@ -1,0 +1,276 @@
+"""Fusion operators (Table 1) and fusion networks.
+
+Table 1 of the paper lists the commonly used fusion operators:
+
+======== ============================================ =========================
+Type     F(x, y)                                      Meaning
+======== ============================================ =========================
+Zero     0                                            discards the features
+Sum      x + y                                        sums features
+Concat   ReLU(Concat(x, y) W + b)                     concatenates features
+Tensor   x ⊗ y                                        outer-product attention
+Attn     Softmax(x yᵀ / sqrt(C_y))                    attention mechanism
+GLU      GLU(x W1, y W2) = x W1 ⊙ sigmoid(y W2)       linear layer with GLU
+======== ============================================ =========================
+
+plus the transformer fusion used by the heavier workloads. Every fusion
+module here takes a list of per-modality feature vectors ``(B, D_i)`` and
+returns a fused representation ``(B, out_dim)``; operators defined for two
+modalities fold pairwise over more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class FusionModule(nn.Module):
+    """Base: fuse a list of per-modality features into one vector."""
+
+    #: registry name, set on subclasses
+    fusion_name = "base"
+
+    def __init__(self, input_dims: list[int], out_dim: int):
+        super().__init__()
+        self.input_dims = list(input_dims)
+        self.out_dim = out_dim
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        raise NotImplementedError
+
+    def _check(self, features: list[Tensor]) -> None:
+        if len(features) != len(self.input_dims):
+            raise ValueError(
+                f"{type(self).__name__} expects {len(self.input_dims)} modalities, "
+                f"got {len(features)}"
+            )
+
+
+class ZeroFusion(FusionModule):
+    """Discards all features — the degenerate baseline of Table 1."""
+
+    fusion_name = "zero"
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        batch = features[0].shape[0]
+        return Tensor(np.zeros((batch, self.out_dim), dtype=np.float32))
+
+
+class SumFusion(FusionModule):
+    """Project each modality to ``out_dim`` and sum."""
+
+    fusion_name = "sum"
+
+    def __init__(self, input_dims: list[int], out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.projections = nn.ModuleList([nn.Linear(d, out_dim, rng=rng) for d in input_dims])
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        out = self.projections[0](features[0])
+        for proj, feat in zip(list(self.projections)[1:], features[1:]):
+            out = out + proj(feat)
+        return out
+
+
+class ConcatFusion(FusionModule):
+    """``ReLU(Concat(x, y) W + b)`` — the workhorse early/late fusion."""
+
+    fusion_name = "concat"
+
+    def __init__(self, input_dims: list[int], out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.fc = nn.Linear(sum(input_dims), out_dim, rng=rng)
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        return F.relu(self.fc(F.concat(features, axis=-1)))
+
+
+class TensorFusion(FusionModule):
+    """Outer-product fusion ``x ⊗ y`` (Tensor Fusion Networks).
+
+    Each modality is first projected to a small rank to bound the product's
+    size; modalities beyond the second fold in pairwise. The flattened
+    product is projected to ``out_dim``. The large intermediate outer
+    product is what gives this operator its distinctive memory profile
+    (Figure 9b's jump in DRAM read bytes).
+    """
+
+    fusion_name = "tensor"
+
+    def __init__(self, input_dims: list[int], out_dim: int, rank: int = 12,
+                 rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.rank = rank
+        self.projections = nn.ModuleList([nn.Linear(d, rank, rng=rng) for d in input_dims])
+        self.folds = nn.ModuleList(
+            [nn.Linear(rank * rank, rank, rng=rng) for _ in range(len(input_dims) - 2)]
+        )
+        self.fc = nn.Linear(rank * rank, out_dim, rng=rng)
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        scale = 1.0 / np.sqrt(self.rank)
+        projected = [F.relu(p(f)) for p, f in zip(self.projections, features)]
+        acc = F.outer_product(projected[0], projected[1])
+        # Variance-stabilizing rescale of the outer product: an element-wise
+        # pass over the large fused intermediate (the DRAM-read-heavy
+        # Elewise kernel the paper's Figure 9b observes for tensor fusion).
+        acc = acc.reshape((acc.shape[0], -1)) * scale
+        for fold, feat in zip(self.folds, projected[2:]):
+            acc = F.relu(fold(acc))
+            acc = F.outer_product(acc, feat)
+            acc = acc.reshape((acc.shape[0], -1)) * scale
+        return F.relu(self.fc(acc))
+
+
+def _pick_heads(out_dim: int, requested: int) -> int:
+    """Largest head count <= requested that divides the fused dimension."""
+    for heads in range(min(requested, out_dim), 0, -1):
+        if out_dim % heads == 0:
+            return heads
+    return 1
+
+
+class AttentionFusion(FusionModule):
+    """``Softmax(x yᵀ / sqrt(C_y))``-style cross-modality attention.
+
+    Modality vectors are projected to a shared dimension and treated as a
+    length-M token sequence; one multi-head attention layer mixes them and
+    the result is mean-pooled.
+    """
+
+    fusion_name = "attention"
+
+    def __init__(self, input_dims: list[int], out_dim: int, num_heads: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.projections = nn.ModuleList([nn.Linear(d, out_dim, rng=rng) for d in input_dims])
+        self.attn = nn.MultiheadAttention(out_dim, _pick_heads(out_dim, num_heads), rng=rng)
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        tokens = F.stack([p(f) for p, f in zip(self.projections, features)], axis=1)
+        mixed = self.attn(tokens)
+        return mixed.mean(axis=1)
+
+
+class LinearGLUFusion(FusionModule):
+    """``x W1 ⊙ sigmoid(y W2)`` — gated linear fusion; folds over modalities."""
+
+    fusion_name = "linear_glu"
+
+    def __init__(self, input_dims: list[int], out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.value_proj = nn.Linear(input_dims[0], out_dim, rng=rng)
+        self.gate_projs = nn.ModuleList(
+            [nn.Linear(d, out_dim, rng=rng) for d in input_dims[1:]]
+        )
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        out = self.value_proj(features[0])
+        for proj, feat in zip(self.gate_projs, features[1:]):
+            out = F.glu(out, proj(feat))
+        return out
+
+
+class TransformerFusion(FusionModule):
+    """Multi-modal transformer fusion (MulT / TransFuser style).
+
+    Modality vectors become tokens with learned modality embeddings; a
+    small transformer encoder stack mixes them. This is the most
+    synchronization- and compute-heavy fusion, which is why MuJoCo Push's
+    transformer-fusion variant spends ~3x the encoder stage's time in
+    fusion (Sec. 4.3.1).
+    """
+
+    fusion_name = "transformer"
+
+    def __init__(self, input_dims: list[int], out_dim: int, num_heads: int = 4,
+                 num_layers: int = 2, rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.projections = nn.ModuleList([nn.Linear(d, out_dim, rng=rng) for d in input_dims])
+        self.modality_embed = nn.Parameter(
+            nn.init.normal((len(input_dims), out_dim), 0.02, rng)
+        )
+        heads = _pick_heads(out_dim, num_heads)
+        self.layers = nn.ModuleList(
+            [nn.TransformerEncoderLayer(out_dim, heads, rng=rng) for _ in range(num_layers)]
+        )
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        tokens = F.stack([p(f) for p, f in zip(self.projections, features)], axis=1)
+        tokens = tokens + self.modality_embed
+        for layer in self.layers:
+            tokens = layer(tokens)
+        return tokens.mean(axis=1)
+
+
+class LateFusionLSTM(FusionModule):
+    """Late fusion via an LSTM over the modality-feature sequence.
+
+    The modality features are treated as a short sequence consumed by an
+    LSTM whose final hidden state is the fused representation — the
+    late-fusion implementation whose MuJoCo Push MSE the paper contrasts
+    with tensor fusion (Sec. 4.2.2).
+    """
+
+    fusion_name = "late_lstm"
+
+    def __init__(self, input_dims: list[int], out_dim: int, rng: np.random.Generator | None = None):
+        super().__init__(input_dims, out_dim)
+        rng = rng or np.random.default_rng(0)
+        self.projections = nn.ModuleList([nn.Linear(d, out_dim, rng=rng) for d in input_dims])
+        self.lstm = nn.LSTM(out_dim, out_dim, rng=rng)
+
+    def forward(self, features: list[Tensor]) -> Tensor:
+        self._check(features)
+        seq = F.stack([p(f) for p, f in zip(self.projections, features)], axis=1)
+        _, (h, _) = self.lstm(seq)
+        return h
+
+
+FUSION_REGISTRY: dict[str, type[FusionModule]] = {
+    cls.fusion_name: cls
+    for cls in (
+        ZeroFusion,
+        SumFusion,
+        ConcatFusion,
+        TensorFusion,
+        AttentionFusion,
+        LinearGLUFusion,
+        TransformerFusion,
+        LateFusionLSTM,
+    )
+}
+
+
+def make_fusion(
+    name: str,
+    input_dims: list[int],
+    out_dim: int,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> FusionModule:
+    """Instantiate a fusion operator by registry name."""
+    try:
+        cls = FUSION_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown fusion {name!r}; available: {sorted(FUSION_REGISTRY)}") from None
+    if cls is ZeroFusion:
+        return cls(input_dims, out_dim)
+    return cls(input_dims, out_dim, rng=rng, **kwargs)

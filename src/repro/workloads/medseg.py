@@ -1,0 +1,130 @@
+"""Medical Segmentation: brain-tumor segmentation from multi-sequence MRI.
+
+Four MRI sequences (T1, T1c, T2, Flair) are each encoded by a U-Net
+contracting path; the bottleneck feature maps are fused (transformer
+fusion after mmformer [56], or channel-concat), and a shared expanding
+path decodes the fused bottleneck into a tumor mask. Unlike the
+vector-fusion workloads, fusion here operates on *spatial feature maps*,
+so this module overrides the base model's fusion hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import MEDICAL_SEG as SHAPES
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import UNetEncoder
+from repro.workloads.heads import SegmentationHead
+
+FUSIONS = ("transformer", "concat")
+DEFAULT_FUSION = "transformer"
+
+_WIDTH = 8  # U-Net base width; bottleneck has 4 * _WIDTH channels
+
+
+class ConcatMapFusion(nn.Module):
+    """Channel-concatenate modality bottlenecks, then a 1x1 conv."""
+
+    def __init__(self, channels: int, num_modalities: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv = nn.Conv2d(channels * num_modalities, channels, 1, rng=rng)
+
+    def forward(self, maps: list[Tensor]) -> Tensor:
+        return F.relu(self.conv(F.concat(maps, axis=1)))
+
+
+class TransformerMapFusion(nn.Module):
+    """mmformer-style fusion: spatial tokens from all modalities co-attend.
+
+    Each (B, C, h, w) bottleneck becomes h*w tokens; tokens from all
+    modalities (with learned modality embeddings) pass through a
+    transformer layer and are averaged across modalities per position.
+    """
+
+    def __init__(self, channels: int, num_modalities: int, rng: np.random.Generator,
+                 num_heads: int = 4):
+        super().__init__()
+        self.channels = channels
+        self.num_modalities = num_modalities
+        self.modality_embed = nn.Parameter(nn.init.normal((num_modalities, channels), 0.02, rng))
+        self.layer = nn.TransformerEncoderLayer(channels, num_heads, rng=rng)
+
+    def forward(self, maps: list[Tensor]) -> Tensor:
+        b, c, h, w = maps[0].shape
+        tokens = []
+        for i, m in enumerate(maps):
+            t = m.reshape((b, c, h * w)).transpose((0, 2, 1))  # (B, hw, C)
+            embed = F.getitem(self.modality_embed, slice(i, i + 1))  # (1, C)
+            tokens.append(t + embed)
+        seq = F.concat(tokens, axis=1)  # (B, M*hw, C)
+        mixed = self.layer(seq)
+        stacked = mixed.reshape((b, self.num_modalities, h * w, c))
+        fused = stacked.mean(axis=1)  # (B, hw, C)
+        return fused.transpose((0, 2, 1)).reshape((b, c, h, w))
+
+
+class MedicalSegModel(MultiModalModel):
+    """Multi-sequence MRI -> U-Net encoders -> map fusion -> shared decoder."""
+
+    def _encode(self, modality: str, array: np.ndarray) -> Tensor:
+        return self.encoders[modality](self._prepare_input(modality, array))
+
+    def _fuse(self, features: list[Tensor]) -> Tensor:
+        return self.fusion(features)
+
+    def _run_head(self, fused: Tensor) -> Tensor:
+        # Average the contracting-path skip maps across modalities so the
+        # shared decoder sees one skip per scale.
+        num = float(len(self._encoder_order))
+        skip_sets = [self.encoders[m].skips for m in self._encoder_order]
+        avg_skips = []
+        for level in range(len(skip_sets[0])):
+            acc = skip_sets[0][level]
+            for other in skip_sets[1:]:
+                acc = acc + other[level]
+            avg_skips.append(acc * (1.0 / num))
+        return self.head(fused, avg_skips)
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MedicalSegModel:
+    rng = np.random.default_rng(seed)
+    channels = 4 * _WIDTH
+    encoders = {m.name: UNetEncoder(1, rng, width=_WIDTH) for m in SHAPES.modalities}
+    if fusion == "concat":
+        fusion_module = ConcatMapFusion(channels, len(SHAPES.modalities), rng)
+    elif fusion == "transformer":
+        fusion_module = TransformerMapFusion(channels, len(SHAPES.modalities), rng)
+    else:
+        raise KeyError(f"medical_seg supports fusions {FUSIONS}, got {fusion!r}")
+    head = SegmentationHead(channels, rng, width=_WIDTH)
+    return MedicalSegModel(f"medical_seg[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+class _UniModalSegModel(MultiModalModel):
+    def _run_head(self, fused: Tensor) -> Tensor:
+        modality = self._encoder_order[0]
+        return self.head(fused, self.encoders[modality].skips)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoder = UNetEncoder(1, rng, width=_WIDTH)
+    head = SegmentationHead(4 * _WIDTH, rng, width=_WIDTH)
+    return _UniModalSegModel(
+        f"medical_seg:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Flair/T1c show tumor boundaries most clearly, as in BraTS practice."""
+    return {
+        "t1": ChannelSpec(snr=0.8, corrupt_prob=0.25),
+        "t1c": ChannelSpec(snr=1.3, corrupt_prob=0.10),
+        "t2": ChannelSpec(snr=0.9, corrupt_prob=0.20),
+        "flair": ChannelSpec(snr=1.4, corrupt_prob=0.08),
+    }

@@ -1,0 +1,57 @@
+"""Medical VQA: vision-and-language answer generation (Intelligent Medicine).
+
+A DenseNet image encoder and a RoBERTa-style question encoder feed a
+transformer fusion; a GRU decoder generates the answer token sequence
+(task "Gen." in Table 3). Built after ViLMedic's medical VQA pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import MEDICAL_VQA as SHAPES
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import DenseNetSEncoder, TextTransformerEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import GenerationHead
+
+FUSIONS = ("transformer", "concat", "attention")
+DEFAULT_FUSION = "transformer"
+
+_FEATURE_DIM = 48
+_ANSWER_LEN = 4
+
+
+def _make_encoder(modality: str, rng: np.random.Generator):
+    spec = SHAPES.modality(modality)
+    if modality == "image":
+        return DenseNetSEncoder(3, _FEATURE_DIM, rng)
+    # RoBERTa stand-in: a slightly wider text transformer.
+    return TextTransformerEncoder(spec.vocab_size, _FEATURE_DIM, rng,
+                                  embed_dim=96, max_len=spec.shape[0])
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoders = {m.name: _make_encoder(m.name, rng) for m in SHAPES.modalities}
+    fusion_module = make_fusion(fusion, [_FEATURE_DIM, _FEATURE_DIM], _FEATURE_DIM, rng=rng)
+    head = GenerationHead(_FEATURE_DIM, SHAPES.task.num_classes, _ANSWER_LEN, rng)
+    return MultiModalModel(f"medical_vqa[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoder = _make_encoder(modality, rng)
+    head = GenerationHead(_FEATURE_DIM, SHAPES.task.num_classes, _ANSWER_LEN, rng)
+    return MultiModalModel(
+        f"medical_vqa:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Answers need *both* the scan and the question — neither dominates."""
+    return {
+        "image": ChannelSpec(snr=1.2, corrupt_prob=0.10),
+        "text": ChannelSpec(snr=1.4, corrupt_prob=0.05),
+    }

@@ -1,0 +1,58 @@
+"""CMU-MOSEI: sentence-level sentiment regression (Affective Computing).
+
+Language (BERT-style transformer), vision (OpenFace facial-feature stream)
+and audio (Librosa acoustic-feature stream) predict a continuous sentiment
+score. The paper rebuilds the workload end-to-end with MMSA-FET feature
+extraction in the forward pass — reproduced here as host-side PREPROCESS
+events sized by the raw streams plus learned feature-stream encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import CMU_MOSEI as SHAPES
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import SequenceMLPEncoder, TextTransformerEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import RegressionHead
+
+FUSIONS = ("concat", "tensor", "transformer", "sum", "attention")
+DEFAULT_FUSION = "transformer"
+
+_FEATURE_DIM = 32
+
+
+def _make_encoder(modality: str, rng: np.random.Generator):
+    spec = SHAPES.modality(modality)
+    if modality == "language":
+        return TextTransformerEncoder(spec.vocab_size, _FEATURE_DIM, rng,
+                                      max_len=spec.shape[0])
+    return SequenceMLPEncoder(spec.shape[1], _FEATURE_DIM, rng)
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoders = {m.name: _make_encoder(m.name, rng) for m in SHAPES.modalities}
+    fusion_module = make_fusion(fusion, [_FEATURE_DIM] * 3, _FEATURE_DIM, rng=rng)
+    head = RegressionHead(_FEATURE_DIM, SHAPES.task.output_dim, rng)
+    return MultiModalModel(f"cmu_mosei[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoder = _make_encoder(modality, rng)
+    head = RegressionHead(_FEATURE_DIM, SHAPES.task.output_dim, rng)
+    return MultiModalModel(
+        f"cmu_mosei:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Text carries most of the sentiment signal (the paper cites [4])."""
+    return {
+        "language": ChannelSpec(snr=1.5, corrupt_prob=0.08),
+        "vision": ChannelSpec(snr=0.6, corrupt_prob=0.30),
+        "audio": ChannelSpec(snr=0.6, corrupt_prob=0.35),
+    }

@@ -1,0 +1,57 @@
+"""MUStARD: multi-modal sarcasm detection (Affective Computing).
+
+Same tri-modal structure as CMU-MOSEI (language + OpenFace vision +
+Librosa audio) but a binary classification task on a video corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import MUSTARD as SHAPES
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import SequenceGRUEncoder, TextTransformerEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import ClassificationHead
+
+FUSIONS = ("concat", "tensor", "transformer", "attention", "late_lstm")
+DEFAULT_FUSION = "transformer"
+
+_FEATURE_DIM = 32
+
+
+def _make_encoder(modality: str, rng: np.random.Generator):
+    spec = SHAPES.modality(modality)
+    if modality == "language":
+        return TextTransformerEncoder(spec.vocab_size, _FEATURE_DIM, rng,
+                                      max_len=spec.shape[0])
+    # Sarcasm cues are temporal (prosody contours, expression changes), so
+    # the feature streams get recurrent encoders.
+    return SequenceGRUEncoder(spec.shape[1], _FEATURE_DIM, rng)
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoders = {m.name: _make_encoder(m.name, rng) for m in SHAPES.modalities}
+    fusion_module = make_fusion(fusion, [_FEATURE_DIM] * 3, _FEATURE_DIM, rng=rng)
+    head = ClassificationHead(_FEATURE_DIM, SHAPES.task.num_classes, rng)
+    return MultiModalModel(f"mustard[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoder = _make_encoder(modality, rng)
+    head = ClassificationHead(_FEATURE_DIM, SHAPES.task.num_classes, rng)
+    return MultiModalModel(
+        f"mustard:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Sarcasm needs tone/expression context: language alone is weaker here."""
+    return {
+        "language": ChannelSpec(snr=1.1, corrupt_prob=0.18),
+        "vision": ChannelSpec(snr=0.8, corrupt_prob=0.28),
+        "audio": ChannelSpec(snr=0.9, corrupt_prob=0.25),
+    }

@@ -1,0 +1,105 @@
+"""Workload registry: Table 3 as data.
+
+Maps each of the nine applications to its domain, model-size class,
+modalities, fusion options and builder functions, and provides the lookup
+API the suite, analyses and CLI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import WorkloadShapes
+from repro.workloads import (
+    avmnist,
+    medseg,
+    medvqa,
+    mmimdb,
+    mosei,
+    mustard,
+    push,
+    transfuser,
+    visiontouch,
+)
+from repro.workloads.base import MultiModalModel
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One row of Table 3."""
+
+    name: str
+    domain: str
+    model_size: str  # Small / Medium / Large
+    shapes: WorkloadShapes
+    fusions: tuple[str, ...]
+    default_fusion: str
+    metric: str  # headline metric name from Figure 4
+    module: ModuleType
+
+    def build(self, fusion: str | None = None, seed: int = 0) -> MultiModalModel:
+        """Build the multi-modal model (optionally choosing the fusion)."""
+        return self.module.build(fusion or self.default_fusion, seed=seed)
+
+    def build_unimodal(self, modality: str, seed: int = 0) -> MultiModalModel:
+        """Build a single-modality baseline."""
+        return self.module.build_unimodal(modality, seed=seed)
+
+    def default_channels(self) -> dict[str, ChannelSpec]:
+        """Per-modality dataset channel specs (informativeness/noise)."""
+        return self.module.default_channels()
+
+    @property
+    def modalities(self) -> tuple[str, ...]:
+        return self.shapes.modality_names
+
+    @property
+    def task_kind(self) -> str:
+        return self.shapes.task.kind
+
+
+_ENTRIES = (
+    WorkloadInfo("avmnist", "Multimedia", "Small", avmnist.SHAPES,
+                 avmnist.FUSIONS, avmnist.DEFAULT_FUSION, "accuracy", avmnist),
+    WorkloadInfo("mmimdb", "Multimedia", "Large", mmimdb.SHAPES,
+                 mmimdb.FUSIONS, mmimdb.DEFAULT_FUSION, "f1_micro", mmimdb),
+    WorkloadInfo("cmu_mosei", "Affective Computing", "Large", mosei.SHAPES,
+                 mosei.FUSIONS, mosei.DEFAULT_FUSION, "mse", mosei),
+    WorkloadInfo("mustard", "Affective Computing", "Large", mustard.SHAPES,
+                 mustard.FUSIONS, mustard.DEFAULT_FUSION, "accuracy", mustard),
+    WorkloadInfo("medical_vqa", "Intelligent Medicine", "Large", medvqa.SHAPES,
+                 medvqa.FUSIONS, medvqa.DEFAULT_FUSION, "token_accuracy", medvqa),
+    WorkloadInfo("medical_seg", "Intelligent Medicine", "Medium", medseg.SHAPES,
+                 medseg.FUSIONS, medseg.DEFAULT_FUSION, "dice", medseg),
+    WorkloadInfo("mujoco_push", "Smart Robotics", "Medium", push.SHAPES,
+                 push.FUSIONS, push.DEFAULT_FUSION, "mse", push),
+    WorkloadInfo("vision_touch", "Smart Robotics", "Medium", visiontouch.SHAPES,
+                 visiontouch.FUSIONS, visiontouch.DEFAULT_FUSION, "accuracy", visiontouch),
+    WorkloadInfo("transfuser", "Automatic Driving", "Medium", transfuser.SHAPES,
+                 transfuser.FUSIONS, transfuser.DEFAULT_FUSION, "l1", transfuser),
+)
+
+WORKLOADS: dict[str, WorkloadInfo] = {e.name: e for e in _ENTRIES}
+
+
+def get_workload(name: str) -> WorkloadInfo:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+
+
+def list_workloads() -> list[str]:
+    """All registered workload names in Table 3 order."""
+    return [e.name for e in _ENTRIES]
+
+
+def domains() -> dict[str, list[str]]:
+    """Workloads grouped by application domain."""
+    grouped: dict[str, list[str]] = {}
+    for e in _ENTRIES:
+        grouped.setdefault(e.domain, []).append(e.name)
+    return grouped

@@ -1,0 +1,108 @@
+"""TransFuser: camera + LiDAR end-to-end driving (Automatic Driving).
+
+The paper extracts the TransFuser network [35] from the CARLA simulator:
+a ResNet branch per sensor (single-view image, BEV-projected LiDAR), a
+Multi-Modal Fusion Transformer that cross-attends the two feature maps,
+and an auto-regressive GRU waypoint-prediction head. We reproduce the
+same extraction: ResNet-S branches produce feature maps, a transformer
+mixes pooled grid tokens from both maps, and the waypoint GRU rolls out
+four (x, y) waypoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import TRANSFUSER as SHAPES
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import ResNetSEncoder
+from repro.workloads.heads import WaypointGRUHead
+
+FUSIONS = ("transformer",)
+DEFAULT_FUSION = "transformer"
+
+_WIDTH = 8
+_MAP_CHANNELS = 4 * _WIDTH
+_NUM_WAYPOINTS = 4
+
+
+class FusionTransformer(nn.Module):
+    """TransFuser's Multi-Modal Fusion Transformer over grid tokens.
+
+    Each branch's feature map is average-pooled to a 4x4 grid; the 16+16
+    tokens (with learned sensor embeddings) pass through a small
+    transformer stack and are mean-pooled into the driving feature.
+    """
+
+    def __init__(self, channels: int, rng: np.random.Generator,
+                 num_heads: int = 4, num_layers: int = 2, grid: int = 4):
+        super().__init__()
+        self.grid = grid
+        self.channels = channels
+        self.sensor_embed = nn.Parameter(nn.init.normal((2, channels), 0.02, rng))
+        self.layers = nn.ModuleList(
+            [nn.TransformerEncoderLayer(channels, num_heads, rng=rng) for _ in range(num_layers)]
+        )
+
+    def _tokens(self, feature_map: Tensor, sensor_index: int) -> Tensor:
+        b, c, h, w = feature_map.shape
+        if h > self.grid:
+            feature_map = F.avg_pool2d(feature_map, h // self.grid)
+        b, c, g1, g2 = feature_map.shape
+        tokens = feature_map.reshape((b, c, g1 * g2)).transpose((0, 2, 1))
+        embed = F.getitem(self.sensor_embed, slice(sensor_index, sensor_index + 1))
+        return tokens + embed
+
+    def forward(self, maps: list[Tensor]) -> Tensor:
+        image_map, lidar_map = maps
+        seq = F.concat([self._tokens(image_map, 0), self._tokens(lidar_map, 1)], axis=1)
+        for layer in self.layers:
+            seq = layer(seq)
+        return seq.mean(axis=1)  # (B, channels)
+
+
+class TransFuserModel(MultiModalModel):
+    """Feature-map fusion overrides the vector-fusion default."""
+
+    def _fuse(self, features: list[Tensor]) -> Tensor:
+        return self.fusion(features)
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> TransFuserModel:
+    if fusion not in FUSIONS:
+        raise KeyError(f"transfuser supports fusions {FUSIONS}, got {fusion!r}")
+    rng = np.random.default_rng(seed)
+    encoders = {
+        "image": ResNetSEncoder(3, _MAP_CHANNELS, rng, width=_WIDTH, return_map=True),
+        "lidar": ResNetSEncoder(2, _MAP_CHANNELS, rng, width=_WIDTH, return_map=True),
+    }
+    fusion_module = FusionTransformer(_MAP_CHANNELS, rng)
+    head = WaypointGRUHead(_MAP_CHANNELS, _NUM_WAYPOINTS, rng)
+    return TransFuserModel(f"transfuser[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    """Image-only (or LiDAR-only) driving baseline with a pooled feature.
+
+    The paper notes LiDAR is seldom executed without the image modality;
+    both single-sensor baselines are still provided for completeness.
+    """
+    rng = np.random.default_rng(seed)
+    spec = SHAPES.modality(modality)
+    encoder = ResNetSEncoder(spec.shape[0], _MAP_CHANNELS, rng, width=_WIDTH, return_map=False)
+    head = WaypointGRUHead(_MAP_CHANNELS, _NUM_WAYPOINTS, rng)
+    return MultiModalModel(
+        f"transfuser:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Camera sees lateral context; LiDAR sees longitudinal geometry."""
+    return {
+        "image": ChannelSpec(snr=1.2, corrupt_prob=0.12, informative_components=(0, 1, 2, 3)),
+        "lidar": ChannelSpec(snr=1.2, corrupt_prob=0.12, informative_components=(4, 5, 6, 7)),
+    }

@@ -1,0 +1,60 @@
+"""Vision & Touch: contact prediction for manipulation (Smart Robotics).
+
+Predicts action-conditional contact from RGB, force/torque,
+proprioception and depth streams [23]. Table 3: CNN encoders for image,
+force and depth (the force stream uses temporal 1-D convolutions); MLP
+for proprioception.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.generators import ChannelSpec
+from repro.data.shapes import VISION_TOUCH as SHAPES
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import CNNEncoder, MLPEncoder, TemporalConvEncoder
+from repro.workloads.fusion import make_fusion
+from repro.workloads.heads import ClassificationHead
+
+FUSIONS = ("concat", "tensor", "sum", "linear_glu")
+DEFAULT_FUSION = "concat"
+
+_FEATURE_DIM = 32
+
+
+def _make_encoder(modality: str, rng: np.random.Generator):
+    spec = SHAPES.modality(modality)
+    if modality in ("image", "depth"):
+        return CNNEncoder(spec.shape[0], _FEATURE_DIM, rng)
+    if modality == "force":
+        return TemporalConvEncoder(spec.shape[1], _FEATURE_DIM, rng)
+    t, d = spec.shape
+    return MLPEncoder(t * d, _FEATURE_DIM, rng)
+
+
+def build(fusion: str = DEFAULT_FUSION, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoders = {m.name: _make_encoder(m.name, rng) for m in SHAPES.modalities}
+    fusion_module = make_fusion(fusion, [_FEATURE_DIM] * 4, _FEATURE_DIM, rng=rng)
+    head = ClassificationHead(_FEATURE_DIM, SHAPES.task.num_classes, rng)
+    return MultiModalModel(f"vision_touch[{fusion}]", SHAPES, encoders, fusion_module, head)
+
+
+def build_unimodal(modality: str, seed: int = 0) -> MultiModalModel:
+    rng = np.random.default_rng(seed)
+    encoder = _make_encoder(modality, rng)
+    head = ClassificationHead(_FEATURE_DIM, SHAPES.task.num_classes, rng)
+    return MultiModalModel(
+        f"vision_touch:{modality}", unimodal_shapes(SHAPES, modality), {modality: encoder}, None, head
+    )
+
+
+def default_channels() -> dict[str, ChannelSpec]:
+    """Force is the contact oracle; vision helps disambiguate approach."""
+    return {
+        "image": ChannelSpec(snr=0.9, corrupt_prob=0.25),
+        "force": ChannelSpec(snr=1.4, corrupt_prob=0.10),
+        "proprioception": ChannelSpec(snr=0.7, corrupt_prob=0.30),
+        "depth": ChannelSpec(snr=0.8, corrupt_prob=0.28),
+    }

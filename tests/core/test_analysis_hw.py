@@ -1,0 +1,186 @@
+"""Hardware-model analyses (Figures 6-15): fast, deterministic checks
+that the paper's qualitative findings hold in the reproduction."""
+
+import pytest
+
+from repro.core import analysis
+from repro.trace.events import STAGE_ENCODER, STAGE_FUSION
+
+
+WORKLOADS_FAST = ["avmnist", "mujoco_push", "mmimdb"]
+
+
+class TestStageAnalysis:
+    """Figures 6-7."""
+
+    @pytest.fixture(scope="class")
+    def times(self):
+        return analysis.stage_time_analysis(workloads=WORKLOADS_FAST, batch_size=16)
+
+    @pytest.fixture(scope="class")
+    def resources(self):
+        return analysis.stage_resource_analysis(workloads=["avmnist"], batch_size=16)
+
+    def test_three_stages_everywhere(self, times):
+        for stages in times.values():
+            assert set(stages) == {"encoder", "fusion", "head"}
+
+    def test_encoder_dominates_most_workloads(self, times):
+        assert times["avmnist"]["encoder"] > times["avmnist"]["fusion"]
+        assert times["mmimdb"]["encoder"] > times["mmimdb"]["fusion"]
+
+    def test_complex_fusion_can_exceed_encoder(self, times):
+        """MuJoCo Push's fusion outweighs its encoders (Sec. 4.3.1)."""
+        assert times["mujoco_push"]["fusion"] > times["mujoco_push"]["encoder"]
+
+    def test_encoder_richer_resources(self, resources):
+        stages = resources["avmnist"]
+        for metric in ("dram_utilization", "achieved_occupancy", "ipc"):
+            assert stages["encoder"][metric] > stages["fusion"][metric], metric
+
+    def test_load_store_efficiency_flat(self, resources):
+        """gld/gst efficiency is roughly stage-independent (Sec. 4.3.1)."""
+        stages = resources["avmnist"]
+        values = [stages[s]["gld_efficiency"] for s in stages]
+        assert max(values) - min(values) < 0.25
+
+
+class TestHeterogeneity:
+    """Figures 8-9."""
+
+    def test_stage_kernel_mixes_differ(self):
+        data = analysis.kernel_breakdown_analysis(workloads=["avmnist"], batch_size=16)
+        stages = data["avmnist"]
+        dominant = {stage: max(cats, key=cats.get) for stage, cats in stages.items()}
+        assert len(set(dominant.values())) >= 2
+
+    def test_breakdown_shares_sum_to_one(self):
+        data = analysis.kernel_breakdown_analysis(workloads=["mmimdb"], batch_size=16)
+        for cats in data["mmimdb"].values():
+            assert sum(cats.values()) == pytest.approx(1.0)
+
+    def test_hotspot_varies_across_stages(self):
+        records = analysis.hotspot_across_stages(batch_size=16)
+        assert len(records) == 3
+        ops = {r.context: r.fp32_ops for r in records}
+        # Orders-of-magnitude spread between encoder and head hotspots.
+        assert ops["encoder"] > 5 * ops["head"]
+
+    def test_tensor_fusion_reads_more_dram(self):
+        records = analysis.hotspot_across_fusions(batch_size=16)
+        by_fusion = {r.context: r for r in records}
+        assert by_fusion["tensor"].dram_read_bytes > 1.5 * by_fusion["concat"].dram_read_bytes
+        # ... while staying at a comparable cache-behaviour level (Fig. 9b).
+        assert by_fusion["tensor"].l2_hit_rate == pytest.approx(
+            by_fusion["concat"].l2_hit_rate, abs=0.3)
+
+
+class TestSynchronization:
+    """Figures 10-11."""
+
+    def test_image_is_straggler(self):
+        times = analysis.modality_time_analysis(workloads=("mujoco_push",), batch_size=32)
+        push = times["mujoco_push"]
+        assert max(push, key=push.get) == "image"
+        assert push["image"] > 1.3  # normalized to the fastest modality
+
+    def test_normalization_floor_is_one(self):
+        times = analysis.modality_time_analysis(workloads=("avmnist",), batch_size=16)
+        assert min(times["avmnist"].values()) == pytest.approx(1.0)
+
+    def test_multi_has_larger_cpu_runtime_share(self):
+        rows = analysis.sync_share_analysis(batch_size=32)
+        by_key = {(r.workload, r.variant): r for r in rows}
+        for workload in ("avmnist", "mujoco_push", "medical_seg", "vision_touch"):
+            uni = by_key[(workload, "uni")]
+            multi = by_key[(workload, "multi")]
+            assert multi.cpu_runtime_share > uni.cpu_runtime_share, workload
+            assert uni.cpu_runtime_share + uni.gpu_share == pytest.approx(1.0)
+
+
+class TestBatchSize:
+    """Figures 12-13."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return analysis.batch_size_study(batch_sizes=(40, 400), total_tasks=10_000)
+
+    def test_larger_batches_use_larger_kernels(self, results):
+        by_key = {(r.variant, r.batch_size): r for r in results}
+        for variant in ("slfs", "image"):
+            small = by_key[(variant, 40)].kernel_size_distribution
+            large = by_key[(variant, 400)].kernel_size_distribution
+            assert large["0-10"] < small["0-10"]
+
+    def test_10x_batch_far_less_than_10x_speedup(self, results):
+        for variant in ("slfs", "image"):
+            speedup = analysis.speedup_factor(results, variant, 40, 400)
+            assert 1.5 < speedup < 8.0, variant
+
+    def test_multimodal_slower_overall(self, results):
+        by_key = {(r.variant, r.batch_size): r for r in results}
+        assert (by_key[("slfs", 40)].inference_time_total
+                > by_key[("image", 40)].inference_time_total)
+
+    def test_peak_memory_linear_and_multi_heavier(self):
+        mem = analysis.peak_memory_study(batch_sizes=(40, 400))
+        for variant in ("slfs", "image"):
+            m40, m400 = mem[variant][40], mem[variant][400]
+            # Model is batch-invariant; dataset and intermediate scale ~10x.
+            assert m400.model == pytest.approx(m40.model)
+            assert m400.dataset == pytest.approx(10 * m40.dataset, rel=0.01)
+            assert m400.intermediate == pytest.approx(10 * m40.intermediate, rel=0.15)
+        assert mem["slfs"][400].intermediate > mem["image"][400].intermediate
+
+
+class TestEdge:
+    """Figures 14-15."""
+
+    @pytest.fixture(scope="class")
+    def latencies(self):
+        return analysis.edge_latency_study()
+
+    @pytest.fixture(scope="class")
+    def stalls(self):
+        return analysis.edge_stall_study()
+
+    def test_nano_much_slower_than_server(self, latencies):
+        by_key = {(r.device, r.variant, r.batch_size): r for r in latencies}
+        ratio = (by_key[("nano", "slfs", 40)].inference_time
+                 / by_key[("2080ti", "slfs", 40)].inference_time)
+        assert ratio > 4.0
+
+    def test_nano_latency_rises_at_b320(self, latencies):
+        by_key = {(r.device, r.variant, r.batch_size): r for r in latencies}
+        nano = [by_key[("nano", "slfs", b)].inference_time for b in (40, 80, 160, 320)]
+        assert nano[3] > nano[2]  # the capacity cliff
+        server = [by_key[("2080ti", "slfs", b)].inference_time for b in (40, 80, 160, 320)]
+        assert server == sorted(server, reverse=True)  # monotone decrease
+
+    def test_cliff_driven_by_memory_pressure(self, latencies):
+        by_key = {(r.device, r.variant, r.batch_size): r for r in latencies}
+        assert by_key[("nano", "slfs", 320)].memory_pressure > 0.8
+        assert by_key[("nano", "slfs", 160)].memory_pressure < 0.8
+        assert by_key[("2080ti", "slfs", 320)].slowdown == 1.0
+
+    def test_stall_mix_shifts(self, stalls):
+        assert analysis.dominant_stalls(stalls, "nano")[0] == "Exec"
+        assert analysis.dominant_stalls(stalls, "2080ti")[0] in ("Mem", "Cache")
+
+    def test_stage_stall_profiles_present(self, stalls):
+        configs = {p.config for p in stalls if p.device == "nano"}
+        assert {"uni0", "uni1", "slfs", "encoder", "fusion", "head"} <= configs
+
+    def test_nano_resource_usage(self):
+        counters = analysis.edge_resource_study()
+        # DRAM utilization stays high across stages on the nano (Fig. 15c).
+        for stage, c in counters.items():
+            assert c["dram_utilization"] > 0.3, stage
+        # Fusion occupancy no longer trails the encoder's on the edge.
+        assert (counters["fusion"]["achieved_occupancy"]
+                >= counters["encoder"]["achieved_occupancy"] - 1e-6)
+
+    def test_multimodal_ratio_reported_everywhere(self, latencies):
+        ratios = analysis.multimodal_ratio(latencies, 40)
+        assert set(ratios) == {"nano", "orin", "2080ti"}
+        assert all(r > 1.0 for r in ratios.values())

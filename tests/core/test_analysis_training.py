@@ -1,0 +1,60 @@
+"""Training-based analyses (Figures 4-5) at a reduced budget.
+
+These train real models, so budgets are small; the benchmark harness runs
+the full-budget versions. The qualitative claims must already hold here:
+fusion beats the best single modality on AV-MNIST, and the major modality
+covers most of the correctly-processed samples.
+"""
+
+import pytest
+
+from repro.core import analysis
+
+BUDGET = dict(n_train=256, n_test=192, epochs=5)
+
+
+@pytest.fixture(scope="module")
+def perf_rows():
+    return analysis.performance_analysis(workloads=["avmnist"],
+                                         fusions_per_workload=2, **BUDGET)
+
+
+class TestPerformance:
+    def test_row_inventory(self, perf_rows):
+        variants = {r.variant for r in perf_rows}
+        assert {"image", "audio", "concat", "tensor"} <= variants
+
+    def test_all_above_chance(self, perf_rows):
+        for row in perf_rows:
+            assert row.value > 0.2, row  # chance = 0.1 on 10 classes
+
+    def test_multimodal_beats_best_unimodal(self, perf_rows):
+        best = analysis.best_by_kind(perf_rows, "avmnist")
+        assert best["multimodal"].value > best["unimodal"].value
+
+    def test_fusion_spread_nonzero(self, perf_rows):
+        assert analysis.fusion_spread(perf_rows, "avmnist") > 0.0
+
+    def test_best_by_kind_unknown_workload(self, perf_rows):
+        with pytest.raises(KeyError):
+            analysis.best_by_kind(perf_rows, "transfuser")
+
+
+class TestModalityExclusivity:
+    @pytest.fixture(scope="class")
+    def sets(self):
+        return analysis.exclusive_correct_analysis(workloads=("avmnist",), **BUDGET)
+
+    def test_partition_sums_to_one(self, sets):
+        assert sets[0].total == pytest.approx(1.0)
+
+    def test_major_modality_covers_most(self, sets):
+        """Paper: >75% of correct samples need only the major modality."""
+        assert sets[0].major_fraction > 0.7
+
+    def test_fusion_only_is_small(self, sets):
+        """Paper: <5% of correct samples truly require fusion."""
+        assert sets[0].fusion_only_fraction < 0.1
+
+    def test_major_is_image(self, sets):
+        assert sets[0].major_modality == "image"

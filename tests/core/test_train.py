@@ -1,0 +1,105 @@
+"""Training harness: loss/metric dispatch and correctness masks."""
+
+import numpy as np
+import pytest
+
+from repro.core.train import (
+    correct_mask,
+    evaluate,
+    loss_fn_for,
+    metric_fn_for,
+    train_model,
+)
+from repro.data.generators import LatentMultimodalDataset
+from repro.nn.tensor import Tensor
+from repro.workloads.registry import get_workload
+
+TASK_KINDS = ("classification", "multilabel", "regression", "segmentation", "generation")
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("kind", TASK_KINDS)
+    def test_loss_and_metric_exist(self, kind):
+        assert callable(loss_fn_for(kind))
+        metric, higher = metric_fn_for(kind)
+        assert callable(metric)
+        assert isinstance(higher, bool)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            loss_fn_for("ranking")
+        with pytest.raises(ValueError):
+            metric_fn_for("ranking")
+
+    def test_regression_metric_lower_is_better(self):
+        _, higher = metric_fn_for("regression")
+        assert not higher
+
+    def test_generation_loss_reduces_over_positions(self):
+        logits = Tensor(np.zeros((2, 3, 5), dtype=np.float32), requires_grad=True)
+        loss = loss_fn_for("generation")(logits, np.zeros((2, 3), dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(5), rel=1e-4)
+
+
+class TestCorrectMask:
+    def test_classification(self):
+        out = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]], dtype=np.float32))
+        mask = correct_mask(out, np.array([0, 0]), "classification")
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_multilabel_uses_per_sample_f1(self):
+        out = Tensor(np.array([[5.0, 5.0], [-5.0, -5.0]], dtype=np.float32))
+        targets = np.array([[1, 1], [1, 1]])
+        mask = correct_mask(out, targets, "multilabel")
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_regression_tolerance(self):
+        out = Tensor(np.array([[0.1], [2.0]], dtype=np.float32))
+        mask = correct_mask(out, np.array([[0.0], [0.0]]), "regression")
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_segmentation_dice_threshold(self):
+        good = np.full((1, 1, 4, 4), 5.0, dtype=np.float32)
+        bad = np.full((1, 1, 4, 4), -5.0, dtype=np.float32)
+        out = Tensor(np.concatenate([good, bad]))
+        targets = np.ones((2, 1, 4, 4), dtype=np.int64)
+        mask = correct_mask(out, targets, "segmentation")
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_generation_requires_all_tokens(self):
+        logits = np.zeros((1, 2, 3), dtype=np.float32)
+        logits[0, 0, 1] = 5.0
+        logits[0, 1, 2] = 5.0
+        mask = correct_mask(Tensor(logits), np.array([[1, 2]]), "generation")
+        np.testing.assert_array_equal(mask, [True])
+        mask = correct_mask(Tensor(logits), np.array([[1, 0]]), "generation")
+        np.testing.assert_array_equal(mask, [False])
+
+
+class TestTrainModel:
+    def test_avmnist_learns_above_chance(self):
+        info = get_workload("avmnist")
+        ds = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=3)
+        result = train_model(info.build("concat", seed=0), ds,
+                             n_train=128, n_test=96, epochs=3)
+        assert result.metric > 0.3  # chance = 0.1
+        assert result.higher_is_better
+        assert len(result.loss_history) == 3 * 4  # epochs * ceil(128/32)
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_unimodal_uses_only_its_stream(self):
+        info = get_workload("avmnist")
+        ds = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=3)
+        result = train_model(info.build_unimodal("audio", seed=0), ds,
+                             n_train=64, n_test=32, epochs=1)
+        assert result.test_outputs.shape == (32, 10)
+
+    def test_evaluate_batches_large_sets(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        ds = LatentMultimodalDataset(info.shapes, seed=0)
+        batch, targets = ds.sample(70, seed=1)
+        outputs, metric = evaluate(model, batch, targets, "classification",
+                                   eval_batch_size=32)
+        assert outputs.shape == (70, 10)
+        assert 0.0 <= metric <= 1.0

@@ -1,0 +1,101 @@
+"""Latent-factor generator: shapes, determinism, channel semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import ChannelSpec, LatentMultimodalDataset
+from repro.data.shapes import ALL_SHAPES, AVMNIST, CMU_MOSEI, MEDICAL_SEG, MEDICAL_VQA
+
+
+class TestSampling:
+    @pytest.mark.parametrize("name", sorted(ALL_SHAPES))
+    def test_all_workloads_sample(self, name):
+        shapes = ALL_SHAPES[name]
+        ds = LatentMultimodalDataset(shapes, seed=0)
+        batch, targets = ds.sample(5, seed=1)
+        for spec in shapes.modalities:
+            assert batch[spec.name].shape == (5, *spec.shape)
+        assert len(targets) == 5
+
+    def test_invalid_n_raises(self):
+        ds = LatentMultimodalDataset(AVMNIST, seed=0)
+        with pytest.raises(ValueError, match="positive"):
+            ds.sample(0)
+
+    def test_deterministic_given_seeds(self):
+        a = LatentMultimodalDataset(AVMNIST, seed=3).sample(4, seed=7)
+        b = LatentMultimodalDataset(AVMNIST, seed=3).sample(4, seed=7)
+        np.testing.assert_array_equal(a[0]["image"], b[0]["image"])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_sample_seeds_differ(self):
+        ds = LatentMultimodalDataset(AVMNIST, seed=3)
+        a, _ = ds.sample(4, seed=1)
+        b, _ = ds.sample(4, seed=2)
+        assert not np.allclose(a["image"], b["image"])
+
+
+class TestChannelSemantics:
+    def test_snr_raises_signal_energy(self):
+        quiet = LatentMultimodalDataset(
+            AVMNIST, {"image": ChannelSpec(snr=0.1)}, seed=0, noise=0.0)
+        loud = LatentMultimodalDataset(
+            AVMNIST, {"image": ChannelSpec(snr=3.0)}, seed=0, noise=0.0)
+        q, _ = quiet.sample(16, seed=1)
+        l, _ = loud.sample(16, seed=1)
+        assert np.abs(l["image"]).mean() > np.abs(q["image"]).mean() * 5
+
+    def test_full_corruption_removes_class_info(self):
+        # With corrupt_prob=1 and pure drops, same-class samples should not
+        # share their class template.
+        ds = LatentMultimodalDataset(AVMNIST, {"image": ChannelSpec(corrupt_prob=1.0)},
+                                     seed=0, noise=0.0)
+        ds._DROP_FRACTION = 1.0
+        batch, _ = ds.sample(8, seed=1)
+        assert np.abs(batch["image"]).max() == pytest.approx(0.0)
+
+    def test_class_signal_separable(self):
+        """Same-class samples correlate more than cross-class samples."""
+        ds = LatentMultimodalDataset(AVMNIST, {"image": ChannelSpec(snr=5.0)},
+                                     seed=0, noise=0.1)
+        batch, y = ds.sample(64, seed=1)
+        flat = batch["image"].reshape(64, -1)
+        same, cross = [], []
+        for i in range(0, 32):
+            for j in range(32, 64):
+                corr = np.dot(flat[i], flat[j]) / (
+                    np.linalg.norm(flat[i]) * np.linalg.norm(flat[j]) + 1e-9)
+                (same if y[i] == y[j] else cross).append(corr)
+        assert np.mean(same) > np.mean(cross) + 0.3
+
+
+class TestTaskSpecificSampling:
+    def test_regression_targets_in_range(self):
+        ds = LatentMultimodalDataset(CMU_MOSEI, seed=0)
+        _, t = ds.sample(32, seed=1)
+        assert t.shape == (32, 1)
+        assert (np.abs(t) <= 1.0).all()
+
+    def test_segmentation_masks_binary_ellipses(self):
+        ds = LatentMultimodalDataset(MEDICAL_SEG, seed=0)
+        batch, masks = ds.sample(4, seed=1)
+        assert set(np.unique(masks)) <= {0, 1}
+        # Each mask has a nonempty tumor region that is not the whole image.
+        per_sample = masks.reshape(4, -1).mean(axis=1)
+        assert (per_sample > 0.01).all() and (per_sample < 0.9).all()
+
+    def test_generation_targets_deterministic_function(self):
+        ds = LatentMultimodalDataset(MEDICAL_VQA, seed=0)
+        _, answers = ds.sample(16, seed=1)
+        assert answers.shape == (16, 4)
+        assert answers.max() < MEDICAL_VQA.task.num_classes
+        # Consecutive answer tokens differ by 1 (mod vocab) by construction.
+        diffs = (answers[:, 1] - answers[:, 0]) % MEDICAL_VQA.task.num_classes
+        assert (diffs == 1).all()
+
+    def test_multilabel_tokens_mix_labels(self):
+        mmimdb = ALL_SHAPES["mmimdb"]
+        ds = LatentMultimodalDataset(mmimdb, seed=0)
+        batch, y = ds.sample(8, seed=1)
+        assert batch["text"].shape == (8, 48)
+        assert y.shape == (8, mmimdb.task.num_classes)

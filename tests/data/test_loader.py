@@ -1,0 +1,58 @@
+"""Mini-batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader
+
+
+@pytest.fixture
+def batch():
+    return {
+        "a": np.arange(10, dtype=np.float32).reshape(10, 1),
+        "b": np.arange(20, dtype=np.float32).reshape(10, 2),
+    }
+
+
+@pytest.fixture
+def targets():
+    return np.arange(10)
+
+
+class TestDataLoader:
+    def test_batches_cover_everything(self, batch, targets):
+        loader = DataLoader(batch, targets, batch_size=3)
+        seen = np.concatenate([t for _, t in loader])
+        np.testing.assert_array_equal(np.sort(seen), targets)
+        assert len(loader) == 4
+
+    def test_drop_last(self, batch, targets):
+        loader = DataLoader(batch, targets, batch_size=3, drop_last=True)
+        chunks = list(loader)
+        assert len(chunks) == 3
+        assert all(len(t) == 3 for _, t in chunks)
+
+    def test_shuffle_reorders_but_preserves_pairing(self, batch, targets):
+        loader = DataLoader(batch, targets, batch_size=10, shuffle=True, seed=1)
+        xb, yb = next(iter(loader))
+        assert not np.array_equal(yb, targets)  # reordered
+        np.testing.assert_array_equal(xb["a"][:, 0], yb)  # pairing kept
+
+    def test_modalities_sliced_together(self, batch, targets):
+        loader = DataLoader(batch, targets, batch_size=4)
+        xb, yb = next(iter(loader))
+        np.testing.assert_array_equal(xb["a"][:, 0], yb)
+        np.testing.assert_array_equal(xb["b"][:, 0], yb * 2)
+
+    def test_invalid_batch_size(self, batch, targets):
+        with pytest.raises(ValueError, match="positive"):
+            DataLoader(batch, targets, batch_size=0)
+
+    def test_unequal_modalities_raise(self, targets):
+        bad = {"a": np.zeros((10, 1)), "b": np.zeros((9, 1))}
+        with pytest.raises(ValueError, match="unequal"):
+            DataLoader(bad, targets, batch_size=2)
+
+    def test_target_length_mismatch_raises(self, batch):
+        with pytest.raises(ValueError, match="length"):
+            DataLoader(batch, np.arange(7), batch_size=2)

@@ -1,0 +1,75 @@
+"""Workload shape catalogue (Table 3 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import (
+    ALL_SHAPES,
+    AVMNIST,
+    MEDICAL_SEG,
+    ModalityKind,
+    ModalitySpec,
+    TRANSFUSER,
+)
+
+
+class TestCatalogue:
+    def test_nine_workloads(self):
+        assert len(ALL_SHAPES) == 9
+
+    def test_modal_counts_match_table3(self):
+        expected = {
+            "avmnist": 2, "mmimdb": 2, "cmu_mosei": 3, "mustard": 3,
+            "medical_vqa": 2, "medical_seg": 4, "mujoco_push": 4,
+            "vision_touch": 4, "transfuser": 2,
+        }
+        for name, count in expected.items():
+            assert len(ALL_SHAPES[name].modalities) == count, name
+
+    def test_task_kinds_match_table3(self):
+        assert ALL_SHAPES["avmnist"].task.kind == "classification"
+        assert ALL_SHAPES["mmimdb"].task.kind == "multilabel"
+        assert ALL_SHAPES["cmu_mosei"].task.kind == "regression"
+        assert ALL_SHAPES["medical_vqa"].task.kind == "generation"
+        assert ALL_SHAPES["medical_seg"].task.kind == "segmentation"
+
+    def test_medical_seg_has_four_mri_sequences(self):
+        assert MEDICAL_SEG.modality_names == ("t1", "t1c", "t2", "flair")
+
+    def test_transfuser_modalities(self):
+        assert TRANSFUSER.modality_names == ("image", "lidar")
+
+    def test_modality_lookup(self):
+        spec = AVMNIST.modality("image")
+        assert spec.kind == ModalityKind.IMAGE
+        with pytest.raises(KeyError, match="no modality"):
+            AVMNIST.modality("lidar")
+
+    def test_sample_bytes(self):
+        image = AVMNIST.modality("image")
+        assert image.sample_bytes == 28 * 28 * 4
+        text = ALL_SHAPES["mmimdb"].modality("text")
+        assert text.sample_bytes == 48 * 8  # int64 tokens
+        assert AVMNIST.sample_bytes == sum(m.sample_bytes for m in AVMNIST.modalities)
+
+
+class TestValidation:
+    def test_token_modality_needs_vocab(self):
+        spec = ModalitySpec("t", ModalityKind.TOKENS, (8,), vocab_size=0)
+        with pytest.raises(ValueError, match="vocab_size"):
+            spec.validate()
+
+    def test_token_modality_must_be_1d(self):
+        spec = ModalitySpec("t", ModalityKind.TOKENS, (8, 2), vocab_size=10)
+        with pytest.raises(ValueError, match="1-D"):
+            spec.validate()
+
+    def test_sequence_must_be_2d(self):
+        spec = ModalitySpec("s", ModalityKind.SEQUENCE, (8,))
+        with pytest.raises(ValueError, match="T, D"):
+            spec.validate()
+
+    def test_image_must_be_3d(self):
+        spec = ModalitySpec("i", ModalityKind.IMAGE, (8, 8))
+        with pytest.raises(ValueError, match="C, H, W"):
+            spec.validate()

@@ -1,0 +1,67 @@
+"""The dataset-free random-input abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import ALL_SHAPES, AVMNIST
+from repro.data.synthetic import (
+    batch_bytes,
+    random_batch,
+    random_modality_batch,
+    random_targets,
+)
+
+
+class TestRandomBatch:
+    @pytest.mark.parametrize("name", sorted(ALL_SHAPES))
+    def test_shapes_and_dtypes(self, name):
+        shapes = ALL_SHAPES[name]
+        batch = random_batch(shapes, 4, seed=0)
+        assert set(batch) == set(shapes.modality_names)
+        for spec in shapes.modalities:
+            arr = batch[spec.name]
+            assert arr.shape == (4, *spec.shape)
+            if spec.kind.value == "tokens":
+                assert arr.dtype == np.int64
+                assert arr.min() >= 0 and arr.max() < spec.vocab_size
+            else:
+                assert arr.dtype == np.float32
+
+    def test_deterministic_by_seed(self):
+        a = random_batch(AVMNIST, 2, seed=5)
+        b = random_batch(AVMNIST, 2, seed=5)
+        np.testing.assert_array_equal(a["image"], b["image"])
+
+    def test_different_seeds_differ(self):
+        a = random_batch(AVMNIST, 2, seed=1)
+        b = random_batch(AVMNIST, 2, seed=2)
+        assert not np.allclose(a["image"], b["image"])
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            random_modality_batch(AVMNIST.modalities[0], 0, rng)
+
+
+class TestRandomTargets:
+    @pytest.mark.parametrize("name", sorted(ALL_SHAPES))
+    def test_targets_match_task(self, name):
+        shapes = ALL_SHAPES[name]
+        t = random_targets(shapes, 6, seed=0)
+        kind = shapes.task.kind
+        if kind == "classification":
+            assert t.shape == (6,)
+            assert t.max() < shapes.task.num_classes
+        elif kind == "multilabel":
+            assert t.shape == (6, shapes.task.num_classes)
+            assert set(np.unique(t)) <= {0, 1}
+        elif kind == "regression":
+            assert t.shape == (6, shapes.task.output_dim)
+        elif kind == "segmentation":
+            assert t.shape == (6, *shapes.task.output_shape)
+        elif kind == "generation":
+            assert t.shape == (6, 4)
+
+    def test_batch_bytes(self):
+        batch = random_batch(AVMNIST, 3, seed=0)
+        expected = 3 * (28 * 28 * 4 + 20 * 20 * 4)
+        assert batch_bytes(batch) == expected

@@ -1,0 +1,61 @@
+"""Timeloop-style export."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.synthetic import random_batch
+from repro.export.timeloop import export_problems, export_summary, kernel_to_problem
+from repro.trace.events import KernelCategory, KernelEvent
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    info = get_workload("avmnist")
+    model = info.build(seed=0)
+    batch = random_batch(info.shapes, 2, seed=0)
+    tracer = Tracer()
+    with tracer.activate(), nn.no_grad():
+        model(batch)
+    return tracer.finish()
+
+
+class TestKernelToProblem:
+    def test_gemm_export(self):
+        kernel = KernelEvent("gemm", KernelCategory.GEMM, 1e6, 1e3, 1e3, 100,
+                             meta={"m": 8, "n": 16, "k": 32})
+        problem = kernel_to_problem(kernel)
+        assert problem["problem"]["shape"] == "gemm"
+        assert problem["problem"] == {"shape": "gemm", "M": 8, "N": 16, "K": 32}
+
+    def test_conv_export(self):
+        kernel = KernelEvent("conv", KernelCategory.CONV, 1e6, 1e3, 1e3, 100,
+                             meta={"kh": 3, "kw": 3, "stride": 2})
+        problem = kernel_to_problem(kernel)
+        assert problem["problem"]["R"] == 3
+        assert problem["problem"]["Wstride"] == 2
+
+    def test_non_exportable_returns_none(self):
+        kernel = KernelEvent("relu", KernelCategory.RELU, 1.0, 1.0, 1.0, 1)
+        assert kernel_to_problem(kernel) is None
+
+    def test_gemm_without_meta_skipped(self):
+        kernel = KernelEvent("gemm", KernelCategory.GEMM, 1.0, 1.0, 1.0, 1)
+        assert kernel_to_problem(kernel) is None
+
+
+class TestExport:
+    def test_problems_from_real_trace(self, trace):
+        problems = export_problems(trace)
+        assert problems, "expected conv/gemm problems from AV-MNIST"
+        shapes = {p["problem"]["shape"] for p in problems}
+        assert shapes == {"gemm", "cnn-layer"}
+        assert all(p["stage"] in ("encoder", "fusion", "head") for p in problems)
+
+    def test_summary(self, trace):
+        summary = export_summary(trace)
+        assert summary["num_problems"] == len(export_problems(trace))
+        assert summary["total_flops"] == trace.total_flops
+        assert set(summary["modalities"]) == {"image", "audio"}

@@ -1,0 +1,41 @@
+"""Device catalogue."""
+
+import pytest
+
+from repro.hw.device import DEVICES, JETSON_NANO, JETSON_ORIN, RTX_2080TI, get_device
+
+
+class TestCatalog:
+    def test_aliases(self):
+        assert get_device("2080ti") is RTX_2080TI
+        assert get_device("nano") is JETSON_NANO
+        assert get_device("orin") is JETSON_ORIN
+        assert get_device("jetson_nano") is JETSON_NANO
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_device("tpu")
+
+    def test_datasheet_ordering(self):
+        assert RTX_2080TI.peak_fp32_flops > JETSON_ORIN.peak_fp32_flops > JETSON_NANO.peak_fp32_flops
+        assert RTX_2080TI.dram_bandwidth > JETSON_ORIN.dram_bandwidth > JETSON_NANO.dram_bandwidth
+
+    def test_unified_memory_flags(self):
+        assert not RTX_2080TI.unified_memory
+        assert JETSON_NANO.unified_memory and JETSON_ORIN.unified_memory
+
+    def test_derived_properties(self):
+        assert RTX_2080TI.max_resident_threads == 68 * 1024
+        assert RTX_2080TI.flops_per_byte_balance == pytest.approx(13.45e12 / 616e9)
+
+    def test_edge_pressure_parameters(self):
+        # The Figure-15 stall-shift mechanism requires these orderings.
+        assert JETSON_NANO.exec_dep_pressure > RTX_2080TI.exec_dep_pressure
+        assert JETSON_NANO.inst_fetch_pressure > RTX_2080TI.inst_fetch_pressure
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RTX_2080TI.sm_count = 1
+
+    def test_all_registered(self):
+        assert {"rtx2080ti", "jetson_nano", "jetson_orin"} <= set(DEVICES)

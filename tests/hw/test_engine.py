@@ -1,0 +1,127 @@
+"""Execution engine: report aggregations and host-event pricing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hw.device import JETSON_NANO, RTX_2080TI, get_device
+from repro.hw.engine import ExecutionEngine, KERNEL_SIZE_BINS
+from repro.nn.tensor import Tensor
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.tracer import Trace, Tracer
+
+
+def k(stage="encoder", modality=None, flops=1e7, threads=10_000, cat=KernelCategory.GEMM):
+    return KernelEvent(name="k", category=cat, flops=flops, bytes_read=1e5,
+                       bytes_written=1e4, threads=threads, stage=stage, modality=modality)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        kernels=[
+            k("encoder", "image", flops=1e8),
+            k("encoder", "audio", flops=1e6),
+            k("fusion", None, flops=1e5, cat=KernelCategory.ELEWISE),
+            k("head", None, flops=1e5),
+        ],
+        host_events=[
+            HostEvent(kind=HostOpKind.H2D, bytes=1e6),
+            HostEvent(kind=HostOpKind.SYNC),
+            HostEvent(kind=HostOpKind.D2H, bytes=1e5),
+            HostEvent(kind=HostOpKind.DATA_PREP, bytes=1e5),
+            HostEvent(kind=HostOpKind.PREPROCESS, bytes=1e6),
+            HostEvent(kind=HostOpKind.LAUNCH),
+        ],
+    )
+
+
+@pytest.fixture
+def report(trace):
+    return ExecutionEngine(RTX_2080TI).run(trace, model_bytes=1e6, input_bytes=1e6)
+
+
+class TestReportBasics:
+    def test_times_positive_and_consistent(self, report):
+        assert report.gpu_time > 0
+        assert report.host_time > 0
+        assert report.total_time == pytest.approx(report.gpu_time + report.host_time)
+        assert 0.0 < report.cpu_runtime_share < 1.0
+
+    def test_host_decomposition(self, report):
+        total_host = (report.launch_time + report.transfer_time
+                      + report.data_prep_time + report.sync_time)
+        assert report.host_time == pytest.approx(total_host)
+        assert report.transfer_time > 0
+        assert report.sync_time > 0
+        assert report.data_prep_time > 0
+
+    def test_kernel_count(self, report):
+        assert len(report.kernels) == 4
+
+    def test_no_thrash_at_low_pressure(self, report):
+        assert report.slowdown == 1.0
+
+
+class TestAggregations:
+    def test_stage_time_keys(self, report):
+        st = report.stage_time()
+        assert set(st) == {"encoder", "fusion", "head"}
+        assert st["encoder"] > st["head"]
+
+    def test_stage_counters(self, report):
+        sc = report.stage_counters()
+        assert "dram_utilization" in sc["encoder"]
+        assert "ipc" in sc["fusion"]
+
+    def test_stage_stalls_normalized(self, report):
+        for stalls in report.stage_stalls().values():
+            assert sum(stalls.values()) == pytest.approx(1.0)
+
+    def test_overall_stalls(self, report):
+        assert sum(report.overall_stalls().values()) == pytest.approx(1.0)
+
+    def test_category_breakdown(self, report):
+        shares = report.category_time_breakdown()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        fusion_only = report.category_time_breakdown(stage="fusion")
+        assert set(fusion_only) == {KernelCategory.ELEWISE}
+
+    def test_modality_time(self, report):
+        mt = report.modality_time()
+        assert set(mt) == {"image", "audio"}
+        assert mt["image"] > mt["audio"]
+        assert report.modality_imbalance() > 1.0
+
+    def test_kernel_size_distribution(self, report):
+        dist = report.kernel_size_distribution()
+        assert set(dist) == set(KERNEL_SIZE_BINS)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_hotspot(self, report):
+        top = report.hotspot(KernelCategory.GEMM, stage="encoder")
+        assert top.event.flops == 1e8
+        assert report.hotspot(KernelCategory.CONV) is None
+
+
+class TestThrashing:
+    def test_over_capacity_slows_everything(self, trace):
+        engine = ExecutionEngine(JETSON_NANO)
+        small = engine.run(trace, model_bytes=1e6, input_bytes=1e6)
+        big = engine.run(trace, model_bytes=2.8e9, input_bytes=1e6)
+        assert big.slowdown > 1.0
+        assert big.total_time > small.total_time * 2
+        # Kernel latencies are inflated consistently.
+        assert big.kernels[0].duration > small.kernels[0].duration
+
+
+class TestEndToEndTrace:
+    def test_real_model_report(self, rng):
+        model = nn.Sequential(nn.Linear(8, 32, rng=rng), nn.ReLU(), nn.Linear(32, 4, rng=rng))
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            model(Tensor(rng.standard_normal((16, 8)).astype(np.float32)))
+        trace = tracer.finish()
+        report = ExecutionEngine(get_device("2080ti")).run(trace)
+        assert report.gpu_time > 0
+        assert len(report.kernels) == len(trace.kernels)

@@ -1,0 +1,84 @@
+"""Batched-serving simulator."""
+
+import pytest
+
+from repro.hw.scheduler import batch_time_from_profile, simulate_serving
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload
+
+
+def affine_batch_time(k: int) -> float:
+    """50us fixed + 10us per task — the roofline model's typical shape."""
+    return 50e-6 + 10e-6 * k
+
+
+class TestClosedBatch:
+    """All tasks queued at t=0 (the paper's Sec. 5.1 setting)."""
+
+    def test_makespan_matches_hand_count(self):
+        result = simulate_serving(affine_batch_time, batch_size=10, n_tasks=100)
+        # 10 batches of 10: each 50us + 100us = 150us.
+        assert result.makespan == pytest.approx(10 * 150e-6)
+        assert result.server_utilization == pytest.approx(1.0)
+
+    def test_larger_batches_raise_throughput(self):
+        small = simulate_serving(affine_batch_time, batch_size=10, n_tasks=1000)
+        large = simulate_serving(affine_batch_time, batch_size=100, n_tasks=1000)
+        assert large.throughput > small.throughput
+        assert large.makespan < small.makespan
+
+    def test_sublinear_speedup(self):
+        """10x batch never yields 10x throughput with fixed overhead."""
+        b40 = simulate_serving(affine_batch_time, batch_size=40, n_tasks=10_000)
+        b400 = simulate_serving(affine_batch_time, batch_size=400, n_tasks=10_000)
+        assert b400.throughput / b40.throughput < 10.0
+
+    def test_latency_percentiles_ordered(self):
+        result = simulate_serving(affine_batch_time, batch_size=16, n_tasks=256)
+        assert result.mean_latency > 0
+        assert result.p50_latency <= result.p99_latency <= result.makespan
+
+
+class TestOpenLoop:
+    def test_poisson_arrivals_idle_the_server(self):
+        # Arrivals far slower than service: utilization well below 1.
+        result = simulate_serving(affine_batch_time, batch_size=8, n_tasks=200,
+                                  arrival_rate=100.0, seed=1)
+        assert result.server_utilization < 0.5
+        assert result.mean_latency < 0.05
+
+    def test_overload_queues_build(self):
+        slow = lambda k: 1e-3 + 1e-4 * k  # service slower than arrivals
+        result = simulate_serving(slow, batch_size=4, n_tasks=300,
+                                  arrival_rate=10_000.0, seed=1)
+        assert result.server_utilization > 0.9
+        assert result.p99_latency > result.p50_latency
+
+    def test_deterministic_by_seed(self):
+        a = simulate_serving(affine_batch_time, 8, 100, arrival_rate=500.0, seed=3)
+        b = simulate_serving(affine_batch_time, 8, 100, arrival_rate=500.0, seed=3)
+        assert a.mean_latency == b.mean_latency
+
+
+class TestValidation:
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            simulate_serving(affine_batch_time, 0, 10)
+        with pytest.raises(ValueError):
+            simulate_serving(affine_batch_time, 4, 0)
+        with pytest.raises(ValueError):
+            simulate_serving(affine_batch_time, 4, 10, arrival_rate=0.0)
+        with pytest.raises(ValueError, match="positive duration"):
+            simulate_serving(lambda k: 0.0, 4, 10)
+
+
+class TestProfileIntegration:
+    def test_batch_time_from_profile_monotone(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        profiler = MMBenchProfiler("2080ti")
+        batch_time = batch_time_from_profile(profiler, model, "2080ti")
+        times = [batch_time(k) for k in (1, 8, 64, 256)]
+        assert times == sorted(times)
+        # Per-task cost falls with batch size (amortized overheads).
+        assert times[-1] / 256 < times[0] / 1

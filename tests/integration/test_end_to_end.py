@@ -1,0 +1,127 @@
+"""Integration tests: full pipelines across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.suite import BenchmarkSuite, RunConfig
+from repro.core.train import train_model
+from repro.data.generators import LatentMultimodalDataset
+from repro.data.synthetic import random_batch
+from repro.export.timeloop import export_problems
+from repro.profiling.profiler import MMBenchProfiler
+from repro.trace.timeline import scale_trace
+from repro.workloads.registry import get_workload, list_workloads
+
+
+class TestTrainingPipeline:
+    """Data generator -> workload model -> optimizer -> metric."""
+
+    def test_avmnist_fusion_beats_weak_modality(self):
+        info = get_workload("avmnist")
+        ds = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=3)
+        multi = train_model(info.build("concat", seed=0), ds,
+                            n_train=256, n_test=192, epochs=5)
+        audio = train_model(info.build_unimodal("audio", seed=0), ds,
+                            n_train=256, n_test=192, epochs=5)
+        assert multi.metric > audio.metric + 0.05
+
+    def test_mujoco_push_fusion_ordering(self):
+        """Sec. 4.2.2: late-fusion LSTM clearly beats tensor fusion on Push."""
+        info = get_workload("mujoco_push")
+        ds = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=20)
+        lstm = train_model(info.build("late_lstm", seed=0), ds,
+                           n_train=256, n_test=160, epochs=4)
+        tensor = train_model(info.build("tensor", seed=0), ds,
+                             n_train=256, n_test=160, epochs=4)
+        assert lstm.metric < tensor.metric  # MSE: lower is better
+
+    def test_segmentation_trains(self):
+        info = get_workload("medical_seg")
+        ds = LatentMultimodalDataset(info.shapes, info.default_channels(), seed=5)
+        result = train_model(info.build("concat", seed=0), ds,
+                             n_train=96, n_test=32, epochs=4, batch_size=16)
+        assert result.metric > 0.5  # dice well above trivial
+
+
+class TestProfilingPipeline:
+    """Workload -> trace -> device pricing -> report -> export."""
+
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_every_workload_profiles_on_every_device(self, name):
+        info = get_workload(name)
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        profiler = MMBenchProfiler("2080ti")
+        trace = profiler.capture(model, batch)
+        times = {}
+        for device in ("2080ti", "orin", "nano"):
+            report = profiler.price(model, trace, 2, device=device)
+            times[device] = report.total_time
+            assert report.gpu_time > 0
+        assert times["nano"] > times["orin"] > times["2080ti"]
+
+    def test_trace_scaling_composes_with_pricing(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 4, seed=0)
+        profiler = MMBenchProfiler("2080ti")
+        trace = profiler.capture(model, batch)
+        base = profiler.price(model, trace, 4)
+        # Small kernels are launch/ramp-dominated, so modest scaling barely
+        # moves time; a large factor must push into the work-dominated regime.
+        scaled = profiler.price(model, scale_trace(trace, 256.0), 4)
+        assert scaled.gpu_time > base.gpu_time * 10
+
+    def test_profile_then_export(self):
+        info = get_workload("transfuser")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        trace = MMBenchProfiler("2080ti").capture(model, batch)
+        problems = export_problems(trace)
+        assert any(p["problem"]["shape"] == "cnn-layer" for p in problems)
+        assert any(p["problem"]["shape"] == "gemm" for p in problems)
+
+
+class TestSuiteRoundTrip:
+    def test_inference_and_training_step_same_config(self):
+        suite = BenchmarkSuite()
+        config = RunConfig(workload="vision_touch", batch_size=4)
+        profile = suite.run_inference(config)
+        loss = suite.run_training_step(config)
+        assert profile.total_time > 0 and np.isfinite(loss)
+
+    def test_cross_device_consistent_kernel_counts(self):
+        suite = BenchmarkSuite()
+        server = suite.run_inference(RunConfig(workload="avmnist", batch_size=4,
+                                               device="2080ti"))
+        nano = suite.run_inference(RunConfig(workload="avmnist", batch_size=4,
+                                             device="nano"))
+        assert len(server.report.kernels) == len(nano.report.kernels)
+
+
+class TestFailureInjection:
+    def test_missing_modality_detected(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        del batch["audio"]
+        with pytest.raises(KeyError, match="audio"):
+            model(batch)
+
+    def test_wrong_spatial_size_fails_loudly(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        batch["image"] = batch["image"][:, :, :14, :14]
+        with pytest.raises(Exception):
+            model(batch)
+
+    def test_nonfinite_inputs_propagate_not_crash(self):
+        info = get_workload("mujoco_push")
+        model = info.build("concat", seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        batch["image"][:] = np.nan
+        with nn.no_grad():
+            out = model(batch)
+        assert np.isnan(out.data).any()

@@ -1,0 +1,89 @@
+"""Conv1d: values, gradients, shapes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.conftest import numeric_gradient
+
+
+class TestConv1dForward:
+    def test_matches_direct_computation(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6)).astype(np.float32))
+        w = Tensor(rng.standard_normal((3, 2, 3)).astype(np.float32))
+        out = F.conv1d(x, w, None)
+        assert out.shape == (1, 3, 4)
+        expected = (x.data[0, :, 1:4] * w.data[2]).sum()
+        assert out.data[0, 2, 1] == pytest.approx(expected, rel=1e-4)
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = Tensor(rng.standard_normal((2, 4, 16)).astype(np.float32))
+        w = Tensor(rng.standard_normal((8, 4, 5)).astype(np.float32))
+        out = F.conv1d(x, w, None, stride=2, padding=2)
+        assert out.shape == (2, 8, 8)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 2, 8), dtype=np.float32))
+        w = Tensor(np.zeros((1, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            F.conv1d(x, w, None)
+
+    def test_bias_added_per_channel(self, rng):
+        x = Tensor(np.zeros((1, 1, 5), dtype=np.float32))
+        w = Tensor(np.zeros((2, 1, 3), dtype=np.float32))
+        b = Tensor(np.array([1.0, -2.0], dtype=np.float32))
+        out = F.conv1d(x, w, b, padding=1)
+        np.testing.assert_allclose(out.data[0, 0], np.ones(5))
+        np.testing.assert_allclose(out.data[0, 1], -2 * np.ones(5))
+
+
+class TestConv1dGradients:
+    def test_gradients_match_numeric(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 10)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal(4).astype(np.float32), requires_grad=True)
+
+        def run():
+            return F.conv1d(x, w, b, stride=2, padding=1)
+
+        out = run()
+        out.backward(np.ones_like(out.data))
+        for p in (x, w, b):
+            analytic = p.grad.copy()
+            num = numeric_gradient(lambda: float(run().data.sum()), p.data)
+            np.testing.assert_allclose(analytic, num, rtol=2e-2, atol=2e-2)
+
+
+class TestConv1dLayer:
+    def test_layer_shapes_and_repr(self, rng):
+        layer = nn.Conv1d(6, 12, 5, stride=2, padding=2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((3, 6, 32)).astype(np.float32)))
+        assert out.shape == (3, 12, 16)
+        assert "Conv1d(6, 12" in repr(layer)
+
+    def test_no_bias(self, rng):
+        layer = nn.Conv1d(2, 4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+
+    def test_temporal_conv_encoder(self, rng):
+        from repro.workloads.encoders import TemporalConvEncoder
+
+        enc = TemporalConvEncoder(6, 32, rng)
+        out = enc(Tensor(rng.standard_normal((2, 32, 6)).astype(np.float32)))
+        assert out.shape == (2, 32)
+        out.sum().backward()
+        assert enc.conv1.weight.grad is not None
+
+    def test_conv1d_emits_conv_kernel(self, rng):
+        from repro.trace.events import KernelCategory
+        from repro.trace.tracer import Tracer
+
+        layer = nn.Conv1d(2, 4, 3, rng=rng)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            layer(Tensor(rng.standard_normal((1, 2, 8)).astype(np.float32)))
+        trace = tracer.finish()
+        assert any(k.category == KernelCategory.CONV for k in trace.kernels)

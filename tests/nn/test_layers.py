@@ -1,0 +1,200 @@
+"""Layer-level tests: shapes, modes, gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def x_img(rng):
+    return Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32), requires_grad=True)
+
+
+@pytest.fixture
+def x_seq(rng):
+    return Tensor(rng.standard_normal((2, 5, 16)).astype(np.float32), requires_grad=True)
+
+
+def grads_flow(module: nn.Module) -> bool:
+    return all(p.grad is not None and np.isfinite(p.grad).all() for p in module.parameters())
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        lin = nn.Linear(8, 4, rng=rng)
+        out = lin(Tensor(np.zeros((3, 8), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(8, 4, bias=False, rng=rng)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_grad_flow(self, rng):
+        lin = nn.Linear(8, 4, rng=rng)
+        lin(Tensor(rng.standard_normal((3, 8)).astype(np.float32))).sum().backward()
+        assert grads_flow(lin)
+
+    def test_repr(self, rng):
+        assert repr(nn.Linear(8, 4, rng=rng)) == "Linear(8, 4)"
+
+
+class TestConv2d:
+    def test_shape_and_output_spatial(self, rng, x_img):
+        conv = nn.Conv2d(3, 6, 3, stride=2, padding=1, rng=rng)
+        out = conv(x_img)
+        assert out.shape == (2, 6, 4, 4)
+        assert conv.output_spatial(8, 8) == (4, 4)
+
+    def test_grad_flow(self, rng, x_img):
+        conv = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        conv(x_img).sum().backward()
+        assert grads_flow(conv)
+        assert x_img.grad is not None
+
+    def test_conv_block(self, rng, x_img):
+        block = nn.ConvBlock(3, 8, rng=rng)
+        out = block(x_img)
+        assert out.shape == (2, 8, 8, 8)
+        assert (out.data >= 0).all()  # ends in ReLU
+
+
+class TestNorms:
+    def test_batchnorm_train_vs_eval_differ(self, rng, x_img):
+        bn = nn.BatchNorm2d(3)
+        out_train = bn(x_img).data.copy()
+        bn.eval()
+        out_eval = bn(x_img).data
+        assert not np.allclose(out_train, out_eval)
+
+    def test_batchnorm_updates_running_stats(self, rng, x_img):
+        bn = nn.BatchNorm2d(3)
+        before = bn.running_mean.copy()
+        bn(x_img)
+        assert not np.allclose(before, bn.running_mean)
+
+    def test_batchnorm1d_on_2d(self, rng):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(rng.standard_normal((8, 4)).astype(np.float32)))
+        assert out.shape == (8, 4)
+
+    def test_layernorm_shape(self, rng, x_seq):
+        ln = nn.LayerNorm(16)
+        assert ln(x_seq).shape == (2, 5, 16)
+
+
+class TestPooling:
+    def test_max_pool(self, x_img):
+        assert nn.MaxPool2d(2)(x_img).shape == (2, 3, 4, 4)
+
+    def test_avg_pool(self, x_img):
+        assert nn.AvgPool2d(2)(x_img).shape == (2, 3, 4, 4)
+
+    def test_global_avg_pool(self, x_img):
+        assert nn.GlobalAvgPool2d()(x_img).shape == (2, 3)
+
+    def test_flatten(self, x_img):
+        assert nn.Flatten()(x_img).shape == (2, 3 * 8 * 8)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(10, 6, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(10, 6, rng=rng)
+        with pytest.raises(IndexError, match="out of range"):
+            emb(np.array([10]))
+        with pytest.raises(IndexError, match="out of range"):
+            emb(np.array([-1]))
+
+
+class TestDropout:
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_eval_identity(self, rng, x_seq):
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.eval()
+        assert drop(x_seq) is x_seq
+
+    def test_train_zeroes_some(self, rng):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100), dtype=np.float32)))
+        assert (out.data == 0).any()
+
+
+class TestRecurrent:
+    def test_lstm_shapes(self, rng, x_seq):
+        lstm = nn.LSTM(16, 8, rng=rng)
+        out, (h, c) = lstm(x_seq)
+        assert out.shape == (2, 5, 8)
+        assert h.shape == (2, 8)
+        assert c.shape == (2, 8)
+
+    def test_lstm_grad_flow(self, rng, x_seq):
+        lstm = nn.LSTM(16, 8, rng=rng)
+        _, (h, _) = lstm(x_seq)
+        h.sum().backward()
+        assert grads_flow(lstm)
+
+    def test_gru_shapes(self, rng, x_seq):
+        gru = nn.GRU(16, 8, rng=rng)
+        out, h = gru(x_seq)
+        assert out.shape == (2, 5, 8)
+        assert h.shape == (2, 8)
+
+    def test_gru_cell_step(self, rng):
+        cell = nn.GRUCell(4, 6, rng=rng)
+        h = cell(Tensor(np.zeros((3, 4), dtype=np.float32)),
+                 Tensor(np.zeros((3, 6), dtype=np.float32)))
+        assert h.shape == (3, 6)
+
+    def test_gru_final_state_matches_last_output(self, rng, x_seq):
+        gru = nn.GRU(16, 8, rng=rng)
+        out, h = gru(x_seq)
+        np.testing.assert_allclose(out.data[:, -1], h.data, rtol=1e-5)
+
+
+class TestAttention:
+    def test_self_attention_shape(self, rng, x_seq):
+        attn = nn.MultiheadAttention(16, 4, rng=rng)
+        assert attn(x_seq).shape == (2, 5, 16)
+
+    def test_cross_attention_shape(self, rng, x_seq):
+        attn = nn.MultiheadAttention(16, 4, rng=rng)
+        ctx = Tensor(np.zeros((2, 9, 16), dtype=np.float32))
+        assert attn(x_seq, ctx, ctx).shape == (2, 5, 16)
+
+    def test_indivisible_heads_raise(self, rng):
+        with pytest.raises(ValueError, match="not divisible"):
+            nn.MultiheadAttention(10, 3, rng=rng)
+
+    def test_encoder_layer_residual(self, rng, x_seq):
+        layer = nn.TransformerEncoderLayer(16, 4, rng=rng)
+        out = layer(x_seq)
+        assert out.shape == x_seq.shape
+        # Residual path: output should correlate with input.
+        assert abs(np.corrcoef(out.data.ravel(), x_seq.data.ravel())[0, 1]) > 0.3
+
+    def test_encoder_stack_and_maxlen(self, rng, x_seq):
+        enc = nn.TransformerEncoder(16, 4, 2, max_len=5, rng=rng)
+        assert enc(x_seq).shape == (2, 5, 16)
+        too_long = Tensor(np.zeros((1, 6, 16), dtype=np.float32))
+        with pytest.raises(ValueError, match="exceeds max_len"):
+            enc(too_long)
+
+    def test_cross_attention_layer(self, rng, x_seq):
+        layer = nn.CrossAttentionLayer(16, 4, rng=rng)
+        ctx = Tensor(np.zeros((2, 3, 16), dtype=np.float32))
+        assert layer(x_seq, ctx).shape == (2, 5, 16)
+
+    def test_attention_grad_flow(self, rng, x_seq):
+        attn = nn.MultiheadAttention(16, 4, rng=rng)
+        attn(x_seq).sum().backward()
+        assert grads_flow(attn)

@@ -1,0 +1,102 @@
+"""Losses and metrics: reference values and gradient sanity."""
+
+import numpy as np
+import pytest
+
+from repro.nn import losses
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32), requires_grad=True)
+        loss = losses.cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-4)
+
+    def test_confident_correct_is_small(self):
+        logits = np.full((2, 3), -10.0, dtype=np.float32)
+        logits[:, 1] = 10.0
+        loss = losses.cross_entropy(Tensor(logits), np.array([1, 1]))
+        assert loss.item() < 1e-3
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        losses.cross_entropy(logits, np.array([0])).backward()
+        # Gradient should push class-0 logit up (negative grad) and others down.
+        assert logits.grad[0, 0] < 0
+        assert logits.grad[0, 1] > 0
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        x = np.array([[0.5, -1.0]], dtype=np.float32)
+        t = np.array([[1, 0]])
+        loss = losses.binary_cross_entropy_with_logits(Tensor(x), t)
+        ref = -(np.log(1 / (1 + np.exp(-0.5))) + np.log(1 - 1 / (1 + np.exp(1.0)))) / 2
+        assert loss.item() == pytest.approx(ref, rel=1e-4)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([[50.0, -50.0]], dtype=np.float32), requires_grad=True)
+        loss = losses.binary_cross_entropy_with_logits(x, np.array([[1, 0]]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestRegressionLosses:
+    def test_mse(self):
+        pred = Tensor(np.array([[1.0, 2.0]], dtype=np.float32))
+        assert losses.mse_loss(pred, np.array([[0.0, 0.0]])).item() == pytest.approx(2.5)
+
+    def test_l1(self):
+        pred = Tensor(np.array([[1.0, -2.0]], dtype=np.float32))
+        assert losses.l1_loss(pred, np.array([[0.0, 0.0]])).item() == pytest.approx(1.5)
+
+    def test_abs(self):
+        x = Tensor(np.array([-3.0, 4.0], dtype=np.float32))
+        np.testing.assert_allclose(losses.abs_(x).data, [3.0, 4.0])
+
+
+class TestSegmentationLosses:
+    def test_dice_perfect(self):
+        target = np.ones((1, 1, 4, 4), dtype=np.int64)
+        logits = Tensor(np.full((1, 1, 4, 4), 20.0, dtype=np.float32))
+        assert losses.dice_loss(logits, target).item() == pytest.approx(0.0, abs=1e-2)
+
+    def test_dice_worst(self):
+        target = np.ones((1, 1, 4, 4), dtype=np.int64)
+        logits = Tensor(np.full((1, 1, 4, 4), -20.0, dtype=np.float32))
+        assert losses.dice_loss(logits, target).item() > 0.8
+
+    def test_segmentation_loss_combines(self):
+        target = np.ones((1, 1, 2, 2), dtype=np.int64)
+        logits = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        loss = losses.segmentation_loss(logits, target)
+        assert loss.item() > 0
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert losses.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_f1_micro_perfect(self):
+        logits = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        targets = np.array([[1, 0], [0, 1]])
+        assert losses.f1_micro(logits, targets) == pytest.approx(1.0)
+
+    def test_f1_micro_all_negative_predictions(self):
+        logits = np.full((3, 4), -1.0)
+        targets = np.ones((3, 4), dtype=np.int64)
+        assert losses.f1_micro(logits, targets) == 0.0
+
+    def test_dice_score_range(self, rng):
+        logits = rng.standard_normal((2, 1, 8, 8))
+        targets = (rng.random((2, 1, 8, 8)) < 0.5).astype(np.int64)
+        assert 0.0 <= losses.dice_score(logits, targets) <= 1.0
+
+    def test_mse_metric_accepts_tensor(self):
+        pred = Tensor(np.array([1.0, 3.0], dtype=np.float32))
+        assert losses.mse_metric(pred, np.array([0.0, 0.0])) == pytest.approx(5.0)

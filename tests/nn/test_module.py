@@ -1,0 +1,113 @@
+"""Module system: registration, traversal, modes, state dict."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.w = Parameter(np.ones(2, dtype=np.float32))
+        self.register_buffer("buf", np.zeros(2, dtype=np.float32))
+
+    def forward(self, x):
+        return self.lin(x)
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert set(names) == {"w", "lin.weight", "lin.bias"}
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 2 + 4 * 3 + 3
+
+    def test_parameter_bytes(self):
+        toy = Toy()
+        assert toy.parameter_bytes() == toy.num_parameters() * 4
+
+    def test_named_modules(self):
+        toy = Toy()
+        names = [n for n, _ in toy.named_modules()]
+        assert "" in names and "lin" in names
+
+    def test_children(self):
+        toy = Toy()
+        assert len(list(toy.children())) == 1
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.lin.training
+        toy.train()
+        assert toy.lin.training
+
+    def test_zero_grad(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert toy.lin.weight.grad is not None
+        toy.zero_grad()
+        assert toy.lin.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        a.w.data[:] = 7.0
+        a.buf[:] = 3.0
+        b.load_state_dict(a.state_dict())
+        assert (b.w.data == 7.0).all()
+        assert (b.buf == 3.0).all()
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert (toy.w.data != 99.0).all()
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["w"]
+        with pytest.raises(KeyError, match="missing parameter"):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros(5, dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = seq(Tensor(np.zeros((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 2)
+        assert len(seq) == 3
+        assert len(list(seq.parameters())) == 4
+
+    def test_module_list(self):
+        rng = np.random.default_rng(0)
+        ml = ModuleList([nn.Linear(2, 2, rng=rng)])
+        ml.append(nn.Linear(2, 2, rng=rng))
+        assert len(ml) == 2
+        assert ml[1] is list(ml)[1]
+        assert len(list(Sequential(*ml).parameters())) == 4
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,98 @@
+"""Optimizers: convergence on a quadratic bowl, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def quadratic_steps(optimizer_cls, steps=200, **kwargs):
+    """Minimize ||w - target||^2; return the final distance."""
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    w = Parameter(np.zeros(3, dtype=np.float32))
+    opt = optimizer_cls([w], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        diff = w - Tensor(target)
+        (diff * diff).sum().backward()
+        opt.step()
+    return float(np.abs(w.data - target).max())
+
+
+class TestSGD:
+    def test_converges(self):
+        assert quadratic_steps(SGD, lr=0.1) < 1e-3
+
+    def test_momentum_converges(self):
+        assert quadratic_steps(SGD, lr=0.05, momentum=0.9) < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.ones(2, dtype=np.float32))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        (w * 0.0).sum().backward()  # zero data gradient
+        w.grad = np.zeros(2, dtype=np.float32)
+        opt.step()
+        assert (w.data < 1.0).all()
+
+    def test_skips_params_without_grad(self):
+        w = Parameter(np.ones(2, dtype=np.float32))
+        SGD([w], lr=0.1).step()  # no grad: must not crash or move
+        assert (w.data == 1.0).all()
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        assert quadratic_steps(Adam, lr=0.05) < 1e-2
+
+    def test_bias_correction_first_step_magnitude(self):
+        w = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        # With bias correction the first step is ~lr in magnitude.
+        assert abs(w.data[0] + 0.1) < 1e-3
+
+    def test_zero_grad_clears(self):
+        w = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([w])
+        w.grad = np.ones(1, dtype=np.float32)
+        opt.zero_grad()
+        assert w.grad is None
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        w = Parameter(np.zeros(4, dtype=np.float32))
+        w.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([w], 1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-4)
+
+    def test_leaves_small(self):
+        w = Parameter(np.zeros(4, dtype=np.float32))
+        w.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([w], 10.0)
+        assert (w.grad == np.float32(0.1)).all()
+
+    def test_training_reduces_loss_end_to_end(self, rng):
+        model = nn.Sequential(nn.Linear(4, 16, rng=rng), nn.Tanh(), nn.Linear(16, 1, rng=rng))
+        opt = Adam(model.parameters(), lr=1e-2)
+        x = Tensor(rng.standard_normal((32, 4)).astype(np.float32))
+        y = Tensor((x.data[:, :1] * 2.0).astype(np.float32))
+        first = None
+        for _ in range(100):
+            opt.zero_grad()
+            diff = model(x) - y
+            loss = (diff * diff).mean()
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.2

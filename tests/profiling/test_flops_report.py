@@ -1,0 +1,79 @@
+"""FLOP counting and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_batch
+from repro.profiling.flops import count_flops, count_parameters, flops_per_sample
+from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.report import (
+    format_bytes,
+    format_seconds,
+    format_table,
+    profile_summary,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def avmnist_model():
+    return get_workload("avmnist").build(seed=0)
+
+
+@pytest.fixture(scope="module")
+def avmnist_batch():
+    return random_batch(get_workload("avmnist").shapes, 4, seed=0)
+
+
+class TestFlops:
+    def test_parameters_breakdown(self, avmnist_model):
+        counts = count_parameters(avmnist_model)
+        assert counts["total"] == avmnist_model.num_parameters()
+        assert counts["encoder_image"] > 0
+        assert counts["fusion"] > 0
+        assert counts["head"] > 0
+        submodule_sum = sum(v for k, v in counts.items() if k != "total")
+        assert submodule_sum == counts["total"]
+
+    def test_flops_per_stage(self, avmnist_model, avmnist_batch):
+        flops = count_flops(avmnist_model, avmnist_batch)
+        assert flops["total"] > 0
+        assert flops["encoder"] > flops["head"]
+        stage_sum = sum(v for k, v in flops.items() if k != "total")
+        assert stage_sum == pytest.approx(flops["total"])
+
+    def test_flops_scale_with_batch(self, avmnist_model):
+        shapes = get_workload("avmnist").shapes
+        f2 = count_flops(avmnist_model, random_batch(shapes, 2, seed=0))["total"]
+        f4 = count_flops(avmnist_model, random_batch(shapes, 4, seed=0))["total"]
+        assert f4 == pytest.approx(2 * f2, rel=0.01)
+
+    def test_flops_per_sample(self, avmnist_model, avmnist_batch):
+        per = flops_per_sample(avmnist_model, avmnist_batch)
+        assert per == pytest.approx(count_flops(avmnist_model, avmnist_batch)["total"] / 4)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], ["xx", 3e-7]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_seconds(self):
+        assert format_seconds(2.0) == "2.000 s"
+        assert format_seconds(2e-3) == "2.000 ms"
+        assert format_seconds(2e-6) == "2.0 us"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+        assert format_bytes(2048) == "2.0 KB"
+        assert format_bytes(3 * 1024**3) == "3.0 GB"
+
+    def test_profile_summary_sections(self, avmnist_model, avmnist_batch):
+        result = MMBenchProfiler("2080ti").profile(avmnist_model, avmnist_batch)
+        text = profile_summary(result)
+        for section in ("[algorithm]", "[system]", "[architecture]"):
+            assert section in text
+        assert "stage times" in text

@@ -1,0 +1,83 @@
+"""The three-level profiling pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_batch
+from repro.hw.device import JETSON_NANO, RTX_2080TI
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def profile():
+    info = get_workload("avmnist")
+    model = info.build(seed=0)
+    batch = random_batch(info.shapes, 4, seed=0)
+    return MMBenchProfiler("2080ti").profile(model, batch)
+
+
+class TestProfileResult:
+    def test_identity(self, profile):
+        assert profile.model_name == "avmnist[concat]"
+        assert profile.device is RTX_2080TI
+        assert profile.batch_size == 4
+        assert profile.modalities == ["image", "audio"]
+
+    def test_algorithm_level(self, profile):
+        alg = profile.algorithm_metrics()
+        assert alg["parameters"] > 0
+        assert alg["parameter_bytes"] == alg["parameters"] * 4
+        assert alg["flops"] > 0
+        assert alg["flops_per_sample"] == pytest.approx(alg["flops"] / 4)
+        assert alg["num_modalities"] == 2
+
+    def test_system_level(self, profile):
+        sysm = profile.system_metrics()
+        assert sysm["total_time"] == pytest.approx(sysm["gpu_time"] + sysm["cpu_runtime_time"])
+        assert 0 < sysm["cpu_runtime_share"] < 1
+        assert sysm["peak_memory"] == pytest.approx(
+            sysm["memory_model"] + sysm["memory_dataset"] + sysm["memory_intermediate"])
+
+    def test_architecture_level(self, profile):
+        arch = profile.architecture_metrics()
+        assert set(arch["stage_time"]) == {"encoder", "fusion", "head"}
+        assert sum(arch["kernel_categories"].values()) == pytest.approx(1.0)
+        assert sum(arch["kernel_size_distribution"].values()) == pytest.approx(1.0)
+
+    def test_throughput(self, profile):
+        assert profile.throughput == pytest.approx(4 / profile.total_time)
+
+
+class TestRepricing:
+    def test_same_trace_different_devices(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 4, seed=0)
+        profiler = MMBenchProfiler("2080ti")
+        trace = profiler.capture(model, batch)
+        server = profiler.price(model, trace, 4)
+        nano = profiler.price(model, trace, 4, device="nano")
+        assert nano.device is JETSON_NANO
+        assert nano.total_time > server.total_time
+
+    def test_byte_overrides(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 4, seed=0)
+        profiler = MMBenchProfiler("2080ti")
+        trace = profiler.capture(model, batch)
+        r = profiler.price(model, trace, 4, model_bytes=123.0, input_bytes=456.0)
+        assert r.memory.model == 123.0
+        assert r.memory.dataset == 456.0
+
+    def test_capture_leaves_model_in_eval(self):
+        info = get_workload("avmnist")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        MMBenchProfiler("2080ti").capture(model, batch)
+        assert not model.training
+
+    def test_device_object_accepted(self):
+        profiler = MMBenchProfiler(RTX_2080TI)
+        assert profiler.device is RTX_2080TI

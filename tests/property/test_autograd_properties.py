@@ -1,0 +1,124 @@
+"""Property-based tests for the autodiff core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+small_shapes = hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5)
+
+
+def floats_array(shape):
+    return hnp.arrays(np.float32, shape,
+                      elements=st.floats(-3.0, 3.0, width=32, allow_nan=False))
+
+
+@st.composite
+def tensor_pair_same_shape(draw):
+    shape = draw(small_shapes)
+    a = draw(floats_array(shape))
+    b = draw(floats_array(shape))
+    return Tensor(a, requires_grad=True), Tensor(b, requires_grad=True)
+
+
+class TestAlgebraicIdentities:
+    @given(tensor_pair_same_shape())
+    def test_addition_commutes(self, pair):
+        a, b = pair
+        np.testing.assert_allclose((a + b).data, (b + a).data, rtol=1e-5)
+
+    @given(tensor_pair_same_shape())
+    def test_mul_grad_symmetry(self, pair):
+        a, b = pair
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, a.data, rtol=1e-5)
+
+    @given(tensor_pair_same_shape())
+    def test_sum_rule(self, pair):
+        """grad(a+b wrt a) is ones regardless of values."""
+        a, b = pair
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(a.data))
+
+    @given(small_shapes.flatmap(floats_array))
+    def test_relu_idempotent(self, arr):
+        once = F.relu(Tensor(arr)).data
+        twice = F.relu(F.relu(Tensor(arr))).data
+        np.testing.assert_allclose(once, twice)
+
+    @given(small_shapes.flatmap(floats_array))
+    def test_tanh_odd_function(self, arr):
+        np.testing.assert_allclose(
+            F.tanh(Tensor(arr)).data, -F.tanh(Tensor(-arr)).data, atol=1e-6)
+
+    @given(small_shapes.flatmap(floats_array))
+    def test_sigmoid_symmetry(self, arr):
+        s_pos = F.sigmoid(Tensor(arr)).data
+        s_neg = F.sigmoid(Tensor(-arr)).data
+        np.testing.assert_allclose(s_pos + s_neg, np.ones_like(arr), atol=1e-5)
+
+
+class TestSoftmaxInvariants:
+    @given(hnp.arrays(np.float32, (3, 7), elements=st.floats(-20, 20, width=32)))
+    def test_rows_are_distributions(self, arr):
+        s = F.softmax(Tensor(arr), axis=-1).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(3), rtol=1e-4)
+
+    @given(hnp.arrays(np.float32, (2, 5), elements=st.floats(-10, 10, width=32)),
+           st.floats(-5, 5))
+    def test_shift_invariance(self, arr, shift):
+        a = F.softmax(Tensor(arr), axis=-1).data
+        b = F.softmax(Tensor(arr + np.float32(shift)), axis=-1).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    @given(hnp.arrays(np.float32, (2, 5), elements=st.floats(-10, 10, width=32)))
+    def test_softmax_grad_of_sum_is_zero(self, arr):
+        """sum(softmax(x)) == 1, so its gradient must vanish."""
+        x = Tensor(arr, requires_grad=True)
+        F.softmax(x, axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.zeros_like(arr), atol=1e-4)
+
+
+class TestBroadcastReduction:
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_broadcast_grad_shape_always_matches(self, n, m):
+        a = Tensor(np.ones((n, m), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((m,), dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (n, m)
+        assert b.grad.shape == (m,)
+        np.testing.assert_allclose(b.grad, np.full(m, float(n)))
+
+    @given(small_shapes.flatmap(floats_array))
+    def test_reshape_roundtrip_grad_identity(self, arr):
+        x = Tensor(arr, requires_grad=True)
+        F.reshape(F.reshape(x, (-1,)), arr.shape).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(arr))
+
+
+class TestMatmulProperties:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    def test_linearity_in_first_argument(self, n, k, m):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, k)).astype(np.float32)
+        b = rng.standard_normal((k, m)).astype(np.float32)
+        double = F.matmul(Tensor(a * 2), Tensor(b)).data
+        single = F.matmul(Tensor(a), Tensor(b)).data
+        np.testing.assert_allclose(double, 2 * single, rtol=1e-4)
+
+    @given(st.integers(1, 3), st.integers(1, 3))
+    def test_outer_product_rank_one(self, n, m):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((1, n)).astype(np.float32)
+        b = rng.standard_normal((1, m)).astype(np.float32)
+        out = F.outer_product(Tensor(a), Tensor(b)).data[0]
+        assert np.linalg.matrix_rank(out.astype(np.float64), tol=1e-5) <= 1

@@ -1,0 +1,71 @@
+"""Property-based tests for the data substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.generators import ChannelSpec, LatentMultimodalDataset
+from repro.data.loader import DataLoader
+from repro.data.shapes import ALL_SHAPES, AVMNIST
+from repro.data.synthetic import random_batch
+
+settings.register_profile("repro-data", deadline=None, max_examples=25)
+settings.load_profile("repro-data")
+
+workload_names = st.sampled_from(sorted(ALL_SHAPES))
+
+
+class TestGeneratorProperties:
+    @given(workload_names, st.integers(1, 9), st.integers(0, 5))
+    def test_shapes_always_correct(self, name, n, seed):
+        shapes = ALL_SHAPES[name]
+        ds = LatentMultimodalDataset(shapes, seed=seed)
+        batch, targets = ds.sample(n, seed=seed + 1)
+        for spec in shapes.modalities:
+            assert batch[spec.name].shape == (n, *spec.shape)
+            assert np.isfinite(np.asarray(batch[spec.name], dtype=np.float64)).all()
+        assert len(targets) == n
+
+    @given(st.floats(0.1, 4.0), st.floats(0.0, 0.9), st.integers(0, 3))
+    def test_channel_specs_never_break_sampling(self, snr, corrupt, seed):
+        channels = {m.name: ChannelSpec(snr=snr, corrupt_prob=corrupt)
+                    for m in AVMNIST.modalities}
+        ds = LatentMultimodalDataset(AVMNIST, channels, seed=seed)
+        batch, y = ds.sample(6, seed=seed)
+        assert batch["image"].shape == (6, 1, 28, 28)
+        assert ((0 <= y) & (y < 10)).all()
+
+    @given(st.integers(0, 4))
+    def test_same_seed_reproducible(self, seed):
+        a = LatentMultimodalDataset(AVMNIST, seed=seed).sample(3, seed=1)
+        b = LatentMultimodalDataset(AVMNIST, seed=seed).sample(3, seed=1)
+        np.testing.assert_array_equal(a[0]["audio"], b[0]["audio"])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestLoaderProperties:
+    @given(st.integers(1, 25), st.integers(1, 10), st.booleans())
+    def test_loader_partitions_exactly(self, n, batch_size, shuffle):
+        batch = {"x": np.arange(n, dtype=np.float32).reshape(n, 1)}
+        targets = np.arange(n)
+        loader = DataLoader(batch, targets, batch_size=batch_size, shuffle=shuffle)
+        seen = np.concatenate([t for _, t in loader])
+        assert len(loader) == -(-n // batch_size)
+        np.testing.assert_array_equal(np.sort(seen), targets)
+
+    @given(st.integers(1, 25), st.integers(1, 10))
+    def test_drop_last_only_full_batches(self, n, batch_size):
+        batch = {"x": np.zeros((n, 1), dtype=np.float32)}
+        loader = DataLoader(batch, np.arange(n), batch_size=batch_size, drop_last=True)
+        for _, t in loader:
+            assert len(t) == batch_size
+
+
+class TestSyntheticProperties:
+    @given(workload_names, st.integers(1, 8), st.integers(0, 3))
+    def test_random_batch_deterministic(self, name, n, seed):
+        shapes = ALL_SHAPES[name]
+        a = random_batch(shapes, n, seed=seed)
+        b = random_batch(shapes, n, seed=seed)
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])

@@ -1,0 +1,89 @@
+"""Property-based tests for the hardware model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.device import DEVICES, JETSON_NANO, RTX_2080TI
+from repro.hw.latency import kernel_latency
+from repro.hw.memory import thrash_factor
+from repro.hw.stalls import stall_breakdown
+from repro.hw.counters import derive_counters
+from repro.trace.events import KernelCategory, KernelEvent
+
+settings.register_profile("repro-hw", deadline=None, max_examples=60)
+settings.load_profile("repro-hw")
+
+kernels = st.builds(
+    KernelEvent,
+    name=st.just("k"),
+    category=st.sampled_from(list(KernelCategory)),
+    flops=st.floats(0, 1e12),
+    bytes_read=st.floats(0, 1e9),
+    bytes_written=st.floats(0, 1e8),
+    threads=st.integers(1, 10_000_000),
+    coalesced_fraction=st.floats(0.05, 1.0),
+    reuse_factor=st.floats(1.0, 64.0),
+)
+
+devices = st.sampled_from([DEVICES["2080ti"], DEVICES["nano"], DEVICES["orin"]])
+
+
+class TestLatencyInvariants:
+    @given(kernels, devices)
+    def test_latency_positive_and_roofline(self, kernel, device):
+        lat = kernel_latency(kernel, device)
+        assert lat.total >= device.kernel_fixed_overhead
+        assert lat.total == pytest.approx(
+            max(lat.compute_time, lat.memory_time) + device.kernel_fixed_overhead)
+        assert 0.0 <= lat.occupancy <= 1.0
+        assert 0.0 < lat.compute_utilization <= 1.0
+
+    @given(kernels)
+    def test_nano_never_faster_than_server(self, kernel):
+        assert (kernel_latency(kernel, JETSON_NANO).total
+                >= kernel_latency(kernel, RTX_2080TI).total * 0.99)
+
+    @given(kernels, devices, st.floats(1.5, 16.0))
+    def test_more_flops_never_faster(self, kernel, device, factor):
+        bigger = KernelEvent(
+            name=kernel.name, category=kernel.category, flops=kernel.flops * factor,
+            bytes_read=kernel.bytes_read, bytes_written=kernel.bytes_written,
+            threads=kernel.threads, coalesced_fraction=kernel.coalesced_fraction,
+            reuse_factor=kernel.reuse_factor)
+        assert (kernel_latency(bigger, device).total
+                >= kernel_latency(kernel, device).total - 1e-12)
+
+
+class TestCounterInvariants:
+    @given(kernels, devices)
+    def test_counters_in_valid_ranges(self, kernel, device):
+        c = derive_counters(kernel, device)
+        for name in ("dram_utilization", "achieved_occupancy", "gld_efficiency",
+                     "gst_efficiency", "l1_hit_rate", "l2_hit_rate",
+                     "l2_read_hit_rate", "l2_write_hit_rate"):
+            value = getattr(c, name)
+            assert 0.0 <= value <= 1.0, (name, value)
+        assert 0.0 <= c.ipc <= device.issue_width
+        assert c.dram_read_bytes >= 0.0
+        assert c.fp32_ops == kernel.flops
+
+
+class TestStallInvariants:
+    @given(kernels, devices)
+    def test_breakdown_is_distribution(self, kernel, device):
+        b = stall_breakdown(kernel, device)
+        assert all(v >= 0 for v in b.values())
+        assert sum(b.values()) == pytest.approx(1.0)
+
+
+class TestThrashInvariants:
+    @given(st.floats(0.0, 50.0))
+    def test_bounded_and_at_least_one(self, pressure):
+        factor = thrash_factor(pressure)
+        assert 1.0 <= factor <= 12.0
+
+    @given(st.floats(0.0, 10.0), st.floats(0.0, 10.0))
+    def test_monotone(self, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert thrash_factor(lo) <= thrash_factor(hi)

@@ -1,0 +1,107 @@
+"""Timeline aggregations and trace scaling."""
+
+import pytest
+
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.timeline import (
+    hotspot_kernels,
+    kernel_category_breakdown,
+    modality_work,
+    scale_trace,
+    stage_work,
+)
+from repro.trace.tracer import Trace
+
+
+def k(name, cat, flops, stage="encoder", modality=None, bytes_read=8.0, bytes_written=4.0):
+    return KernelEvent(name=name, category=cat, flops=flops, bytes_read=bytes_read,
+                       bytes_written=bytes_written, threads=16, stage=stage, modality=modality)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        kernels=[
+            k("conv", KernelCategory.CONV, 100.0, "encoder", "image"),
+            k("gemm", KernelCategory.GEMM, 50.0, "encoder", "audio"),
+            k("add", KernelCategory.ELEWISE, 10.0, "fusion"),
+            k("gemm2", KernelCategory.GEMM, 40.0, "head"),
+        ],
+        host_events=[HostEvent(kind=HostOpKind.H2D, bytes=128.0)],
+    )
+
+
+class TestBreakdowns:
+    def test_flops_breakdown_sums_to_one(self, trace):
+        shares = kernel_category_breakdown(trace.kernels)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[KernelCategory.CONV] == pytest.approx(0.5)
+
+    def test_count_weighting(self, trace):
+        shares = kernel_category_breakdown(trace.kernels, weight="count")
+        assert shares[KernelCategory.GEMM] == pytest.approx(0.5)
+
+    def test_bytes_weighting(self, trace):
+        shares = kernel_category_breakdown(trace.kernels, weight="bytes")
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_unknown_weight_raises(self, trace):
+        with pytest.raises(ValueError, match="unknown weight"):
+            kernel_category_breakdown(trace.kernels, weight="time")
+
+    def test_empty_returns_empty(self):
+        assert kernel_category_breakdown([]) == {}
+
+    def test_stage_work(self, trace):
+        work = stage_work(trace)
+        assert work["encoder"]["flops"] == 150.0
+        assert work["fusion"]["kernels"] == 1.0
+
+    def test_modality_work(self, trace):
+        work = modality_work(trace)
+        assert set(work) == {"image", "audio"}
+        assert work["image"]["flops"] == 100.0
+
+    def test_hotspots_sorted(self, trace):
+        top = hotspot_kernels(trace.kernels, KernelCategory.GEMM, top=1)
+        assert top[0].name == "gemm"
+
+
+class TestScaleTrace:
+    def test_scales_work(self, trace):
+        scaled = scale_trace(trace, 4.0)
+        assert scaled.total_flops == pytest.approx(trace.total_flops * 4)
+        assert scaled.total_bytes == pytest.approx(trace.total_bytes * 4)
+        assert scaled.host_events[0].bytes == pytest.approx(512.0)
+
+    def test_preserves_structure(self, trace):
+        scaled = scale_trace(trace, 2.0)
+        assert scaled.stages() == trace.stages()
+        assert scaled.modalities() == trace.modalities()
+        assert [kx.category for kx in scaled.kernels] == [kx.category for kx in trace.kernels]
+
+    def test_original_untouched(self, trace):
+        before = trace.total_flops
+        scale_trace(trace, 10.0)
+        assert trace.total_flops == before
+
+    def test_invalid_factor_raises(self, trace):
+        with pytest.raises(ValueError, match="positive"):
+            scale_trace(trace, 0.0)
+
+    def test_threads_at_least_one(self, trace):
+        scaled = scale_trace(trace, 1e-9)
+        assert all(kx.threads >= 1 for kx in scaled.kernels)
+
+
+class TestKernelEvent:
+    def test_arithmetic_intensity(self):
+        ev = k("a", KernelCategory.GEMM, 100.0, bytes_read=40.0, bytes_written=10.0)
+        assert ev.arithmetic_intensity == pytest.approx(2.0)
+        assert ev.bytes_total == pytest.approx(50.0)
+
+    def test_zero_bytes_intensity(self):
+        ev = k("a", KernelCategory.GEMM, 100.0, bytes_read=0.0, bytes_written=0.0)
+        assert ev.arithmetic_intensity == float("inf")
+        ev2 = k("b", KernelCategory.OTHER, 0.0, bytes_read=0.0, bytes_written=0.0)
+        assert ev2.arithmetic_intensity == 0.0

@@ -1,0 +1,106 @@
+"""The staged multi-modal model skeleton."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.shapes import AVMNIST
+from repro.trace.events import HostOpKind, STAGE_ENCODER, STAGE_FUSION, STAGE_HEAD
+from repro.trace.tracer import Tracer
+from repro.workloads import avmnist
+from repro.workloads.base import MultiModalModel, unimodal_shapes
+from repro.workloads.encoders import LeNetEncoder
+from repro.workloads.heads import ClassificationHead
+
+
+@pytest.fixture
+def model():
+    return avmnist.build("concat", seed=0)
+
+
+@pytest.fixture
+def batch(rng):
+    return {
+        "image": rng.standard_normal((2, 1, 28, 28)).astype(np.float32),
+        "audio": rng.standard_normal((2, 1, 20, 20)).astype(np.float32),
+    }
+
+
+class TestStagedForward:
+    def test_output_shape(self, model, batch):
+        assert model(batch).shape == (2, 10)
+
+    def test_stages_traced_in_order(self, model, batch):
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        trace = tracer.finish()
+        assert trace.stages() == [STAGE_ENCODER, STAGE_FUSION, STAGE_HEAD]
+
+    def test_modalities_traced(self, model, batch):
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        assert tracer.finish().modalities() == ["image", "audio"]
+
+    def test_host_events_cover_sync_pattern(self, model, batch):
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        events = tracer.finish().host_events
+        kinds = [e.kind for e in events]
+        assert kinds.count(HostOpKind.H2D) == 3  # 2 inputs + fusion round trip
+        assert kinds.count(HostOpKind.SYNC) == 2  # one barrier per modality
+        assert kinds.count(HostOpKind.D2H) == 1
+        assert kinds.count(HostOpKind.DATA_PREP) == 1
+        assert kinds.count(HostOpKind.PREPROCESS) == 2
+
+    def test_missing_modality_raises(self, model, batch):
+        del batch["audio"]
+        with pytest.raises(KeyError, match="missing modality"):
+            model(batch)
+
+    def test_works_without_tracer(self, model, batch):
+        assert model(batch).shape == (2, 10)
+
+
+class TestUniModal:
+    def test_no_fusion_stage(self, rng):
+        uni = avmnist.build_unimodal("image", seed=0)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            uni({"image": rng.standard_normal((2, 1, 28, 28)).astype(np.float32)})
+        trace = tracer.finish()
+        assert STAGE_FUSION not in trace.stages()
+        assert not uni.is_multimodal
+
+    def test_unimodal_shapes_helper(self):
+        sub = unimodal_shapes(AVMNIST, "audio")
+        assert sub.modality_names == ("audio",)
+        assert sub.task == AVMNIST.task
+
+
+class TestConstructionValidation:
+    def test_encoder_mismatch_raises(self, rng):
+        encoders = {"image": LeNetEncoder(1, 8, rng)}
+        head = ClassificationHead(8, 10, rng)
+        with pytest.raises(ValueError, match="missing=\\['audio'\\]"):
+            MultiModalModel("bad", AVMNIST, encoders, None, head)
+
+    def test_extra_encoder_raises(self, rng):
+        encoders = {
+            "image": LeNetEncoder(1, 8, rng),
+            "audio": LeNetEncoder(1, 8, rng, input_hw=(20, 20)),
+            "lidar": LeNetEncoder(1, 8, rng),
+        }
+        head = ClassificationHead(8, 10, rng)
+        with pytest.raises(ValueError, match="extra=\\['lidar'\\]"):
+            MultiModalModel("bad", AVMNIST, encoders, None, head)
+
+    def test_input_bytes(self, model):
+        assert model.input_bytes(10) == 10 * AVMNIST.sample_bytes
+
+    def test_encoders_registered_as_submodules(self, model):
+        # Parameters of both encoders must appear in the optimizer view.
+        names = {n.split(".")[0] for n, _ in model.named_parameters()}
+        assert "encoder_image" in names and "encoder_audio" in names

@@ -1,0 +1,140 @@
+"""Encoder zoo: output contracts and operator signatures."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.trace.events import KernelCategory
+from repro.trace.tracer import Tracer
+from repro.workloads.encoders import (
+    AlbertSEncoder,
+    CNNEncoder,
+    DenseNetSEncoder,
+    LeNetEncoder,
+    MLPEncoder,
+    ResNetSEncoder,
+    SequenceGRUEncoder,
+    SequenceMLPEncoder,
+    TextTransformerEncoder,
+    UNetEncoder,
+    VGGSEncoder,
+)
+
+
+def categories_of(model, x):
+    tracer = Tracer()
+    with tracer.activate(), nn.no_grad():
+        model(x)
+    trace = tracer.finish()
+    return {k.category for k in trace.kernels}
+
+
+class TestImageEncoders:
+    def test_lenet(self, rng):
+        enc = LeNetEncoder(1, 32, rng, input_hw=(28, 28))
+        out = enc(Tensor(rng.standard_normal((2, 1, 28, 28)).astype(np.float32)))
+        assert out.shape == (2, 32)
+
+    def test_lenet_nonsquare_hw(self, rng):
+        enc = LeNetEncoder(1, 16, rng, input_hw=(20, 20))
+        out = enc(Tensor(rng.standard_normal((2, 1, 20, 20)).astype(np.float32)))
+        assert out.shape == (2, 16)
+
+    def test_vgg(self, rng):
+        enc = VGGSEncoder(3, 32, rng)
+        out = enc(Tensor(rng.standard_normal((2, 3, 64, 64)).astype(np.float32)))
+        assert out.shape == (2, 32)
+
+    def test_vgg_emits_conv_and_gemm(self, rng):
+        enc = VGGSEncoder(3, 16, rng)
+        cats = categories_of(enc, Tensor(rng.standard_normal((1, 3, 64, 64)).astype(np.float32)))
+        assert KernelCategory.CONV in cats
+        assert KernelCategory.GEMM in cats
+        assert KernelCategory.BNORM in cats
+
+    def test_cnn(self, rng):
+        enc = CNNEncoder(1, 24, rng, input_hw=(32, 32))
+        out = enc(Tensor(rng.standard_normal((3, 1, 32, 32)).astype(np.float32)))
+        assert out.shape == (3, 24)
+
+    def test_densenet_concat_heavy(self, rng):
+        enc = DenseNetSEncoder(3, 32, rng)
+        x = Tensor(rng.standard_normal((2, 3, 64, 64)).astype(np.float32))
+        assert enc(x).shape == (2, 32)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            enc(x)
+        names = [k.name for k in tracer.finish().kernels]
+        assert names.count("concat") >= 4  # dense connectivity
+
+    def test_resnet_vector_and_map(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 64, 64)).astype(np.float32))
+        vec = ResNetSEncoder(3, 32, rng)(x)
+        assert vec.shape == (2, 32)
+        enc_map = ResNetSEncoder(3, 32, rng, return_map=True)
+        fmap = enc_map(x)
+        assert fmap.shape == (2, enc_map.out_channels, 8, 8)
+
+    def test_unet_bottleneck_and_skips(self, rng):
+        enc = UNetEncoder(1, rng, width=8)
+        x = Tensor(rng.standard_normal((2, 1, 32, 32)).astype(np.float32))
+        bottleneck = enc(x)
+        assert bottleneck.shape == (2, 32, 8, 8)
+        assert enc.skips[0].shape == (2, 8, 32, 32)
+        assert enc.skips[1].shape == (2, 16, 16, 16)
+
+
+class TestTextEncoders:
+    def test_text_transformer(self, rng):
+        enc = TextTransformerEncoder(100, 32, rng, max_len=16)
+        out = enc(np.zeros((2, 10), dtype=np.int64))
+        assert out.shape == (2, 32)
+
+    def test_albert_shares_parameters(self, rng):
+        enc = AlbertSEncoder(100, 32, rng, max_len=16)
+        # One shared layer applied twice -> fewer params than a 2-layer BERT.
+        bert = TextTransformerEncoder(100, 32, rng, num_layers=2, max_len=16)
+        assert enc.num_parameters() < bert.num_parameters()
+        out = enc(np.zeros((2, 10), dtype=np.int64))
+        assert out.shape == (2, 32)
+
+    def test_text_encoder_elewise_heavy(self, rng):
+        """The paper: ALBERT is activation-dominated, unlike VGG."""
+        enc = AlbertSEncoder(100, 32, rng, max_len=16)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            enc(np.zeros((2, 12), dtype=np.int64))
+        trace = tracer.finish()
+        cats = {k.category for k in trace.kernels}
+        assert KernelCategory.CONV not in cats
+        assert KernelCategory.ELEWISE in cats
+
+
+class TestSequenceEncoders:
+    def test_sequence_mlp(self, rng):
+        enc = SequenceMLPEncoder(74, 32, rng)
+        out = enc(Tensor(rng.standard_normal((2, 12, 74)).astype(np.float32)))
+        assert out.shape == (2, 32)
+
+    def test_sequence_gru(self, rng):
+        enc = SequenceGRUEncoder(35, 32, rng)
+        out = enc(Tensor(rng.standard_normal((2, 12, 35)).astype(np.float32)))
+        assert out.shape == (2, 32)
+
+    def test_mlp_encoder_flattens(self, rng):
+        enc = MLPEncoder(16 * 8, 32, rng)
+        out = enc(Tensor(rng.standard_normal((2, 16, 8)).astype(np.float32)))
+        assert out.shape == (2, 32)
+
+
+class TestTrainability:
+    @pytest.mark.parametrize("factory", [
+        lambda rng: (LeNetEncoder(1, 8, rng), Tensor(np.random.default_rng(1).standard_normal((2, 1, 28, 28)).astype(np.float32))),
+        lambda rng: (SequenceGRUEncoder(6, 8, rng), Tensor(np.random.default_rng(1).standard_normal((2, 5, 6)).astype(np.float32))),
+    ])
+    def test_gradients_reach_all_parameters(self, factory, rng):
+        enc, x = factory(rng)
+        enc(x).sum().backward()
+        for name, p in enc.named_parameters():
+            assert p.grad is not None, name

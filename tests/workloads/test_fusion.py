@@ -1,0 +1,116 @@
+"""Table-1 fusion operators: semantics, shapes, gradients, registry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.workloads.fusion import (
+    AttentionFusion,
+    ConcatFusion,
+    FUSION_REGISTRY,
+    LateFusionLSTM,
+    LinearGLUFusion,
+    SumFusion,
+    TensorFusion,
+    TransformerFusion,
+    ZeroFusion,
+    make_fusion,
+)
+
+
+@pytest.fixture
+def features(rng):
+    return [
+        Tensor(rng.standard_normal((4, 16)).astype(np.float32), requires_grad=True),
+        Tensor(rng.standard_normal((4, 24)).astype(np.float32), requires_grad=True),
+    ]
+
+
+ALL_FUSIONS = sorted(FUSION_REGISTRY)
+
+
+class TestRegistry:
+    def test_table1_operators_present(self):
+        # Zero, Sum, Concat, Tensor, Attention, LinearGLU + transformer & LSTM.
+        assert {"zero", "sum", "concat", "tensor", "attention",
+                "linear_glu", "transformer", "late_lstm"} == set(FUSION_REGISTRY)
+
+    def test_make_fusion_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown fusion"):
+            make_fusion("cross_modal_magic", [8], 8)
+
+    @pytest.mark.parametrize("name", ALL_FUSIONS)
+    def test_factory_builds_each(self, name, rng):
+        fusion = make_fusion(name, [16, 24], 32, rng=rng)
+        assert fusion.fusion_name == name
+
+
+class TestSemantics:
+    def test_zero_discards(self, features):
+        out = ZeroFusion([16, 24], 8)(features)
+        assert out.shape == (4, 8)
+        assert (out.data == 0).all()
+
+    def test_sum_is_sum_of_projections(self, rng, features):
+        fusion = SumFusion([16, 24], 8, rng=rng)
+        out = fusion(features)
+        manual = (fusion.projections[0](features[0]).data
+                  + fusion.projections[1](features[1]).data)
+        np.testing.assert_allclose(out.data, manual, rtol=1e-5)
+
+    def test_concat_is_relu_of_affine(self, rng, features):
+        fusion = ConcatFusion([16, 24], 8, rng=rng)
+        out = fusion(features)
+        cat = np.concatenate([f.data for f in features], axis=1)
+        manual = np.maximum(cat @ fusion.fc.weight.data.T + fusion.fc.bias.data, 0)
+        np.testing.assert_allclose(out.data, manual, rtol=1e-4)
+        assert (out.data >= 0).all()
+
+    def test_tensor_uses_outer_product_rank(self, rng, features):
+        fusion = TensorFusion([16, 24], 8, rank=6, rng=rng)
+        assert fusion(features).shape == (4, 8)
+        assert fusion.fc.in_features == 36
+
+    def test_glu_gates(self, rng, features):
+        fusion = LinearGLUFusion([16, 24], 8, rng=rng)
+        out = fusion(features)
+        value = fusion.value_proj(features[0]).data
+        # Gated output is strictly smaller in magnitude than the raw value.
+        assert (np.abs(out.data) <= np.abs(value) + 1e-6).all()
+
+    def test_attention_and_transformer_shapes(self, rng, features):
+        for cls in (AttentionFusion, TransformerFusion):
+            out = cls([16, 24], 16, rng=rng)(features)
+            assert out.shape == (4, 16)
+
+    def test_late_lstm_shape(self, rng, features):
+        out = LateFusionLSTM([16, 24], 12, rng=rng)(features)
+        assert out.shape == (4, 12)
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", ALL_FUSIONS)
+    def test_output_shape(self, name, rng, features):
+        fusion = make_fusion(name, [16, 24], 10, rng=rng)
+        assert fusion(features).shape == (4, 10)
+
+    @pytest.mark.parametrize("name", [n for n in ALL_FUSIONS if n != "zero"])
+    def test_gradients_flow_to_inputs(self, name, rng, features):
+        fusion = make_fusion(name, [16, 24], 10, rng=rng)
+        fusion(features).sum().backward()
+        for f in features:
+            assert f.grad is not None
+            assert np.isfinite(f.grad).all()
+
+    @pytest.mark.parametrize("name", ALL_FUSIONS)
+    def test_wrong_modality_count_raises(self, name, rng, features):
+        fusion = make_fusion(name, [16, 24, 8], 10, rng=rng)
+        with pytest.raises(ValueError, match="expects 3 modalities"):
+            fusion(features)
+
+    @pytest.mark.parametrize("name", [n for n in ALL_FUSIONS if n != "zero"])
+    def test_three_modalities(self, name, rng):
+        feats = [Tensor(rng.standard_normal((2, d)).astype(np.float32))
+                 for d in (8, 12, 16)]
+        fusion = make_fusion(name, [8, 12, 16], 8, rng=rng)
+        assert fusion(feats).shape == (2, 8)

@@ -1,0 +1,65 @@
+"""Task heads."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.workloads.heads import (
+    ClassificationHead,
+    GenerationHead,
+    RegressionHead,
+    SegmentationHead,
+    WaypointGRUHead,
+)
+
+
+@pytest.fixture
+def feat(rng):
+    return Tensor(rng.standard_normal((3, 32)).astype(np.float32), requires_grad=True)
+
+
+class TestVectorHeads:
+    def test_classification(self, rng, feat):
+        head = ClassificationHead(32, 10, rng)
+        assert head(feat).shape == (3, 10)
+
+    def test_regression(self, rng, feat):
+        head = RegressionHead(32, 2, rng)
+        assert head(feat).shape == (3, 2)
+
+    def test_generation_logits(self, rng, feat):
+        head = GenerationHead(32, 50, 4, rng)
+        out = head(feat)
+        assert out.shape == (3, 4, 50)
+
+    def test_generation_gradients(self, rng, feat):
+        head = GenerationHead(32, 20, 3, rng)
+        head(feat).sum().backward()
+        assert feat.grad is not None
+        assert head.cell.w_ih.grad is not None
+
+    def test_waypoints_shape_and_accumulation(self, rng, feat):
+        head = WaypointGRUHead(32, 4, rng)
+        out = head(feat)
+        assert out.shape == (3, 8)
+
+
+class TestSegmentationHead:
+    def test_decodes_to_input_resolution(self, rng):
+        from repro.workloads.encoders import UNetEncoder
+
+        enc = UNetEncoder(1, rng, width=8)
+        x = Tensor(rng.standard_normal((2, 1, 32, 32)).astype(np.float32))
+        bottleneck = enc(x)
+        head = SegmentationHead(32, rng, width=8)
+        mask_logits = head(bottleneck, enc.skips)
+        assert mask_logits.shape == (2, 1, 32, 32)
+
+    def test_gradients_flow_through_skips(self, rng):
+        from repro.workloads.encoders import UNetEncoder
+
+        enc = UNetEncoder(1, rng, width=8)
+        x = Tensor(rng.standard_normal((1, 1, 32, 32)).astype(np.float32), requires_grad=True)
+        head = SegmentationHead(32, rng, width=8)
+        head(enc(x), enc.skips).sum().backward()
+        assert x.grad is not None

@@ -1,0 +1,89 @@
+"""Edge cases across the workload layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.synthetic import random_batch
+from repro.trace.events import KernelCategory
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import get_workload
+
+
+class TestUnimodalErrors:
+    def test_mmimdb_unknown_modality(self):
+        with pytest.raises(KeyError, match="no modality"):
+            get_workload("mmimdb").build_unimodal("lidar")
+
+    @pytest.mark.parametrize("name", ["cmu_mosei", "mustard", "mujoco_push",
+                                      "vision_touch", "medical_seg", "transfuser"])
+    def test_unknown_modalities_rejected_everywhere(self, name):
+        with pytest.raises(KeyError):
+            get_workload(name).build_unimodal("telepathy")
+
+
+class TestVisionTouchForceEncoder:
+    def test_force_uses_temporal_conv(self):
+        info = get_workload("vision_touch")
+        model = info.build(seed=0)
+        from repro.workloads.encoders import TemporalConvEncoder
+
+        assert isinstance(model.encoders["force"], TemporalConvEncoder)
+
+    def test_force_branch_emits_conv_kernels(self):
+        info = get_workload("vision_touch")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 4, seed=0)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        trace = tracer.finish()
+        force_kernels = trace.kernels_for_modality("force")
+        assert any(k.category == KernelCategory.CONV for k in force_kernels)
+
+
+class TestBatchSizeOne:
+    @pytest.mark.parametrize("name", ["avmnist", "medical_seg", "transfuser"])
+    def test_forward_with_single_sample(self, name):
+        info = get_workload(name)
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 1, seed=0)
+        with nn.no_grad():
+            out = model(batch)
+        assert out.shape[0] == 1
+
+
+class TestTrainEvalConsistency:
+    def test_eval_is_deterministic(self):
+        info = get_workload("mmimdb")  # contains BatchNorm + dropout-free paths
+        model = info.build(seed=0)
+        model.eval()
+        batch = random_batch(info.shapes, 2, seed=0)
+        with nn.no_grad():
+            a = model(batch).data.copy()
+            b = model(batch).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_train_mode_batchnorm_changes_output(self):
+        info = get_workload("medical_seg")
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 4, seed=0)
+        model.train()
+        with nn.no_grad():
+            first = model(batch).data.copy()
+        model.eval()
+        with nn.no_grad():
+            second = model(batch).data
+        assert not np.allclose(first, second)
+
+
+class TestGradientFlowThroughFullModels:
+    @pytest.mark.parametrize("name", ["avmnist", "transfuser", "medical_vqa"])
+    def test_every_parameter_receives_grad(self, name):
+        info = get_workload(name)
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        out = model(batch)
+        out.sum().backward()
+        missing = [pname for pname, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"{name}: no grad for {missing[:5]}"

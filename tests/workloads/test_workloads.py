@@ -1,0 +1,118 @@
+"""All nine applications: registry contract, build, forward, tracing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.synthetic import random_batch
+from repro.trace.events import STAGE_FUSION
+from repro.trace.tracer import Tracer
+from repro.workloads.registry import WORKLOADS, domains, get_workload, list_workloads
+
+ALL = list_workloads()
+
+
+class TestRegistry:
+    def test_nine_workloads(self):
+        assert len(ALL) == 9
+
+    def test_five_domains(self):
+        groups = domains()
+        assert set(groups) == {
+            "Multimedia", "Affective Computing", "Intelligent Medicine",
+            "Smart Robotics", "Automatic Driving",
+        }
+        assert sum(len(v) for v in groups.values()) == 9
+
+    def test_lookup_and_error(self):
+        assert get_workload("avmnist").name == "avmnist"
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("imagenet")
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_default_fusion_in_options(self, name):
+        info = WORKLOADS[name]
+        fusion = info.default_fusion
+        assert fusion in info.fusions
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_channels_cover_modalities(self, name):
+        info = WORKLOADS[name]
+        channels = info.default_channels()
+        assert set(channels) == set(info.modalities)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestBuildAndRun:
+    def test_multimodal_forward_and_stages(self, name):
+        info = get_workload(name)
+        model = info.build(seed=0)
+        batch = random_batch(info.shapes, 2, seed=0)
+        tracer = Tracer()
+        with tracer.activate(), nn.no_grad():
+            out = model(batch)
+        trace = tracer.finish()
+        assert out.shape[0] == 2
+        assert STAGE_FUSION in trace.stages()
+        assert set(trace.modalities()) == set(info.modalities)
+        assert model.num_parameters() > 0
+
+    def test_unimodal_variants_build(self, name):
+        info = get_workload(name)
+        modality = info.modalities[0]
+        uni = info.build_unimodal(modality, seed=0)
+        batch = random_batch(uni.shapes, 2, seed=0)
+        out = uni(batch)
+        assert out.shape[0] == 2
+
+    def test_deterministic_by_seed(self, name):
+        info = get_workload(name)
+        a = info.build(seed=3)
+        b = info.build(seed=3)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestFusionVariants:
+    @pytest.mark.parametrize("name", ALL)
+    def test_every_listed_fusion_builds(self, name):
+        info = get_workload(name)
+        batch = random_batch(info.shapes, 2, seed=0)
+        for fusion in info.fusions:
+            model = info.build(fusion, seed=0)
+            with nn.no_grad():
+                out = model(batch)
+            assert np.isfinite(out.data).all(), f"{name}[{fusion}]"
+
+    def test_slfs_is_wider(self):
+        info = get_workload("avmnist")
+        base = info.build("concat", seed=0)
+        slfs = info.build("slfs", seed=0)
+        assert slfs.num_parameters() > 3 * base.num_parameters()
+
+    def test_unknown_fusion_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("medical_seg").build("sum")
+        with pytest.raises(KeyError):
+            get_workload("transfuser").build("concat")
+
+
+class TestTaskOutputs:
+    def test_segmentation_output_is_mask_logits(self):
+        info = get_workload("medical_seg")
+        model = info.build(seed=0)
+        out = model(random_batch(info.shapes, 2, seed=0))
+        assert out.shape == (2, *info.shapes.task.output_shape)
+
+    def test_generation_output_is_token_logits(self):
+        info = get_workload("medical_vqa")
+        model = info.build(seed=0)
+        out = model(random_batch(info.shapes, 2, seed=0))
+        assert out.shape == (2, 4, info.shapes.task.num_classes)
+
+    def test_transfuser_outputs_waypoints(self):
+        info = get_workload("transfuser")
+        model = info.build(seed=0)
+        out = model(random_batch(info.shapes, 2, seed=0))
+        assert out.shape == (2, 8)
