@@ -6,7 +6,7 @@ per-modality models and the fused model on AV-MNIST, partitions the
 correctly-processed samples (Figure 5), and reports how much compute an
 adaptive major-modality-first policy saves at what accuracy cost.
 
-    python examples/adaptive_modality_selection.py
+    PYTHONPATH=src python examples/adaptive_modality_selection.py
 """
 
 from repro.core.analysis.modality import exclusive_correct_analysis

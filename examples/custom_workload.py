@@ -6,7 +6,7 @@ modality shapes, pick encoders from the zoo (or write your own
 ``MultiModalModel`` — and immediately get staged profiling, device
 re-pricing, and trainability for free.
 
-    python examples/custom_workload.py
+    PYTHONPATH=src python examples/custom_workload.py
 """
 
 import numpy as np

@@ -5,7 +5,7 @@ it: capture the workload's trace once, re-price it on each candidate
 device, and find the largest batch size that stays clear of the
 unified-memory capacity cliff.
 
-    python examples/edge_deployment.py
+    PYTHONPATH=src python examples/edge_deployment.py
 """
 
 from repro.core.analysis.edge import EDGE_SCALE

@@ -6,7 +6,7 @@ example puts numbers on both sides for AV-MNIST on a Jetson Nano model:
 per-modality energy from the hardware model, and the accuracy the
 robustness analysis measures when a modality is actually dropped.
 
-    python examples/energy_budget.py
+    PYTHONPATH=src python examples/energy_budget.py
 """
 
 from repro.core.analysis.robustness import robustness_analysis

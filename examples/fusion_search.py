@@ -6,7 +6,7 @@ every applicable fusion operator is trained on the same data and profiled
 on the same device model, producing the accuracy/latency frontier a system
 designer would use.
 
-    python examples/fusion_search.py
+    PYTHONPATH=src python examples/fusion_search.py
 """
 
 from repro.core.train import train_model

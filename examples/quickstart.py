@@ -2,7 +2,7 @@
 
 Runs in well under a minute on a laptop::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from repro.core.suite import BenchmarkSuite, RunConfig

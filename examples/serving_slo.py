@@ -1,0 +1,80 @@
+"""Serving under an SLO: static batch-size planning vs adaptive batching.
+
+Two answers to the Sec. 5.1 deployment question "what batch size should
+the OS schedule for an open request stream?":
+
+1. The *static* answer — sweep fixed batch sizes with ``serving_sweep``
+   at the traffic you planned for, and let ``best_batch_for_slo`` pick
+   the largest batch whose p99 meets the target.
+2. The *dynamic* answer — serve with a batching policy and let it choose
+   per dispatch. The comparison below pits a no-batching deployment
+   (fixed batch 1, the per-request-latency optimum at light load), a
+   classic timeout batcher, and the cost-model-driven
+   ``AdaptiveSLOPolicy`` against the same Poisson streams as traffic
+   grows past the planned rate.
+
+    PYTHONPATH=src python examples/serving_slo.py
+"""
+
+from repro.core.analysis.serving import best_batch_for_slo, serving_sweep
+from repro.profiling.report import format_table
+from repro.serving import (
+    AdaptiveSLOPolicy,
+    FixedBatchPolicy,
+    ProfiledCostModel,
+    TimeoutBatchPolicy,
+    simulate,
+)
+
+WORKLOAD = "avmnist"
+DEVICES = ("2080ti", "nano")
+SLO = 20e-3  # 20 ms p99 target
+N_REQUESTS = 4_000
+
+
+def main() -> None:
+    cost = ProfiledCostModel(WORKLOAD)
+    # Aggregate req/s the pool sustains with no batching at all.
+    capacity = sum(1.0 / cost.latency(d, 1) for d in DEVICES)
+
+    # 1. Static planning: fixed-batch sweep at the rate we planned for.
+    planned = 0.8 * capacity
+    sweep = serving_sweep(WORKLOAD, batch_sizes=(1, 8, 40, 100, 400),
+                          n_tasks=N_REQUESTS, arrival_rate=planned,
+                          device=DEVICES[0])
+    rows = [[b, f"{r.throughput:,.0f} req/s", f"{r.p99_latency * 1e3:.2f} ms",
+             "yes" if r.p99_latency <= SLO else "NO"]
+            for b, r in sorted(sweep.items())]
+    print(format_table(["batch", "throughput", "p99 latency", f"meets {SLO * 1e3:.0f}ms"],
+                       rows, title=f"Fixed batch sweep on {DEVICES[0]} at {planned:,.0f} req/s"))
+    best = best_batch_for_slo(sweep, p99_slo=SLO)
+    print(f"\nbest_batch_for_slo -> {best} (largest fixed batch meeting the SLO "
+          f"at the planned rate)\n")
+
+    # 2. The plan meets reality: the same policies under growing traffic.
+    policies = {
+        "no batching": lambda: FixedBatchPolicy(1),
+        "timeout(64, 5ms)": lambda: TimeoutBatchPolicy(64, 5e-3),
+        f"adaptive({SLO * 1e3:.0f}ms)": lambda: AdaptiveSLOPolicy(SLO),
+    }
+    rows = []
+    for factor in (0.5, 1.0, 1.5, 2.0):
+        rate = factor * capacity
+        cells = [f"{factor:.1f}x ({rate:,.0f}/s)"]
+        for build in policies.values():
+            report = simulate(cost, build(), devices=DEVICES,
+                              n_requests=N_REQUESTS, arrival_rate=rate, seed=0)
+            cells.append(f"{report.p99_latency * 1e3:.2f} ms "
+                         f"({report.slo_attainment(SLO):.0%})")
+        rows.append(cells)
+    print(format_table(
+        ["load", *policies], rows,
+        title=f"p99 (SLO attainment) vs load: {WORKLOAD} on {'+'.join(DEVICES)}"))
+    print("\nNo batching wins nothing and collapses past 1.0x capacity; the\n"
+          "timeout batcher pays its formation wait even when idle; the adaptive\n"
+          "policy re-chooses the batch per dispatch from the profiled cost model\n"
+          "and holds the SLO at every load level.")
+
+
+if __name__ == "__main__":
+    main()

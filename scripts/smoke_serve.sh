@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI smoke job: the serving subsystem end-to-end in a few seconds.
+# Uses the installed `mmbench` entry point when available, otherwise the
+# in-tree CLI module.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v mmbench >/dev/null 2>&1; then
+    run=(mmbench)
+else
+    export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+    run=(python -m repro.core.cli)
+fi
+
+"${run[@]}" serve --workload avmnist --arrival-rate 100 --policy adaptive

@@ -35,7 +35,7 @@ from repro.core.analysis.performance import (
     performance_analysis,
 )
 from repro.core.analysis.robustness import RobustnessReport, robustness_analysis
-from repro.core.analysis.serving import best_batch_for_slo, serving_sweep
+from repro.core.analysis.serving import best_batch_for_slo, policy_study, serving_sweep
 from repro.core.analysis.stage import stage_resource_analysis, stage_time_analysis
 from repro.core.analysis.synchronization import (
     SyncShare,
@@ -46,7 +46,7 @@ from repro.core.analysis.synchronization import (
 __all__ = [
     "ConcurrencyAnalysis", "analyze_concurrency", "concurrency_study",
     "RobustnessReport", "robustness_analysis",
-    "best_batch_for_slo", "serving_sweep",
+    "best_batch_for_slo", "policy_study", "serving_sweep",
     "BatchSizeResult", "batch_size_study", "peak_memory_study", "speedup_factor",
     "EDGE_SCALE", "EdgeLatency", "StallProfile", "dominant_stalls",
     "edge_latency_study", "edge_resource_study", "edge_stall_study", "multimodal_ratio",

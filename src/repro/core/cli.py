@@ -8,6 +8,7 @@ options as command-line parameters)::
     mmbench run --workload mmimdb --unimodal image --device nano
     mmbench analyze stage-time --device 2080ti
     mmbench analyze batch-size
+    mmbench serve --workload avmnist --arrival-rate 100 --policy adaptive
 """
 
 from __future__ import annotations
@@ -61,6 +62,56 @@ def _cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ProfiledCostModel, make_policy, make_router, simulate
+    from repro.serving.report import serving_summary
+
+    from repro.hw.device import get_device
+    from repro.workloads.registry import get_workload
+
+    # Validate everything user-typed up front: typos get one clean line and
+    # exit 2, while errors raised later inside the simulation stay loud.
+    try:
+        policies = {
+            name: make_policy(name, batch_size=args.batch_size,
+                              timeout=args.timeout, slo=args.slo,
+                              max_batch=args.max_batch)
+            for name in args.policy.split(",")
+        }
+        devices = tuple(args.devices.split(","))
+        for device in devices:
+            get_device(device)
+        info = get_workload(args.workload)
+        if args.fusion is not None and args.fusion not in info.fusions:
+            raise KeyError(f"unknown fusion {args.fusion!r} for {args.workload}; "
+                           f"available: {sorted(info.fusions)}")
+        if args.n_requests <= 0:
+            raise ValueError(f"--n-requests must be positive, got {args.n_requests}")
+        if args.arrival_rate is not None and args.arrival_rate <= 0:
+            raise ValueError("--arrival-rate must be positive")
+        if args.seed < 0:
+            raise ValueError(f"--seed must be non-negative, got {args.seed}")
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    cost = ProfiledCostModel(args.workload, args.fusion, seed=args.seed)
+    # A fresh router per run: routers are stateful (round-robin rotation)
+    # and each policy must see identical starting conditions.
+    reports = {
+        policy.name: simulate(
+            cost, policy, devices=devices, n_requests=args.n_requests,
+            arrival_rate=args.arrival_rate, router=make_router(args.router),
+            seed=args.seed,
+        )
+        for policy in policies.values()
+    }
+    print(f"workload={args.workload} fusion={args.fusion or 'default'} "
+          f"devices={','.join(devices)}")
+    print(serving_summary(reports, slo=args.slo))
     return 0
 
 
@@ -125,6 +176,30 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--batch-size", type=int, default=32)
     report.add_argument("-o", "--output", default=None, metavar="FILE")
     report.set_defaults(fn=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="open-loop serving simulation with dynamic batching")
+    serve.add_argument("--workload", default="avmnist", choices=list_workloads())
+    serve.add_argument("--fusion", default=None)
+    serve.add_argument("--arrival-rate", type=float, default=None, metavar="REQ_PER_S",
+                       help="Poisson arrival rate (default: closed batch, all at t=0)")
+    serve.add_argument("--n-requests", type=int, default=5_000)
+    serve.add_argument("--policy", default="fixed,adaptive",
+                       help="comma-separated: fixed, timeout, adaptive")
+    serve.add_argument("--batch-size", type=int, default=40,
+                       help="batch cap for the fixed/timeout policies")
+    serve.add_argument("--timeout", type=float, default=2e-3,
+                       help="batch-formation timeout (seconds) for the timeout policy")
+    serve.add_argument("--slo", type=float, default=50e-3,
+                       help="p99 latency SLO (seconds); drives the adaptive policy")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="largest batch the adaptive policy may form")
+    serve.add_argument("--devices", default="2080ti,nano",
+                       help="comma-separated device models to route across")
+    serve.add_argument("--router", default="earliest-finish",
+                       choices=["earliest-finish", "round-robin"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
 
     analyze = sub.add_parser("analyze", help="run a characterization analysis")
     analyze.add_argument("analysis",

@@ -1,22 +1,19 @@
-"""Batched-serving simulator.
+"""Batched-serving simulator (legacy single-server entry points).
 
 Sec. 5.1 frames the batch-size case study as an OS scheduling problem:
 "when a batch of tasks arrive, the operating system schedules the
 appropriate kernels to handle those tasks" — 10,000 inference tasks
-dispatched at batch 40 vs 400. This module generalizes that setup into a
-small discrete-event simulator: tasks arrive over time (Poisson or
-all-at-once), a single device serves them in batches of a configurable
-size, and per-task latency statistics fall out. It turns the suite's
-per-batch latency model into the throughput/latency tradeoff curves a
-deployment engineer actually tunes against.
+dispatched at batch 40 vs 400. These entry points keep that original
+single-device, fixed-batch interface but now run on the general
+discrete-event engine in :mod:`repro.serving` (dynamic batching
+policies, multi-device routing, per-request latency decomposition).
+Use :func:`repro.serving.simulate` directly for anything beyond a
+fixed-size batcher on one device.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-
-import numpy as np
 
 
 @dataclass(frozen=True)
@@ -40,7 +37,7 @@ def simulate_serving(
     arrival_rate: float | None = None,
     seed: int = 0,
 ) -> ServingResult:
-    """Simulate a single batching server.
+    """Simulate a single fixed-batch server.
 
     Parameters
     ----------
@@ -58,75 +55,48 @@ def simulate_serving(
         Mean arrivals per second (Poisson). ``None`` = all tasks arrive at
         t=0, the paper's closed-batch setup.
     """
-    if batch_size <= 0:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
-    if n_tasks <= 0:
-        raise ValueError(f"n_tasks must be positive, got {n_tasks}")
+    from repro.serving import CallableCostModel, FixedBatchPolicy, simulate
 
-    rng = np.random.default_rng(seed)
-    if arrival_rate is None:
-        arrivals = np.zeros(n_tasks)
-    else:
-        if arrival_rate <= 0:
-            raise ValueError("arrival_rate must be positive")
-        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_tasks))
+    report = simulate(
+        CallableCostModel(batch_time),
+        FixedBatchPolicy(batch_size),
+        devices=("server",),
+        n_requests=n_tasks,
+        arrival_rate=arrival_rate,
+        seed=seed,
+    )
+    return serving_result_from_report(report, batch_size)
 
-    latencies = np.empty(n_tasks)
-    busy_time = 0.0
-    server_free_at = 0.0
-    i = 0
-    while i < n_tasks:
-        # The server starts when it is free and at least one task has arrived.
-        start = max(server_free_at, arrivals[i])
-        # Take every task that has arrived by `start`, up to batch_size.
-        j = i
-        while j < n_tasks and arrivals[j] <= start and (j - i) < batch_size:
-            j += 1
-        took = j - i
-        duration = batch_time(took)
-        if duration <= 0:
-            raise ValueError("batch_time must return a positive duration")
-        finish = start + duration
-        latencies[i:j] = finish - arrivals[i:j]
-        busy_time += duration
-        server_free_at = finish
-        i = j
 
-    makespan = float(server_free_at)
+def serving_result_from_report(report, batch_size: int) -> ServingResult:
+    """Collapse a multi-device :class:`~repro.serving.ServingReport` into
+    the legacy single-server summary."""
     return ServingResult(
         batch_size=batch_size,
-        n_tasks=n_tasks,
-        makespan=makespan,
-        throughput=n_tasks / makespan if makespan > 0 else 0.0,
-        mean_latency=float(latencies.mean()),
-        p50_latency=float(np.percentile(latencies, 50)),
-        p99_latency=float(np.percentile(latencies, 99)),
-        server_utilization=busy_time / makespan if makespan > 0 else 0.0,
+        n_tasks=report.n_requests,
+        makespan=report.makespan,
+        throughput=report.throughput,
+        mean_latency=report.mean_latency,
+        p50_latency=report.p50_latency,
+        p99_latency=report.p99_latency,
+        server_utilization=report.total_utilization,
     )
 
 
 def batch_time_from_profile(profiler, model, device: str, seed: int = 0):
     """Build a ``batch_time(k)`` closure from profiled batch latencies.
 
-    Profiles the model at a few anchor batch sizes and interpolates
-    per-batch latency linearly in between (latency is affine in batch size
-    to good approximation under the roofline model: fixed launch overhead
-    plus work that scales with the batch).
+    Profiles the model at the cost-model anchor batch sizes and
+    interpolates per-batch latency linearly in between (latency is affine
+    in batch size to good approximation under the roofline model: fixed
+    launch overhead plus work that scales with the batch). Anchor traces
+    and prices are memoized in :mod:`repro.serving.costmodel` per *model
+    instance*, so repeated closures over the same model object never
+    re-profile; a rebuilt model starts fresh (two models are not assumed
+    interchangeable just because they share a name). For registry
+    workloads, :class:`~repro.serving.costmodel.ProfiledCostModel` caches
+    by ``(workload, fusion, seed)`` instead and is the better entry point.
     """
-    from repro.data.synthetic import random_batch
+    from repro.serving.costmodel import anchored_batch_time
 
-    anchors = [1, 8, 32, 128, 512]
-    times = []
-    for k in anchors:
-        batch = random_batch(model.shapes, k, seed=seed)
-        trace = profiler.capture(model, batch)
-        report = profiler.price(model, trace, k, device=device)
-        times.append(report.total_time)
-
-    anchor_arr = np.array(anchors, dtype=np.float64)
-    time_arr = np.array(times, dtype=np.float64)
-
-    def batch_time(k: int) -> float:
-        return float(np.interp(k, anchor_arr, time_arr))
-
-    return batch_time
+    return anchored_batch_time(profiler, model, device, seed=seed)

@@ -1,0 +1,60 @@
+"""Open-loop serving: dynamic batching, routing, and latency accounting.
+
+The deployment-facing layer of the reproduction (see ``docs/serving.md``).
+It answers the question the paper's Sec. 5.1 batch-size case study opens
+— "what batch size should the OS schedule for an open request stream?" —
+with a discrete-event simulator driven by memoized profiler cost models:
+
+* :mod:`repro.serving.request` — requests and arrival processes
+* :mod:`repro.serving.costmodel` — memoized per-batch cost models
+* :mod:`repro.serving.policies` — fixed / timeout / SLO-adaptive batching
+* :mod:`repro.serving.router` — placement across heterogeneous devices
+* :mod:`repro.serving.simulator` — the event loop and its report
+* :mod:`repro.serving.report` — formatted throughput–tail-latency tables
+"""
+
+from repro.serving.costmodel import (
+    DEFAULT_ANCHORS,
+    PROFILE_STATS,
+    CallableCostModel,
+    ProfiledCostModel,
+    clear_cost_cache,
+    throughput_optimal_batch,
+)
+from repro.serving.policies import (
+    POLICY_NAMES,
+    AdaptiveSLOPolicy,
+    BatchingPolicy,
+    FixedBatchPolicy,
+    TimeoutBatchPolicy,
+    make_policy,
+)
+from repro.serving.report import (
+    format_device_breakdown,
+    format_policy_comparison,
+    serving_summary,
+)
+from repro.serving.request import (
+    Request,
+    closed_arrivals,
+    make_requests,
+    poisson_arrivals,
+)
+from repro.serving.router import (
+    EarliestFinishRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.serving.simulator import DeviceStats, ServingReport, simulate
+
+__all__ = [
+    "DEFAULT_ANCHORS", "PROFILE_STATS", "CallableCostModel", "ProfiledCostModel",
+    "clear_cost_cache", "throughput_optimal_batch",
+    "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",
+    "TimeoutBatchPolicy", "make_policy",
+    "format_device_breakdown", "format_policy_comparison", "serving_summary",
+    "Request", "closed_arrivals", "make_requests", "poisson_arrivals",
+    "EarliestFinishRouter", "RoundRobinRouter", "Router", "make_router",
+    "DeviceStats", "ServingReport", "simulate",
+]

@@ -1,0 +1,222 @@
+"""Per-batch cost models driving the serving simulator.
+
+The simulator never executes a model during a run: batch compute times
+come from a cost model priced ahead of time. :class:`ProfiledCostModel`
+is the production path — it captures each workload's trace at a few
+anchor batch sizes with :class:`~repro.profiling.profiler.MMBenchProfiler`
+and interpolates, exactly the way the paper's batch-size case study turns
+a handful of measurements into a scheduling decision. Every profile is
+memoized per ``(workload, fusion, batch size, device)`` at module level,
+so sweeping policies, arrival rates and device mixes never re-profiles:
+traces are captured once per anchor batch size (device-independent) and
+re-priced per device on the analytical :class:`~repro.hw.device.DeviceSpec`.
+
+:class:`CallableCostModel` adapts a plain ``batch_time(k)`` closure for
+unit tests and for the legacy :mod:`repro.hw.scheduler` entry points.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.hw.device import get_device
+
+DEFAULT_ANCHORS: tuple[int, ...] = (1, 8, 32, 128, 512)
+
+# Module-level memoization. Keys:
+#   _MODEL_CACHE[(workload, fusion, seed)] -> built model
+#   _TRACE_CACHE[(workload, fusion, seed, k)] -> (Trace, model_bytes, input_bytes)
+#   _TIME_CACHE[(workload, fusion, seed, device, k)] -> seconds
+_MODEL_CACHE: dict = {}
+_TRACE_CACHE: dict = {}
+_TIME_CACHE: dict = {}
+
+# Observable work counters, for tests and for cache diagnostics.
+PROFILE_STATS = {"captures": 0, "pricings": 0, "hits": 0}
+
+
+def clear_cost_cache() -> None:
+    """Drop all memoized traces/prices (mainly for tests)."""
+    _MODEL_CACHE.clear()
+    _TRACE_CACHE.clear()
+    _TIME_CACHE.clear()
+    _ANCHOR_FN_CACHE.clear()
+
+
+def _interp_affine(k: float, anchors: np.ndarray, times: np.ndarray) -> float:
+    """Piecewise-linear between anchors; affine extrapolation beyond the last."""
+    if k > anchors[-1] and len(anchors) > 1:
+        slope = (times[-1] - times[-2]) / (anchors[-1] - anchors[-2])
+        return float(times[-1] + slope * (k - anchors[-1]))
+    return float(np.interp(k, anchors, times))
+
+
+def throughput_optimal_batch(cost, device: str, max_batch: int = 512) -> int:
+    """Batch size maximizing sustained tasks/second on ``device``.
+
+    The single definition shared by :class:`ProfiledCostModel` and
+    :class:`~repro.serving.policies.AdaptiveSLOPolicy`'s drain mode.
+    """
+    ladder = [k for k in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+              if k <= max_batch]
+    if max_batch not in ladder:
+        ladder.append(max_batch)
+    return max(ladder, key=lambda k: k / cost.latency(device, k))
+
+
+class CallableCostModel:
+    """Adapts ``batch_time(k) -> seconds`` into the cost-model interface.
+
+    Device-oblivious: every device sees the same curve. Used by the legacy
+    single-server :func:`repro.hw.scheduler.simulate_serving` and by tests
+    that want analytic (e.g. affine) service times.
+    """
+
+    def __init__(self, batch_time):
+        self._batch_time = batch_time
+
+    def latency(self, device: str, batch_size: int) -> float:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        duration = float(self._batch_time(batch_size))
+        if duration <= 0:
+            raise ValueError("batch_time must return a positive duration")
+        return duration
+
+
+class ProfiledCostModel:
+    """Memoized ``latency(device, batch_size)`` for one (workload, fusion).
+
+    Anchors are profiled lazily per device on first use; queries between
+    anchors interpolate linearly (latency is affine in batch size to good
+    approximation under the roofline model: fixed launch overhead plus
+    work that scales with the batch), and queries beyond the last anchor
+    extrapolate along the final segment's slope.
+    """
+
+    def __init__(self, workload: str, fusion: str | None = None,
+                 anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0):
+        anchors = tuple(int(k) for k in anchors)
+        if not anchors or list(anchors) != sorted(set(anchors)) or anchors[0] < 1:
+            raise ValueError(f"anchors must be increasing positive ints, got {anchors}")
+        from repro.workloads.registry import get_workload
+
+        self.workload = workload
+        # Normalize so fusion=None and the workload's default fusion name
+        # share one cache entry (they build the identical model).
+        self.fusion = get_workload(workload).default_fusion if fusion is None else fusion
+        self.anchors = anchors
+        self.seed = seed
+        self._anchor_arr = np.array(self.anchors, dtype=np.float64)
+        self._anchor_times: dict[str, np.ndarray] = {}  # canonical device -> times
+
+    # -- profiling (memoized) --------------------------------------------------
+
+    def _model(self):
+        key = (self.workload, self.fusion, self.seed)
+        if key not in _MODEL_CACHE:
+            from repro.workloads.registry import get_workload
+
+            info = get_workload(self.workload)
+            _MODEL_CACHE[key] = info.build(self.fusion, seed=self.seed)
+        return _MODEL_CACHE[key]
+
+    def _trace(self, k: int):
+        key = (self.workload, self.fusion, self.seed, k)
+        if key not in _TRACE_CACHE:
+            from repro.data.synthetic import random_batch
+            from repro.profiling.profiler import MMBenchProfiler
+
+            model = self._model()
+            batch = random_batch(model.shapes, k, seed=self.seed)
+            trace = MMBenchProfiler().capture(model, batch)
+            _TRACE_CACHE[key] = (trace, model.parameter_bytes(), model.input_bytes(k))
+            PROFILE_STATS["captures"] += 1
+        return _TRACE_CACHE[key]
+
+    def _anchor_time(self, device: str, k: int) -> float:
+        key = (self.workload, self.fusion, self.seed, device, k)
+        if key in _TIME_CACHE:
+            PROFILE_STATS["hits"] += 1
+            return _TIME_CACHE[key]
+        from repro.profiling.profiler import MMBenchProfiler
+
+        trace, model_bytes, input_bytes = self._trace(k)
+        model = self._model()
+        report = MMBenchProfiler(device).price(
+            model, trace, k, model_bytes=model_bytes, input_bytes=input_bytes)
+        PROFILE_STATS["pricings"] += 1
+        _TIME_CACHE[key] = report.total_time
+        return report.total_time
+
+    def _anchor_curve(self, device: str) -> np.ndarray:
+        canonical = get_device(device).name
+        if canonical not in self._anchor_times:
+            self._anchor_times[canonical] = np.array(
+                [self._anchor_time(canonical, k) for k in self.anchors],
+                dtype=np.float64,
+            )
+        return self._anchor_times[canonical]
+
+    # -- queries ----------------------------------------------------------------
+
+    def latency(self, device: str, batch_size: int) -> float:
+        """Seconds to serve one batch of ``batch_size`` on ``device``."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return _interp_affine(batch_size, self._anchor_arr, self._anchor_curve(device))
+
+    def throughput_optimal_batch(self, device: str, max_batch: int = 512) -> int:
+        """Batch size maximizing sustained tasks/second on ``device``."""
+        return throughput_optimal_batch(self, device, max_batch)
+
+    def batch_time(self, device: str):
+        """A ``batch_time(k)`` closure bound to ``device`` (legacy interface)."""
+        return lambda k: self.latency(device, k)
+
+
+# Keyed by the model *instance* (weakly, so caches die with their model):
+# two models that merely share a name and parameter count must not share
+# latency curves. Values: {(device, seed, anchors): times array}.
+_ANCHOR_FN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def anchored_batch_time(profiler, model, device: str,
+                        anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0):
+    """Profile ``model`` at anchor batch sizes; return a ``batch_time(k)`` closure.
+
+    The generic building block behind
+    :func:`repro.hw.scheduler.batch_time_from_profile`: works for any
+    model object (registered or user-built), interpolating between
+    anchors and extrapolating affinely beyond the last one. Anchor times
+    are memoized per (model instance, device, seed), so repeated closures
+    over the same model never re-profile.
+    """
+    canonical = get_device(device).name
+    per_model = _ANCHOR_FN_CACHE.setdefault(model, {})
+    key = (canonical, seed, tuple(anchors))
+    if key in per_model:
+        PROFILE_STATS["hits"] += 1
+        times = per_model[key]
+    else:
+        from repro.data.synthetic import random_batch
+
+        measured = []
+        for k in anchors:
+            batch = random_batch(model.shapes, k, seed=seed)
+            trace = profiler.capture(model, batch)
+            PROFILE_STATS["captures"] += 1
+            report = profiler.price(model, trace, k, device=canonical)
+            PROFILE_STATS["pricings"] += 1
+            measured.append(report.total_time)
+        times = np.array(measured, dtype=np.float64)
+        per_model[key] = times
+
+    anchor_arr = np.array(anchors, dtype=np.float64)
+
+    def batch_time(k: int) -> float:
+        return _interp_affine(k, anchor_arr, times)
+
+    return batch_time

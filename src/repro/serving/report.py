@@ -1,0 +1,73 @@
+"""Formatted throughput–tail-latency reports for serving simulations."""
+
+from __future__ import annotations
+
+from repro.profiling.report import format_seconds, format_table
+from repro.serving.simulator import ServingReport
+
+
+def _batch_sizes_summary(report: ServingReport) -> str:
+    parts = []
+    for slot, sizes in sorted(report.batch_sizes_used().items()):
+        if not sizes:
+            parts.append(f"{slot}: -")
+        elif len(sizes) <= 4:
+            parts.append(f"{slot}: {','.join(map(str, sizes))}")
+        else:
+            parts.append(f"{slot}: {sizes[0]}..{sizes[-1]} ({len(sizes)} sizes)")
+    return "; ".join(parts)
+
+
+def format_policy_comparison(
+    reports: dict[str, ServingReport], slo: float | None = None
+) -> str:
+    """One row per policy: throughput, tail latency, SLO attainment, batches."""
+    headers = ["policy", "throughput", "p50 latency", "p99 latency",
+               "formation wait"]
+    if slo is not None:
+        headers.append(f"SLO<= {format_seconds(slo)}")
+    headers.append("batch sizes")
+    rows = []
+    for label, report in reports.items():
+        row = [
+            label,
+            f"{report.throughput:,.0f} req/s",
+            format_seconds(report.p50_latency),
+            format_seconds(report.p99_latency),
+            format_seconds(report.mean_formation_wait),
+        ]
+        if slo is not None:
+            row.append(f"{report.slo_attainment(slo):.1%}")
+        row.append(_batch_sizes_summary(report))
+        rows.append(row)
+    return format_table(headers, rows, title="Serving policies: throughput vs tail latency")
+
+
+def format_device_breakdown(reports: dict[str, ServingReport]) -> str:
+    """Per-(policy, device slot) routing and utilization breakdown."""
+    rows = []
+    for label, report in reports.items():
+        for slot, stats in sorted(report.device_stats.items()):
+            rows.append([
+                label, slot, stats.batches, stats.requests,
+                f"{stats.mean_batch:.1f}", f"{stats.utilization:.0%}",
+            ])
+    return format_table(
+        ["policy", "device", "batches", "requests", "mean batch", "utilization"],
+        rows, title="Per-device routing breakdown")
+
+
+def serving_summary(reports: dict[str, ServingReport], slo: float | None = None) -> str:
+    """Full ``mmbench serve`` report: comparison table + device breakdown."""
+    first = next(iter(reports.values()))
+    rate = ("closed batch (all at t=0)" if first.arrival_rate is None
+            else f"Poisson {first.arrival_rate:g} req/s")
+    lines = [
+        f"open-loop serving: {first.n_requests} requests, {rate}, "
+        f"router={first.router}",
+        "",
+        format_policy_comparison(reports, slo=slo),
+        "",
+        format_device_breakdown(reports),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Requests and arrival processes for the open-loop serving simulator.
+
+A :class:`Request` is one inference task travelling through the serving
+system. Its timeline decomposes end-to-end latency the way a deployment
+engineer debugs it:
+
+    arrival --(queueing)--> could_start --(batch formation)--> dispatch
+            --(compute)--> finish
+
+``queueing`` is time spent waiting because every device was busy;
+``batch formation`` is time the batching policy *chose* to hold the
+request while a device sat idle (timeout-based policies trade this
+against larger, more efficient batches); ``compute`` is the batch's
+service time on the device it was routed to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Request:
+    """One inference task; timing fields are filled in by the simulator."""
+
+    index: int
+    arrival: float
+    dispatch: float = field(default=float("nan"))
+    finish: float = field(default=float("nan"))
+    device: str = ""
+    batch_size: int = 0  # size of the batch this request rode in
+    formation_wait: float = 0.0  # policy-induced wait while a device was idle
+
+    @property
+    def queue_time(self) -> float:
+        """Total pre-dispatch wait (queueing + batch formation)."""
+        return self.dispatch - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.finish - self.dispatch
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: arrival to completion."""
+        return self.finish - self.arrival
+
+
+def poisson_arrivals(n_requests: int, arrival_rate: float, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival times of a Poisson stream with the given mean rate."""
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_requests))
+
+
+def closed_arrivals(n_requests: int) -> np.ndarray:
+    """All requests queued at t=0 — the paper's closed 10,000-task setting."""
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    return np.zeros(n_requests)
+
+
+def make_requests(arrivals: np.ndarray) -> list[Request]:
+    """Wrap an arrival-time array into simulator requests (FIFO order)."""
+    return [Request(index=i, arrival=float(t)) for i, t in enumerate(arrivals)]

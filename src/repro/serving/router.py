@@ -1,0 +1,78 @@
+"""Batch placement across heterogeneous devices.
+
+When several devices are idle at once, the router decides which one the
+next batch is formed for. Devices are heterogeneous analytical models
+(a 2080Ti server GPU next to a Jetson Nano differs by ~50x in peak
+FLOPs), so placement order matters: the fast device should absorb the
+bulk of the stream and the slow one mop up overflow.
+"""
+
+from __future__ import annotations
+
+
+class Router:
+    """Orders idle device slots; subclasses override :meth:`rank`."""
+
+    name: str = "router"
+
+    def rank(self, idle: list[str], queue_len: int, cost) -> list[str]:
+        """Return idle slots in the order batches should be offered to them.
+
+        ``idle`` holds *slot* labels; ``cost.latency(slot, k)`` prices a
+        batch on the device behind a slot.
+        """
+        raise NotImplementedError
+
+    def note_dispatch(self, slot: str) -> None:
+        """Called after a batch lands on ``slot``; stateful routers advance here."""
+
+
+class EarliestFinishRouter(Router):
+    """Prefer the device with the best amortized per-request service time.
+
+    Ranks idle devices by ``latency(k)/k`` at the batch size the queue
+    could fill right now — effectively earliest-finish-time placement for
+    the work at hand. Deterministic tie-break on slot label.
+    """
+
+    name = "earliest-finish"
+
+    def __init__(self, probe_cap: int = 128):
+        self.probe_cap = probe_cap
+
+    def rank(self, idle, queue_len, cost):
+        probe = max(1, min(queue_len, self.probe_cap))
+        return sorted(idle, key=lambda s: (cost.latency(s, probe) / probe, s))
+
+
+class RoundRobinRouter(Router):
+    """Rotate through devices regardless of speed (baseline placement).
+
+    The rotation advances per *dispatch* (via :meth:`note_dispatch`), not
+    per ranking call — offers where the policy holds, or where only one
+    device is idle, must not skew the rotation.
+    """
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def rank(self, idle, queue_len, cost):
+        ordered = sorted(idle)
+        if not ordered:
+            return ordered
+        pivot = self._next % len(ordered)
+        return ordered[pivot:] + ordered[:pivot]
+
+    def note_dispatch(self, slot):
+        self._next += 1
+
+
+def make_router(name: str) -> Router:
+    """Build a router from its CLI name."""
+    if name in ("earliest-finish", "eft"):
+        return EarliestFinishRouter()
+    if name in ("round-robin", "rr"):
+        return RoundRobinRouter()
+    raise KeyError(f"unknown router {name!r}; available: earliest-finish, round-robin")

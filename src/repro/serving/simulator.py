@@ -1,0 +1,275 @@
+"""Discrete-event, open-loop serving simulator.
+
+Generalizes the paper's Sec. 5.1 closed 10,000-task batch run into the
+system a deployment actually runs: requests arrive over time (Poisson or
+all-at-once), a dynamic batching policy groups them, a router places each
+batch on one of several heterogeneous devices, and per-request latency
+decomposes into queueing, batch formation and compute. Batch compute
+times come from a cost model (profiled and memoized per
+(workload, fusion, batch size, device) — see
+:mod:`repro.serving.costmodel`), so a simulation of millions of requests
+costs milliseconds, not GPU-hours.
+
+Event loop: a heap holds the next arrival, device-free times and policy
+wake-ups. At each event the simulator absorbs due arrivals into the FIFO
+queue, then repeatedly offers the queue to idle devices in router order;
+the policy either dispatches a batch (finalizing those requests' timing
+at dispatch, since compute time is deterministic) or holds and schedules
+a wake-up.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.costmodel import CallableCostModel
+from repro.serving.policies import BatchingPolicy
+from repro.serving.request import Request, closed_arrivals, make_requests, poisson_arrivals
+from repro.serving.router import EarliestFinishRouter, Router
+
+
+@dataclass(frozen=True)
+class DeviceStats:
+    """Per-device accounting of one simulation."""
+
+    slot: str  # unique slot label, e.g. "2080ti" or "2080ti#1"
+    device: str  # device model name the slot runs
+    batches: int
+    requests: int
+    busy_time: float
+    utilization: float  # busy time / makespan
+    mean_batch: float
+    batch_histogram: dict[int, int]  # batch size -> dispatch count
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one open-loop serving simulation produced."""
+
+    policy: str
+    router: str
+    n_requests: int
+    arrival_rate: float | None
+    makespan: float
+    throughput: float
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_queue_time: float
+    mean_formation_wait: float
+    mean_service_time: float
+    device_stats: dict[str, DeviceStats]
+    requests: list[Request] = field(repr=False)
+
+    def slo_attainment(self, slo: float) -> float:
+        """Fraction of requests whose end-to-end latency met ``slo``."""
+        met = sum(1 for r in self.requests if r.latency <= slo)
+        return met / len(self.requests)
+
+    def batch_sizes_used(self) -> dict[str, list[int]]:
+        """Distinct dispatched batch sizes per device slot (sorted)."""
+        return {slot: sorted(s.batch_histogram) for slot, s in self.device_stats.items()}
+
+    @property
+    def total_utilization(self) -> float:
+        """Mean per-slot utilization: busy time / makespan, averaged over slots."""
+        busy = sum(s.busy_time for s in self.device_stats.values())
+        n = len(self.device_stats)
+        return busy / (n * self.makespan) if self.makespan > 0 else 0.0
+
+
+class _SlotCost:
+    """Maps unique slot labels to device names before cost lookups."""
+
+    def __init__(self, cost, slot_device: dict[str, str]):
+        self._cost = cost
+        self._slot_device = slot_device
+
+    def latency(self, slot: str, batch_size: int) -> float:
+        return self._cost.latency(self._slot_device.get(slot, slot), batch_size)
+
+
+class _Slot:
+    """One device execution slot."""
+
+    __slots__ = ("label", "device", "free_at", "busy_time", "batches",
+                 "requests", "histogram")
+
+    def __init__(self, label: str, device: str):
+        self.label = label
+        self.device = device
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.batches = 0
+        self.requests = 0
+        self.histogram: dict[int, int] = {}
+
+
+def simulate(
+    cost,
+    policy: BatchingPolicy,
+    devices: tuple[str, ...] = ("2080ti",),
+    n_requests: int = 10_000,
+    arrival_rate: float | None = None,
+    router: Router | None = None,
+    seed: int = 0,
+) -> ServingReport:
+    """Run one open-loop serving simulation.
+
+    Parameters
+    ----------
+    cost:
+        Cost model with ``latency(device, batch_size) -> seconds``; a bare
+        ``batch_time(k)`` callable is wrapped automatically.
+    policy:
+        Dynamic batching policy (see :mod:`repro.serving.policies`).
+    devices:
+        Device model names to serve on; repeat a name for multiple
+        instances (slots get ``name#i`` labels).
+    n_requests:
+        Total requests to serve.
+    arrival_rate:
+        Mean arrivals/second (Poisson); ``None`` = all at t=0 (the
+        paper's closed-batch setting).
+    router:
+        Placement strategy across idle devices; default earliest-finish.
+    """
+    if not devices:
+        raise ValueError("need at least one device")
+    if callable(cost) and not hasattr(cost, "latency"):
+        cost = CallableCostModel(cost)
+    router = router or EarliestFinishRouter()
+
+    if arrival_rate is None:
+        arrivals = closed_arrivals(n_requests)
+    else:
+        arrivals = poisson_arrivals(n_requests, arrival_rate, seed=seed)
+    requests = make_requests(arrivals)
+
+    counts: dict[str, int] = {}
+    slots: list[_Slot] = []
+    for name in devices:
+        n_seen = counts.get(name, 0)
+        label = name if devices.count(name) == 1 else f"{name}#{n_seen}"
+        counts[name] = n_seen + 1
+        slots.append(_Slot(label, name))
+    by_label = {s.label: s for s in slots}
+    slot_cost = _SlotCost(cost, {s.label: s.device for s in slots})
+
+    queue: deque[Request] = deque()
+    heap: list[tuple[float, int, str]] = []
+    tick = itertools.count()  # tie-break so heap never compares strings
+    next_arrival = 0
+    scheduled_arrival = -1  # highest arrival index with an event in the heap
+    pending_wakeup: float | None = None  # earliest wakeup event in the heap
+
+    def push(time: float, tag: str) -> None:
+        heapq.heappush(heap, (time, next(tick), tag))
+
+    push(requests[0].arrival, "arrival")
+    scheduled_arrival = 0
+    dispatched = 0
+    makespan = 0.0
+
+    while dispatched < n_requests:
+        now, _, tag = heapq.heappop(heap)
+        if tag == "wakeup" and pending_wakeup is not None and now >= pending_wakeup:
+            pending_wakeup = None
+
+        # Absorb every arrival due by `now`; schedule the next one exactly once.
+        while next_arrival < n_requests and requests[next_arrival].arrival <= now:
+            queue.append(requests[next_arrival])
+            next_arrival += 1
+        if next_arrival < n_requests and scheduled_arrival < next_arrival:
+            push(requests[next_arrival].arrival, "arrival")
+            scheduled_arrival = next_arrival
+
+        # Offer the queue to idle devices until the policy holds or work runs out.
+        while queue:
+            idle = [s.label for s in slots if s.free_at <= now]
+            if not idle:
+                break
+            # Ranking a single idle slot is a no-op; skipping it also keeps
+            # legacy callable cost models (defined only up to their batch
+            # cap) away from the router's larger probe batch sizes.
+            ranked = idle if len(idle) == 1 else router.rank(idle, len(queue), slot_cost)
+            oldest_wait = now - queue[0].arrival
+            # A hold is per-device (e.g. adaptive holding on a too-slow
+            # slot): offer the queue to every idle slot before giving up.
+            slot = None
+            size = None
+            for label in ranked:
+                size = policy.decide(now, len(queue), oldest_wait, label, slot_cost)
+                if size is not None:
+                    slot = by_label[label]
+                    break
+            if size is None:
+                wake = policy.next_wakeup(now, queue[0].arrival)
+                if (wake is not None and wake > now
+                        and (pending_wakeup is None or wake < pending_wakeup)):
+                    push(wake, "wakeup")
+                    pending_wakeup = wake
+                if not heap:
+                    raise RuntimeError(
+                        f"policy {policy.name!r} held with no pending events")
+                break
+            size = max(1, min(size, len(queue)))
+            duration = slot_cost.latency(slot.label, size)
+            if duration <= 0:
+                raise ValueError("batch_time must return a positive duration")
+            idle_since = slot.free_at
+            finish = now + duration
+            for _ in range(size):
+                req = queue.popleft()
+                req.dispatch = now
+                req.finish = finish
+                req.device = slot.label
+                req.batch_size = size
+                req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
+            slot.free_at = finish
+            slot.busy_time += duration
+            slot.batches += 1
+            slot.requests += size
+            slot.histogram[size] = slot.histogram.get(size, 0) + 1
+            router.note_dispatch(slot.label)
+            dispatched += size
+            makespan = max(makespan, finish)
+            push(finish, "free")
+
+    latencies = np.array([r.latency for r in requests])
+    stats = {
+        s.label: DeviceStats(
+            slot=s.label,
+            device=s.device,
+            batches=s.batches,
+            requests=s.requests,
+            busy_time=s.busy_time,
+            utilization=s.busy_time / makespan if makespan > 0 else 0.0,
+            mean_batch=s.requests / s.batches if s.batches else 0.0,
+            batch_histogram=dict(sorted(s.histogram.items())),
+        )
+        for s in slots
+    }
+    return ServingReport(
+        policy=policy.name,
+        router=router.name,
+        n_requests=n_requests,
+        arrival_rate=arrival_rate,
+        makespan=makespan,
+        throughput=n_requests / makespan if makespan > 0 else 0.0,
+        mean_latency=float(latencies.mean()),
+        p50_latency=float(np.percentile(latencies, 50)),
+        p95_latency=float(np.percentile(latencies, 95)),
+        p99_latency=float(np.percentile(latencies, 99)),
+        mean_queue_time=float(np.mean([r.queue_time for r in requests])),
+        mean_formation_wait=float(np.mean([r.formation_wait for r in requests])),
+        mean_service_time=float(np.mean([r.service_time for r in requests])),
+        device_stats=stats,
+        requests=requests,
+    )

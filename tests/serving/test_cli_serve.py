@@ -1,0 +1,41 @@
+"""The ``mmbench serve`` subcommand."""
+
+from repro.core.cli import main
+
+
+class TestServeCommand:
+    def test_reports_two_policies_on_two_devices(self, capsys):
+        code = main([
+            "serve", "--workload", "avmnist", "--arrival-rate", "2000",
+            "--n-requests", "400", "--policy", "fixed,adaptive",
+            "--devices", "2080ti,nano", "--slo", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Throughput, p50/p99 latency and chosen batch sizes per policy.
+        assert "throughput" in out and "p50 latency" in out and "p99 latency" in out
+        assert "batch sizes" in out
+        assert "fixed(40)" in out and "adaptive(slo=0.05s)" in out
+        # Both device models appear in the routing breakdown.
+        assert "2080ti" in out and "nano" in out
+
+    def test_closed_batch_default(self, capsys):
+        code = main(["serve", "--n-requests", "400", "--policy", "fixed",
+                     "--devices", "2080ti"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "closed batch" in out
+
+    def test_timeout_policy(self, capsys):
+        code = main([
+            "serve", "--n-requests", "300", "--arrival-rate", "1000",
+            "--policy", "timeout", "--batch-size", "16", "--timeout", "0.002",
+            "--devices", "2080ti",
+        ])
+        assert code == 0
+        assert "timeout(16,0.002s)" in capsys.readouterr().out
+
+    def test_unknown_policy_fails_cleanly(self, capsys):
+        code = main(["serve", "--policy", "belady"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Dynamic batching policies: decision rules and SLO adaptation."""
+
+import pytest
+
+from repro.serving import (
+    AdaptiveSLOPolicy,
+    CallableCostModel,
+    FixedBatchPolicy,
+    TimeoutBatchPolicy,
+    make_policy,
+    simulate,
+)
+
+
+def affine(k: int) -> float:
+    return 50e-6 + 10e-6 * k
+
+
+COST = CallableCostModel(affine)
+
+
+class TestFixed:
+    def test_caps_at_batch_size(self):
+        policy = FixedBatchPolicy(8)
+        assert policy.decide(0.0, 3, 0.0, "d", COST) == 3
+        assert policy.decide(0.0, 100, 0.0, "d", COST) == 8
+
+    def test_never_holds(self):
+        assert FixedBatchPolicy(8).decide(0.0, 1, 0.0, "d", COST) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedBatchPolicy(0)
+
+
+class TestTimeout:
+    def test_holds_below_batch_and_timeout(self):
+        policy = TimeoutBatchPolicy(8, 1e-3)
+        assert policy.decide(0.0, 3, 0.5e-3, "d", COST) is None
+
+    def test_fires_on_full_batch(self):
+        policy = TimeoutBatchPolicy(8, 1e-3)
+        assert policy.decide(0.0, 8, 0.0, "d", COST) == 8
+
+    def test_fires_on_timeout_with_partial_batch(self):
+        policy = TimeoutBatchPolicy(8, 1e-3)
+        assert policy.decide(0.0, 3, 1e-3, "d", COST) == 3
+
+    def test_wakeup_at_oldest_plus_timeout(self):
+        policy = TimeoutBatchPolicy(8, 1e-3)
+        assert policy.next_wakeup(0.5, 0.4) == pytest.approx(0.4 + 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeoutBatchPolicy(0, 1e-3)
+        with pytest.raises(ValueError):
+            TimeoutBatchPolicy(8, -1.0)
+
+
+class TestAdaptive:
+    def test_batch_cost_stays_within_slo_headroom(self):
+        policy = AdaptiveSLOPolicy(slo=1e-3, safety=0.8)
+        size = policy.decide(0.0, 10_000, 0.0, "d", COST)
+        assert COST.latency("d", size) <= 0.8 * 1e-3
+        # And it is the *largest* such batch.
+        assert COST.latency("d", size + 1) > 0.8 * 1e-3
+
+    def test_shrinks_headroom_as_oldest_waits(self):
+        policy = AdaptiveSLOPolicy(slo=1e-3, safety=1.0)
+        fresh = policy.decide(0.0, 10_000, 0.0, "d", COST)
+        stale = policy.decide(0.0, 10_000, 0.5e-3, "d", COST)
+        assert stale < fresh
+
+    def test_caps_at_queue_depth(self):
+        policy = AdaptiveSLOPolicy(slo=1.0)
+        assert policy.decide(0.0, 3, 0.0, "d", COST) == 3
+
+    def test_holds_on_device_too_slow_for_slo(self):
+        # affine(1) = 60us > the whole 50us budget: a dispatch here is a
+        # guaranteed miss, so hold while the budget lasts...
+        policy = AdaptiveSLOPolicy(slo=50e-6, safety=1.0)
+        assert policy.decide(0.0, 10, 0.0, "d", COST) is None
+        assert policy.next_wakeup(0.0, 0.0) >= 50e-6
+        # ...and drain once it is spent.
+        assert policy.decide(0.0, 10, 60e-6, "d", COST) is not None
+
+    def test_blown_slo_switches_to_drain_mode(self):
+        # Oldest already waited past the SLO: dispatch the
+        # throughput-optimal batch (the largest, under affine costs).
+        policy = AdaptiveSLOPolicy(slo=1e-3, max_batch=512)
+        size = policy.decide(0.0, 10_000, 5e-3, "d", COST)
+        assert size == 512
+
+    def test_respects_max_batch(self):
+        policy = AdaptiveSLOPolicy(slo=10.0, max_batch=64)
+        assert policy.decide(0.0, 10_000, 0.0, "d", COST) == 64
+
+    def test_drain_batch_not_shared_across_cost_models(self):
+        # Superlinear curves with different throughput optima: one policy
+        # instance must compute each cost model's own drain batch.
+        cost_a = CallableCostModel(lambda k: 1e-3 + 1e-6 * k * k)  # optimum ~32
+        cost_b = CallableCostModel(lambda k: 1e-3 + 1e-8 * k * k)  # optimum ~256
+        policy = AdaptiveSLOPolicy(slo=1e-6, max_batch=512)  # always drain mode
+        assert policy.decide(0.0, 10_000, 1.0, "d", cost_a) == 32
+        assert policy.decide(0.0, 10_000, 1.0, "d", cost_b) == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSLOPolicy(0.0)
+        with pytest.raises(ValueError):
+            AdaptiveSLOPolicy(1.0, max_batch=0)
+        with pytest.raises(ValueError):
+            AdaptiveSLOPolicy(1.0, safety=1.5)
+
+
+class TestEndToEndSLO:
+    def test_adaptive_sustains_overload_that_fixed_cannot(self):
+        """The acceptance scenario in miniature: one device, same stream."""
+        rate = 1.5 / affine(1)  # 1.5x the no-batching capacity
+        slo = 20e-3
+        fixed = simulate(affine, FixedBatchPolicy(1), devices=("d",),
+                         n_requests=2_000, arrival_rate=rate, seed=0)
+        adaptive = simulate(affine, AdaptiveSLOPolicy(slo), devices=("d",),
+                            n_requests=2_000, arrival_rate=rate, seed=0)
+        assert fixed.p99_latency > slo
+        assert adaptive.p99_latency <= slo
+        assert adaptive.slo_attainment(slo) > 0.99 > fixed.slo_attainment(slo)
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_policy("fixed", batch_size=4).batch_size == 4
+        assert make_policy("timeout", timeout=1e-3).timeout == 1e-3
+        assert make_policy("adaptive", slo=0.1).slo == 0.1
+        with pytest.raises(KeyError, match="unknown policy"):
+            make_policy("lru")
