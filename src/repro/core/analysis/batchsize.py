@@ -11,16 +11,20 @@ comparing the multi-modal ``slfs`` implementation against its uni-modal
 * peak memory: the model component is batch-invariant while dataset and
   intermediate grow linearly, with multi-modal carrying a larger
   intermediate share (Figure 13).
+
+Traces come from the shared :class:`~repro.trace.store.TraceStore` and
+are captured on the **meta** backend by default: the sweep prices cached
+or analytically-propagated event streams, so batch sizes well beyond
+physical RAM stay reachable and repeated sweeps are cache hits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.data.synthetic import random_batch
 from repro.hw.memory import MemoryBreakdown
 from repro.profiling.profiler import MMBenchProfiler
-from repro.workloads.registry import get_workload
+from repro.trace.store import TraceStore, default_store
 
 VARIANTS = (("slfs", True), ("image", False))  # (name, is_multimodal)
 
@@ -39,10 +43,18 @@ class BatchSizeResult:
     per_batch_total_time: float
 
 
-def _build_variant(info, variant: str, is_multimodal: bool, seed: int):
-    if is_multimodal:
-        return info.build(variant, seed=seed)
-    return info.build_unimodal(variant, seed=seed)
+def _variant_profile(profiler: MMBenchProfiler, store: TraceStore, workload: str,
+                     variant: str, is_multimodal: bool, batch_size: int,
+                     seed: int, backend: str | None):
+    return profiler.profile_workload(
+        workload,
+        fusion=variant if is_multimodal else None,
+        unimodal=None if is_multimodal else variant,
+        batch_size=batch_size,
+        seed=seed,
+        backend=backend,
+        store=store,
+    )
 
 
 def batch_size_study(
@@ -51,16 +63,17 @@ def batch_size_study(
     total_tasks: int = 10_000,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> list[BatchSizeResult]:
     """Figure 12: kernel population and time vs batch size, uni vs multi."""
-    info = get_workload(workload)
+    store = store or default_store()
     profiler = MMBenchProfiler(device)
     results: list[BatchSizeResult] = []
     for variant, is_multi in VARIANTS:
-        model = _build_variant(info, variant, is_multi, seed)
         for batch_size in batch_sizes:
-            batch = random_batch(model.shapes, batch_size, seed=seed)
-            profile = profiler.profile(model, batch)
+            profile = _variant_profile(profiler, store, workload, variant,
+                                       is_multi, batch_size, seed, backend)
             n_batches = max(1, total_tasks // batch_size)
             results.append(BatchSizeResult(
                 variant=variant,
@@ -80,17 +93,18 @@ def peak_memory_study(
     batch_sizes: tuple[int, ...] = (20, 40, 100, 200, 400),
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> dict[str, dict[int, MemoryBreakdown]]:
     """Figure 13: peak memory decomposition vs batch size, uni vs multi."""
-    info = get_workload(workload)
+    store = store or default_store()
     profiler = MMBenchProfiler(device)
     out: dict[str, dict[int, MemoryBreakdown]] = {}
     for variant, is_multi in VARIANTS:
-        model = _build_variant(info, variant, is_multi, seed)
         per_batch: dict[int, MemoryBreakdown] = {}
         for batch_size in batch_sizes:
-            batch = random_batch(model.shapes, batch_size, seed=seed)
-            profile = profiler.profile(model, batch)
+            profile = _variant_profile(profiler, store, workload, variant,
+                                       is_multi, batch_size, seed, backend)
             per_batch[batch_size] = profile.report.memory
         out[variant] = per_batch
     return out

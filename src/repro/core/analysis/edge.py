@@ -20,17 +20,21 @@ paper's full-scale AV-MNIST (112x112 spectrograms, full-width MLP heads —
 the ``slfs`` variant has 31x the baseline parameters), which restores the
 capacity effect. The scaling is exact under the analytical device model
 (see :func:`repro.trace.timeline.scale_trace`).
+
+Captures route through the shared :class:`~repro.trace.store.TraceStore`
+on the **meta** backend by default: one cached device-independent trace
+per (variant, batch) feeds every device's pricing, and the scaled-up
+configurations never materialize full-scale activations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.data.synthetic import random_batch
 from repro.hw.stalls import STALL_REASONS
 from repro.profiling.profiler import MMBenchProfiler
+from repro.trace.store import StoredTrace, TraceStore, default_store
 from repro.trace.timeline import scale_trace
-from repro.workloads.registry import get_workload
 
 #: Work multiplier from our reduced AV-MNIST to the paper's full-scale one.
 #: Calibrated so the slfs variant at batch 320 approaches the Jetson Nano's
@@ -39,6 +43,14 @@ EDGE_SCALE = 72.0
 
 DEVICES = ("nano", "orin", "2080ti")
 BATCH_SIZES = (40, 80, 160, 320)
+
+_VARIANTS = (("uni", None, "image"), ("slfs", "slfs", None))  # (label, fusion, unimodal)
+
+
+def _stored(store: TraceStore, workload: str, fusion: str | None, unimodal: str | None,
+            batch_size: int, seed: int, backend: str | None) -> StoredTrace:
+    return store.get_or_capture(workload, fusion=fusion, unimodal=unimodal,
+                                batch_size=batch_size, seed=seed, backend=backend)
 
 
 @dataclass
@@ -60,25 +72,23 @@ def edge_latency_study(
     total_tasks: int = 10_000,
     scale: float = EDGE_SCALE,
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> list[EdgeLatency]:
     """Figure 14: inference time vs batch size per device, uni vs slfs."""
-    info = get_workload(workload)
-    profiler = MMBenchProfiler("2080ti")  # capture is device-independent
+    store = store or default_store()
     results: list[EdgeLatency] = []
-    for variant_name, model in (
-        ("uni", info.build_unimodal("image", seed=seed)),
-        ("slfs", info.build("slfs", seed=seed)),
-    ):
+    for variant_name, fusion, unimodal in _VARIANTS:
         for batch_size in batch_sizes:
-            batch = random_batch(model.shapes, batch_size, seed=seed)
-            trace = scale_trace(profiler.capture(model, batch), scale)
+            stored = _stored(store, workload, fusion, unimodal, batch_size, seed, backend)
+            trace = scale_trace(stored.trace, scale)
             n_batches = max(1, total_tasks // batch_size)
             for device in devices:
                 # Model/dataset bytes scale together with the traced work.
                 report = MMBenchProfiler(device).price(
-                    model, trace, batch_size, device=device,
-                    model_bytes=model.parameter_bytes() * scale,
-                    input_bytes=model.input_bytes(batch_size) * scale,
+                    None, trace, batch_size, device=device,
+                    model_bytes=stored.parameter_bytes * scale,
+                    input_bytes=stored.input_bytes * scale,
                 )
                 results.append(EdgeLatency(
                     device=device,
@@ -118,6 +128,8 @@ def edge_stall_study(
     batch_size: int = 40,
     scale: float = EDGE_SCALE,
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> list[StallProfile]:
     """Figure 15a/b: stall breakdowns on the Nano vs the server.
 
@@ -125,23 +137,22 @@ def edge_stall_study(
     image-only, ``slfs`` = the multi-modal variant, plus slfs's per-stage
     breakdowns (encoder / fusion / head).
     """
-    info = get_workload(workload)
-    capture = MMBenchProfiler("2080ti")
+    store = store or default_store()
     configs = {
-        "uni0": info.build_unimodal("audio", seed=seed),
-        "uni1": info.build_unimodal("image", seed=seed),
-        "slfs": info.build("slfs", seed=seed),
+        "uni0": (None, "audio"),
+        "uni1": (None, "image"),
+        "slfs": ("slfs", None),
     }
     profiles: list[StallProfile] = []
     for device in devices:
         pricer = MMBenchProfiler(device)
-        for config_name, model in configs.items():
-            batch = random_batch(model.shapes, batch_size, seed=seed)
-            trace = scale_trace(capture.capture(model, batch), scale)
+        for config_name, (fusion, unimodal) in configs.items():
+            stored = _stored(store, workload, fusion, unimodal, batch_size, seed, backend)
+            trace = scale_trace(stored.trace, scale)
             report = pricer.price(
-                model, trace, batch_size, device=device,
-                model_bytes=model.parameter_bytes() * scale,
-                input_bytes=model.input_bytes(batch_size) * scale,
+                None, trace, batch_size, device=device,
+                model_bytes=stored.parameter_bytes * scale,
+                input_bytes=stored.input_bytes * scale,
             )
             profiles.append(StallProfile(
                 device=device, config=config_name, stalls=report.overall_stalls(),
@@ -158,17 +169,17 @@ def edge_resource_study(
     batch_size: int = 40,
     scale: float = EDGE_SCALE,
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 15c: per-stage resource usage of slfs on the Jetson Nano."""
-    info = get_workload(workload)
-    model = info.build("slfs", seed=seed)
-    batch = random_batch(model.shapes, batch_size, seed=seed)
-    capture = MMBenchProfiler("2080ti")
-    trace = scale_trace(capture.capture(model, batch), scale)
+    store = store or default_store()
+    stored = _stored(store, workload, "slfs", None, batch_size, seed, backend)
+    trace = scale_trace(stored.trace, scale)
     report = MMBenchProfiler(device).price(
-        model, trace, batch_size, device=device,
-        model_bytes=model.parameter_bytes() * scale,
-        input_bytes=model.input_bytes(batch_size) * scale,
+        None, trace, batch_size, device=device,
+        model_bytes=stored.parameter_bytes * scale,
+        input_bytes=stored.input_bytes * scale,
     )
     return report.stage_counters()
 

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.data.synthetic import random_batch
 from repro.profiling.profiler import MMBenchProfiler
 from repro.trace.events import KernelCategory
-from repro.workloads.registry import get_workload, list_workloads
+from repro.trace.store import TraceStore
+from repro.workloads.registry import list_workloads
 
 
 def kernel_breakdown_analysis(
@@ -31,16 +31,16 @@ def kernel_breakdown_analysis(
     batch_size: int = 32,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """{workload: {stage: {category: time share}}} — Figure 8."""
     names = workloads or list_workloads()
     profiler = MMBenchProfiler(device)
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in names:
-        info = get_workload(name)
-        model = info.build(seed=seed)
-        batch = random_batch(info.shapes, batch_size, seed=seed)
-        result = profiler.profile(model, batch)
+        result = profiler.profile_workload(name, batch_size=batch_size,
+                                           seed=seed, backend=backend, store=store)
         report = result.report
         stages = {}
         for stage in result.trace.stages():
@@ -74,13 +74,13 @@ def hotspot_across_stages(
     batch_size: int = 32,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> list[HotspotRecord]:
     """Figure 9a: the same kernel category's hotspot in each stage."""
-    info = get_workload(workload)
-    model = info.build(seed=seed)
-    batch = random_batch(info.shapes, batch_size, seed=seed)
     profiler = MMBenchProfiler(device)
-    result = profiler.profile(model, batch)
+    result = profiler.profile_workload(workload, batch_size=batch_size,
+                                       seed=seed, backend=backend, store=store)
     records = []
     for stage in result.trace.stages():
         kx = result.report.hotspot(category, stage=stage)
@@ -105,15 +105,16 @@ def hotspot_across_fusions(
     batch_size: int = 32,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> list[HotspotRecord]:
     """Figure 9b: a fusion-stage hotspot kernel across fusion methods."""
-    info = get_workload(workload)
     profiler = MMBenchProfiler(device)
     records = []
     for fusion in fusions:
-        model = info.build(fusion, seed=seed)
-        batch = random_batch(info.shapes, batch_size, seed=seed)
-        result = profiler.profile(model, batch)
+        result = profiler.profile_workload(workload, fusion=fusion,
+                                           batch_size=batch_size, seed=seed,
+                                           backend=backend, store=store)
         kx = result.report.hotspot(category, stage="fusion")
         if kx is None:
             continue

@@ -14,9 +14,9 @@ prices it on the GPU-server model. The paper's observations to reproduce:
 
 from __future__ import annotations
 
-from repro.data.synthetic import random_batch
 from repro.profiling.profiler import MMBenchProfiler
-from repro.workloads.registry import get_workload, list_workloads
+from repro.trace.store import TraceStore
+from repro.workloads.registry import list_workloads
 
 
 def stage_time_analysis(
@@ -24,16 +24,16 @@ def stage_time_analysis(
     batch_size: int = 32,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> dict[str, dict[str, float]]:
     """Per-stage device time (seconds) for each workload — Figure 6."""
     names = workloads or list_workloads()
     profiler = MMBenchProfiler(device)
     out: dict[str, dict[str, float]] = {}
     for name in names:
-        info = get_workload(name)
-        model = info.build(seed=seed)
-        batch = random_batch(info.shapes, batch_size, seed=seed)
-        result = profiler.profile(model, batch)
+        result = profiler.profile_workload(name, batch_size=batch_size,
+                                           seed=seed, backend=backend, store=store)
         out[name] = result.report.stage_time()
     return out
 
@@ -43,6 +43,8 @@ def stage_resource_analysis(
     batch_size: int = 32,
     device: str = "2080ti",
     seed: int = 0,
+    backend: str | None = "meta",
+    store: TraceStore | None = None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Per-stage duration-weighted counters for each workload — Figure 7.
 
@@ -54,9 +56,7 @@ def stage_resource_analysis(
     profiler = MMBenchProfiler(device)
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in names:
-        info = get_workload(name)
-        model = info.build(seed=seed)
-        batch = random_batch(info.shapes, batch_size, seed=seed)
-        result = profiler.profile(model, batch)
+        result = profiler.profile_workload(name, batch_size=batch_size,
+                                           seed=seed, backend=backend, store=store)
         out[name] = result.report.stage_counters()
     return out

@@ -6,9 +6,15 @@ options as command-line parameters)::
     mmbench list
     mmbench run --workload avmnist --fusion tensor --batch-size 40
     mmbench run --workload mmimdb --unimodal image --device nano
+    mmbench run --workload transfuser --backend eager   # dense numpy capture
     mmbench analyze stage-time --device 2080ti
-    mmbench analyze batch-size
+    mmbench analyze batch-size --cache-dir ~/.cache/mmbench
     mmbench serve --workload avmnist --arrival-rate 100 --policy adaptive
+
+Trace-capturing subcommands accept ``--backend {eager,meta}`` (meta — the
+default — propagates shapes analytically and emits an event-for-event
+identical trace) and ``--cache-dir DIR`` (content-addressed on-disk trace
+cache, shared across runs); each prints a trace-store cache-stats line.
 """
 
 from __future__ import annotations
@@ -19,6 +25,43 @@ import sys
 from repro.core.suite import BenchmarkSuite, RunConfig
 from repro.profiling.report import format_table
 from repro.workloads.registry import WORKLOADS, list_workloads
+
+
+def _configure_store(args):
+    """Honor ``--cache-dir`` by re-pointing the process-wide trace store."""
+    from repro.trace.store import configure_default_store, default_store
+
+    if getattr(args, "cache_dir", None):
+        return configure_default_store(args.cache_dir)
+    return default_store()
+
+
+def _print_store_stats() -> None:
+    from repro.trace.store import default_store
+
+    print(default_store().stats_line())
+
+
+def _validate_common(args) -> None:
+    """Fail fast, with one clean line, on anything the user typed wrong."""
+    from repro.hw.device import get_device
+    from repro.workloads.registry import get_workload
+
+    if hasattr(args, "device"):
+        get_device(args.device)  # KeyError with the available names on typo
+    info = get_workload(args.workload) if hasattr(args, "workload") else None
+    if info is not None and getattr(args, "fusion", None) is not None:
+        if args.fusion not in info.fusions:
+            raise KeyError(f"unknown fusion {args.fusion!r} for {args.workload}; "
+                           f"available: {sorted(info.fusions)}")
+    if info is not None and getattr(args, "unimodal", None) is not None:
+        if args.unimodal not in info.modalities:
+            raise KeyError(f"unknown modality {args.unimodal!r} for {args.workload}; "
+                           f"available: {list(info.modalities)}")
+    if getattr(args, "batch_size", 1) <= 0:
+        raise ValueError(f"--batch-size must be positive, got {args.batch_size}")
+    if getattr(args, "seed", 0) < 0:
+        raise ValueError(f"--seed must be non-negative, got {args.seed}")
 
 
 def _cmd_list(_args) -> int:
@@ -37,6 +80,12 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    try:
+        _validate_common(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    _configure_store(args)
     config = RunConfig(
         workload=args.workload,
         fusion=args.fusion,
@@ -44,24 +93,34 @@ def _cmd_run(args) -> int:
         batch_size=args.batch_size,
         device=args.device,
         seed=args.seed,
+        backend=args.backend,
     )
     suite = BenchmarkSuite(args.device)
     result = suite.run_inference(config)
     print(suite.summarize(result))
+    _print_store_stats()
     return 0
 
 
 def _cmd_report(args) -> int:
+    try:
+        _validate_common(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    _configure_store(args)
     from repro.core.report import characterization_report
 
     text = characterization_report(args.workload, fusion=args.fusion,
-                                   batch_size=args.batch_size)
+                                   batch_size=args.batch_size,
+                                   backend=args.backend)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
         print(f"wrote {args.output}")
     else:
         print(text)
+    _print_store_stats()
     return 0
 
 
@@ -98,7 +157,9 @@ def _cmd_serve(args) -> int:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
 
-    cost = ProfiledCostModel(args.workload, args.fusion, seed=args.seed)
+    _configure_store(args)
+    cost = ProfiledCostModel(args.workload, args.fusion, seed=args.seed,
+                             backend=args.backend)
     # A fresh router per run: routers are stateful (round-robin rotation)
     # and each policy must see identical starting conditions.
     reports = {
@@ -112,21 +173,29 @@ def _cmd_serve(args) -> int:
     print(f"workload={args.workload} fusion={args.fusion or 'default'} "
           f"devices={','.join(devices)}")
     print(serving_summary(reports, slo=args.slo))
+    _print_store_stats()
     return 0
 
 
 def _cmd_analyze(args) -> int:
+    try:
+        _validate_common(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    _configure_store(args)
     from repro.core import analysis
 
     name = args.analysis
     if name == "stage-time":
-        data = analysis.stage_time_analysis(device=args.device)
+        data = analysis.stage_time_analysis(device=args.device, backend=args.backend)
         rows = [[w] + [f"{t * 1e3:.3f} ms" for t in stages.values()]
                 for w, stages in data.items()]
         print(format_table(["workload", "encoder", "fusion", "head"], rows,
                            title="Figure 6: per-stage execution time"))
     elif name == "kernel-breakdown":
-        data = analysis.kernel_breakdown_analysis(device=args.device)
+        data = analysis.kernel_breakdown_analysis(device=args.device,
+                                                  backend=args.backend)
         rows = []
         for workload, stages in data.items():
             for stage, cats in stages.items():
@@ -135,7 +204,7 @@ def _cmd_analyze(args) -> int:
         print(format_table(["workload", "stage", "dominant kernel", "share"], rows,
                            title="Figure 8: dominant kernel category per stage"))
     elif name == "batch-size":
-        results = analysis.batch_size_study(device=args.device)
+        results = analysis.batch_size_study(device=args.device, backend=args.backend)
         rows = [[r.variant, r.batch_size, f"{r.gpu_time_total:.3f} s",
                  f"{r.inference_time_total:.3f} s",
                  f"{r.kernel_size_distribution['>100']:.0%} large kernels"]
@@ -143,7 +212,7 @@ def _cmd_analyze(args) -> int:
         print(format_table(["variant", "batch", "GPU time", "inference time", "kernel mix"],
                            rows, title="Figure 12: batch size case study (10k tasks)"))
     elif name == "edge":
-        results = analysis.edge_latency_study()
+        results = analysis.edge_latency_study(backend=args.backend)
         rows = [[r.device, r.variant, r.batch_size, f"{r.inference_time:.2f} s",
                  f"{r.memory_pressure:.2f}"] for r in results]
         print(format_table(["device", "variant", "batch", "inference time", "mem pressure"],
@@ -151,7 +220,20 @@ def _cmd_analyze(args) -> int:
     else:
         print(f"unknown analysis {name!r}", file=sys.stderr)
         return 2
+    _print_store_stats()
     return 0
+
+
+def _add_trace_options(sub_parser) -> None:
+    """Backend + cache flags shared by every trace-capturing subcommand."""
+    sub_parser.add_argument(
+        "--backend", default="meta", choices=["eager", "meta"],
+        help="trace-capture backend: 'meta' propagates shapes analytically "
+             "(order-of-magnitude faster, event-identical to eager)")
+    sub_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist captured traces to DIR (content-addressed; reused "
+             "across runs; also honors $MMBENCH_CACHE_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=8)
     run.add_argument("--device", default="2080ti")
     run.add_argument("--seed", type=int, default=0)
+    _add_trace_options(run)
     run.set_defaults(fn=_cmd_run)
 
     report = sub.add_parser("report", help="full characterization report (markdown)")
@@ -175,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--fusion", default=None)
     report.add_argument("--batch-size", type=int, default=32)
     report.add_argument("-o", "--output", default=None, metavar="FILE")
+    _add_trace_options(report)
     report.set_defaults(fn=_cmd_report)
 
     serve = sub.add_parser(
@@ -199,12 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--router", default="earliest-finish",
                        choices=["earliest-finish", "round-robin"])
     serve.add_argument("--seed", type=int, default=0)
+    _add_trace_options(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     analyze = sub.add_parser("analyze", help="run a characterization analysis")
     analyze.add_argument("analysis",
                          choices=["stage-time", "kernel-breakdown", "batch-size", "edge"])
     analyze.add_argument("--device", default="2080ti")
+    _add_trace_options(analyze)
     analyze.set_defaults(fn=_cmd_analyze)
     return parser
 

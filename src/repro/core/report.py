@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import io
 
-from repro.data.synthetic import random_batch
 from repro.hw.energy import report_energy, stage_energy
 from repro.hw.stalls import STALL_REASONS
 from repro.profiling.profiler import MMBenchProfiler
@@ -35,13 +34,22 @@ def characterization_report(
     batch_size: int = 32,
     devices: tuple[str, ...] = ("2080ti", "orin", "nano"),
     seed: int = 0,
+    backend: str | None = "meta",
 ) -> str:
-    """Render a markdown characterization report for one workload."""
+    """Render a markdown characterization report for one workload.
+
+    The trace comes from the shared store (meta backend by default), so
+    regenerating a report over the same configuration is a cache hit.
+    """
+    from repro.trace.store import default_store
+
     info = get_workload(workload)
-    model = info.build(fusion, seed=seed)
-    batch = random_batch(model.shapes, batch_size, seed=seed)
+    store = default_store()
+    stored = store.get_or_capture(workload, fusion=fusion,
+                                  batch_size=batch_size, seed=seed, backend=backend)
+    model = store.model(workload, fusion, seed=seed)
     profiler = MMBenchProfiler(devices[0])
-    trace = profiler.capture(model, batch)
+    trace = stored.trace
 
     out = io.StringIO()
     out.write(f"# MMBench characterization: {model.name}\n\n")

@@ -33,6 +33,9 @@ class RunConfig:
     seed: int = 0
     # Dataset-free abstraction (random inputs) vs latent-factor data.
     synthetic_inputs: bool = True
+    # Trace-capture backend: "eager", "meta", or None for the process
+    # default (see repro.nn.backend). Meta requires synthetic inputs.
+    backend: str | None = None
 
 
 class BenchmarkSuite:
@@ -69,10 +72,28 @@ class BenchmarkSuite:
         return {k: v for k, v in batch.items() if k in wanted}
 
     def run_inference(self, config: RunConfig) -> ProfileResult:
-        """One profiled inference batch (the paper's default measurement)."""
+        """One profiled inference batch (the paper's default measurement).
+
+        Synthetic-input runs go through the shared trace store (so repeat
+        runs are cache hits and the meta backend is available); latent-
+        factor data always executes eagerly.
+        """
+        profiler = MMBenchProfiler(config.device or self.device)
+        if config.synthetic_inputs:
+            return profiler.profile_workload(
+                config.workload,
+                fusion=config.fusion,
+                unimodal=config.unimodal,
+                batch_size=config.batch_size,
+                seed=config.seed,
+                backend=config.backend,
+            )
+        from repro.nn.backend import resolve_backend
+
+        if resolve_backend(config.backend) == "meta":
+            raise ValueError("the meta backend requires synthetic inputs")
         model = self.build_model(config)
         batch = self.make_batch(config)
-        profiler = MMBenchProfiler(config.device or self.device)
         return profiler.profile(model, batch)
 
     def run_training_step(self, config: RunConfig) -> float:

@@ -7,6 +7,12 @@ exactly that: given a :class:`~repro.data.shapes.WorkloadShapes`, it
 produces batches with the right shapes/dtypes and statistics (unit-scale
 floats, valid token ids) but no learnable signal. Use
 :mod:`repro.data.generators` when accuracy matters.
+
+Batches can be generated for either execution backend (see
+:mod:`repro.nn.backend`): the **eager** backend samples real arrays, the
+**meta** backend returns shape-only :class:`~repro.nn.backend.MetaArray`
+batches — no RNG work, no allocation — so trace capture scales to batch
+sizes that would never fit in memory.
 """
 
 from __future__ import annotations
@@ -14,25 +20,35 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.shapes import ModalityKind, ModalitySpec, WorkloadShapes
+from repro.nn.backend import meta_array, resolve_backend
 
 
 def random_modality_batch(
-    spec: ModalitySpec, batch_size: int, rng: np.random.Generator
+    spec: ModalitySpec,
+    batch_size: int,
+    rng: np.random.Generator,
+    backend: str | None = None,
 ) -> np.ndarray:
     """A random batch of one modality with the dataset's shape and dtype."""
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if resolve_backend(backend) == "meta":
+        dtype = np.int64 if spec.kind == ModalityKind.TOKENS else np.float32
+        return meta_array((batch_size, *spec.shape), dtype)
     if spec.kind == ModalityKind.TOKENS:
         return rng.integers(0, spec.vocab_size, size=(batch_size, *spec.shape), dtype=np.int64)
     return rng.standard_normal(size=(batch_size, *spec.shape)).astype(np.float32)
 
 
 def random_batch(
-    shapes: WorkloadShapes, batch_size: int, seed: int = 0
+    shapes: WorkloadShapes, batch_size: int, seed: int = 0, backend: str | None = None
 ) -> dict[str, np.ndarray]:
     """A full random multi-modal batch keyed by modality name."""
     rng = np.random.default_rng(seed)
-    return {m.name: random_modality_batch(m, batch_size, rng) for m in shapes.modalities}
+    return {
+        m.name: random_modality_batch(m, batch_size, rng, backend=backend)
+        for m in shapes.modalities
+    }
 
 
 def random_targets(shapes: WorkloadShapes, batch_size: int, seed: int = 0) -> np.ndarray:

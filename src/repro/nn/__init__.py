@@ -9,8 +9,20 @@ Public surface::
     out = model(nn.Tensor(x))
 """
 
+from repro.nn import backend
 from repro.nn import functional
 from repro.nn import init
+from repro.nn.backend import (
+    BACKENDS,
+    MetaArray,
+    backend_scope,
+    current_backend,
+    is_meta,
+    meta_array,
+    meta_like,
+    resolve_backend,
+    set_backend,
+)
 from repro.nn import losses
 from repro.nn import optim
 from repro.nn.serialization import load_npz, save_npz
@@ -20,6 +32,16 @@ from repro.nn.module import Module, ModuleList, Parameter, Sequential
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
+    "backend",
+    "BACKENDS",
+    "MetaArray",
+    "backend_scope",
+    "current_backend",
+    "is_meta",
+    "meta_array",
+    "meta_like",
+    "resolve_backend",
+    "set_backend",
     "functional",
     "init",
     "losses",

@@ -18,11 +18,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import MetaArray, is_meta, meta_array, meta_like
 from repro.nn.tensor import DEFAULT_DTYPE, Tensor, as_tensor, is_grad_enabled
 from repro.trace.events import KernelCategory
 from repro.trace.tracer import emit_kernel
 
 _ITEMSIZE = np.dtype(DEFAULT_DTYPE).itemsize
+
+
+def _contig(x):
+    """``np.ascontiguousarray`` that passes meta arrays through unchanged.
+
+    (``ascontiguousarray`` is one of the few numpy entry points that does
+    not dispatch through ``__array_function__``.)
+    """
+    return x if isinstance(x, MetaArray) else np.ascontiguousarray(x)
 
 
 def _make(data, parents, backward, name="") -> Tensor:
@@ -237,8 +247,8 @@ def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
         KernelCategory.REDUCE,
         a.size,
         a.nbytes,
-        np.asarray(data).nbytes,
-        max(int(np.asarray(data).size), 1),
+        int(data.nbytes),
+        max(int(data.size), 1),
         coalesced=0.85,
     )
     return _make(data, (a,), backward, name="sum")
@@ -273,8 +283,8 @@ def max_(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
         KernelCategory.REDUCE,
         a.size,
         a.nbytes,
-        np.asarray(data).nbytes,
-        max(int(np.asarray(data).size), 1),
+        int(data.nbytes),
+        max(int(data.size), 1),
         coalesced=0.85,
     )
     return _make(data, (a,), backward, name="max")
@@ -336,7 +346,7 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
         flops=2.0 * batch * m * k * n,
         inputs_bytes=a.nbytes + b.nbytes,
         out_bytes=data.nbytes,
-        threads=max(int(np.asarray(data).size), 1),
+        threads=max(int(data.size), 1),
         reuse=min(float(k), 64.0),
         m=m,
         n=n,
@@ -483,20 +493,30 @@ def dropout(a: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     if not training or p <= 0.0:
         return a
     keep = 1.0 - p
-    mask = (rng.random(a.shape) < keep).astype(DEFAULT_DTYPE) / keep
+    if is_meta(a.data):
+        # No mask is sampled on the meta backend: the kernel event below is
+        # shape-derived, and meta tracing never runs backward.
+        mask = None
+        data = meta_like(a.data)
+    else:
+        mask = (rng.random(a.shape) < keep).astype(DEFAULT_DTYPE) / keep
+        data = a.data * mask
 
     def backward(grad):
         a.accumulate_grad(grad * mask)
 
-    data = a.data * mask
     _emit("dropout", KernelCategory.ELEWISE, data.size, a.nbytes, data.nbytes, data.size)
     return _make(data, (a,), backward, name="dropout")
 
 
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Row gather: weight (V, D) indexed by an integer array of any shape."""
-    idx = np.asarray(indices)
-    data = weight.data[idx]
+    if is_meta(indices):
+        idx = indices
+        data = meta_array((*idx.shape, weight.shape[1]), weight.dtype)
+    else:
+        idx = np.asarray(indices)
+        data = weight.data[idx]
 
     def backward(grad):
         full = np.zeros_like(weight.data)
@@ -528,7 +548,7 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int):
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), oh, ow
+    return _contig(cols), oh, ow
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padding: int = 0) -> Tensor:
@@ -598,7 +618,7 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     windows = np.lib.stride_tricks.sliding_window_view(x_pad, kw, axis=2)
     windows = windows[:, :, ::stride, :]  # (N, C, OT, k)
     ot = windows.shape[2]
-    cols = np.ascontiguousarray(windows.transpose(0, 2, 1, 3)).reshape(n, ot, c * kw)
+    cols = _contig(windows.transpose(0, 2, 1, 3)).reshape(n, ot, c * kw)
     w_flat = weight.data.reshape(o, -1)
     out = cols @ w_flat.T  # (N, OT, O)
     if bias is not None:
@@ -634,7 +654,7 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
         stride=stride,
     )
     return _make(
-        np.ascontiguousarray(data.astype(DEFAULT_DTYPE)),
+        _contig(data.astype(DEFAULT_DTYPE)),
         tuple(tt for tt in (x, weight, bias) if tt is not None),
         backward,
         name="conv1d",
@@ -674,7 +694,7 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
         threads=int(data.size),
         coalesced=0.9,
     )
-    return _make(np.ascontiguousarray(data), (x,), backward, name="max_pool2d")
+    return _make(_contig(data), (x,), backward, name="max_pool2d")
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
@@ -699,7 +719,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
         threads=int(data.size),
         coalesced=0.9,
     )
-    return _make(np.ascontiguousarray(data), (x,), backward, name="avg_pool2d")
+    return _make(_contig(data), (x,), backward, name="avg_pool2d")
 
 
 def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
@@ -748,10 +768,12 @@ def batch_norm(
     if training:
         mean_val = x.data.mean(axis=axes)
         var_val = x.data.var(axis=axes)
-        running_mean *= 1.0 - momentum
-        running_mean += momentum * mean_val
-        running_var *= 1.0 - momentum
-        running_var += momentum * var_val
+        if not is_meta(x.data):
+            # Meta tensors have no statistics; leave running buffers as-is.
+            running_mean *= 1.0 - momentum
+            running_mean += momentum * mean_val
+            running_var *= 1.0 - momentum
+            running_var += momentum * var_val
     else:
         mean_val = running_mean
         var_val = running_var

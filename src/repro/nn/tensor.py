@@ -11,6 +11,9 @@ Design notes
   gradient and a backward closure. The graph is built eagerly by the ops in
   :mod:`repro.nn.functional`; ``backward()`` runs a topological sort and
   accumulates gradients.
+* Under the **meta** backend (see :mod:`repro.nn.backend`) ``data`` is a
+  shape-only :class:`~repro.nn.backend.MetaArray` instead: ops propagate
+  shapes analytically and emit the same trace events without numeric work.
 * Gradient tracking obeys a global switch (:func:`no_grad`) so inference
   runs build no graph, matching how MMBench profiles inference.
 * Operator dunders (``+``, ``@`` ...) are attached by
@@ -22,6 +25,8 @@ from __future__ import annotations
 import contextlib
 
 import numpy as np
+
+from repro.nn.backend import MetaArray
 
 DEFAULT_DTYPE = np.float32
 
@@ -45,7 +50,7 @@ def no_grad():
 
 
 def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
-    if isinstance(value, np.ndarray):
+    if isinstance(value, (np.ndarray, MetaArray)):
         if value.dtype != dtype and np.issubdtype(value.dtype, np.floating):
             return value.astype(dtype)
         return value
@@ -86,6 +91,11 @@ class Tensor:
     @property
     def nbytes(self) -> int:
         return int(self.data.nbytes)
+
+    @property
+    def is_meta(self) -> bool:
+        """True when this tensor is a shape-only meta-backend tensor."""
+        return isinstance(self.data, MetaArray)
 
     def __len__(self) -> int:
         return self.data.shape[0]

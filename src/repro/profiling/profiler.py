@@ -27,6 +27,7 @@ from repro import nn
 from repro.hw.device import DeviceSpec, get_device
 from repro.hw.engine import ExecutionEngine, ExecutionReport
 from repro.trace.events import KernelCategory
+from repro.trace.store import TraceStore, default_store
 from repro.trace.tracer import Trace, Tracer
 from repro.workloads.base import MultiModalModel
 
@@ -112,7 +113,7 @@ class MMBenchProfiler:
         return tracer.finish()
 
     def price(
-        self, model: MultiModalModel, trace: Trace, batch_size: int,
+        self, model: MultiModalModel | None, trace: Trace, batch_size: int,
         device: str | DeviceSpec | None = None,
         model_bytes: float | None = None,
         input_bytes: float | None = None,
@@ -121,8 +122,12 @@ class MMBenchProfiler:
 
         ``model_bytes``/``input_bytes`` default to the model's own
         footprint; pass overrides when pricing a scaled trace (see
-        :func:`repro.trace.timeline.scale_trace`).
+        :func:`repro.trace.timeline.scale_trace`). ``model`` may be None
+        when both byte counts are given explicitly — the path the trace
+        store uses, where no model object exists at pricing time.
         """
+        if model is None and (model_bytes is None or input_bytes is None):
+            raise ValueError("price() needs a model or explicit model/input bytes")
         dev = self.device if device is None else (
             get_device(device) if isinstance(device, str) else device
         )
@@ -148,4 +153,41 @@ class MMBenchProfiler:
             parameter_bytes=model.parameter_bytes(),
             flops=trace.total_flops,
             modalities=model.modality_names,
+        )
+
+    def profile_workload(
+        self,
+        workload: str,
+        fusion: str | None = None,
+        unimodal: str | None = None,
+        batch_size: int = 8,
+        seed: int = 0,
+        backend: str | None = None,
+        store: TraceStore | None = None,
+    ) -> ProfileResult:
+        """Store-backed :meth:`profile` for a registered workload.
+
+        The trace comes from the shared :class:`~repro.trace.store.TraceStore`
+        (captured with ``backend`` on a cold key, loaded on a warm one), so
+        repeated sweeps over the same configuration never re-trace.
+        """
+        store = store or default_store()
+        stored = store.get_or_capture(
+            workload, fusion=fusion, unimodal=unimodal,
+            batch_size=batch_size, seed=seed, backend=backend,
+        )
+        report = self.price(
+            None, stored.trace, batch_size,
+            model_bytes=stored.parameter_bytes, input_bytes=stored.input_bytes,
+        )
+        return ProfileResult(
+            model_name=stored.model_name,
+            device=self.device,
+            batch_size=batch_size,
+            trace=stored.trace,
+            report=report,
+            parameters=stored.parameters,
+            parameter_bytes=stored.parameter_bytes,
+            flops=stored.trace.total_flops,
+            modalities=list(stored.modalities),
         )

@@ -3,13 +3,18 @@
 The simulator never executes a model during a run: batch compute times
 come from a cost model priced ahead of time. :class:`ProfiledCostModel`
 is the production path — it captures each workload's trace at a few
-anchor batch sizes with :class:`~repro.profiling.profiler.MMBenchProfiler`
-and interpolates, exactly the way the paper's batch-size case study turns
-a handful of measurements into a scheduling decision. Every profile is
-memoized per ``(workload, fusion, batch size, device)`` at module level,
-so sweeping policies, arrival rates and device mixes never re-profiles:
-traces are captured once per anchor batch size (device-independent) and
-re-priced per device on the analytical :class:`~repro.hw.device.DeviceSpec`.
+anchor batch sizes and interpolates, exactly the way the paper's
+batch-size case study turns a handful of measurements into a scheduling
+decision.
+
+Traces come from the shared :class:`~repro.trace.store.TraceStore`
+(content-addressed by workload / fusion / batch / backend / code
+version), captured on the **meta** backend by default so cost-model fills
+never pay dense numpy math; prices per device are memoized at module
+level on top. ``clear_cost_cache`` and the ``PROFILE_STATS`` work
+counters are kept as thin shims over the store so existing callers and
+tests see the same observable behavior the private module-level caches
+used to provide.
 
 :class:`CallableCostModel` adapts a plain ``batch_time(k)`` closure for
 unit tests and for the legacy :mod:`repro.hw.scheduler` entry points.
@@ -22,25 +27,30 @@ import weakref
 import numpy as np
 
 from repro.hw.device import get_device
+from repro.trace.store import StoredTrace, default_store
 
 DEFAULT_ANCHORS: tuple[int, ...] = (1, 8, 32, 128, 512)
 
-# Module-level memoization. Keys:
-#   _MODEL_CACHE[(workload, fusion, seed)] -> built model
-#   _TRACE_CACHE[(workload, fusion, seed, k)] -> (Trace, model_bytes, input_bytes)
-#   _TIME_CACHE[(workload, fusion, seed, device, k)] -> seconds
-_MODEL_CACHE: dict = {}
-_TRACE_CACHE: dict = {}
+# Device-dependent quantities stay module-level (the trace store is
+# device-independent by design):
+#   _TIME_CACHE[(workload, fusion, seed, backend, device, k)] -> seconds
 _TIME_CACHE: dict = {}
 
 # Observable work counters, for tests and for cache diagnostics.
+# "captures"/"hits" mirror the shared trace store; "pricings" counts
+# device-model evaluations.
 PROFILE_STATS = {"captures": 0, "pricings": 0, "hits": 0}
 
 
 def clear_cost_cache() -> None:
-    """Drop all memoized traces/prices (mainly for tests)."""
-    _MODEL_CACHE.clear()
-    _TRACE_CACHE.clear()
+    """Drop all memoized traces/prices (mainly for tests).
+
+    Back-compat shim: trace and model memoization now live in the shared
+    :func:`~repro.trace.store.default_store`; this clears its in-memory
+    tier (the disk tier, when configured, persists by design) along with
+    the per-device price caches.
+    """
+    default_store().clear()
     _TIME_CACHE.clear()
     _ANCHOR_FN_CACHE.clear()
 
@@ -94,13 +104,20 @@ class ProfiledCostModel:
     approximation under the roofline model: fixed launch overhead plus
     work that scales with the batch), and queries beyond the last anchor
     extrapolate along the final segment's slope.
+
+    ``backend`` selects the trace-capture backend; the default ``"meta"``
+    propagates shapes analytically and is event-for-event identical to
+    eager capture (a tier-1-enforced invariant), so the latency curves are
+    bit-equal at a fraction of the fill cost.
     """
 
     def __init__(self, workload: str, fusion: str | None = None,
-                 anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0):
+                 anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0,
+                 backend: str = "meta"):
         anchors = tuple(int(k) for k in anchors)
         if not anchors or list(anchors) != sorted(set(anchors)) or anchors[0] < 1:
             raise ValueError(f"anchors must be increasing positive ints, got {anchors}")
+        from repro.nn.backend import validate_backend
         from repro.workloads.registry import get_workload
 
         self.workload = workload
@@ -109,44 +126,36 @@ class ProfiledCostModel:
         self.fusion = get_workload(workload).default_fusion if fusion is None else fusion
         self.anchors = anchors
         self.seed = seed
+        self.backend = validate_backend(backend)
         self._anchor_arr = np.array(self.anchors, dtype=np.float64)
         self._anchor_times: dict[str, np.ndarray] = {}  # canonical device -> times
 
-    # -- profiling (memoized) --------------------------------------------------
+    # -- profiling (store-backed) ------------------------------------------------
 
-    def _model(self):
-        key = (self.workload, self.fusion, self.seed)
-        if key not in _MODEL_CACHE:
-            from repro.workloads.registry import get_workload
-
-            info = get_workload(self.workload)
-            _MODEL_CACHE[key] = info.build(self.fusion, seed=self.seed)
-        return _MODEL_CACHE[key]
-
-    def _trace(self, k: int):
-        key = (self.workload, self.fusion, self.seed, k)
-        if key not in _TRACE_CACHE:
-            from repro.data.synthetic import random_batch
-            from repro.profiling.profiler import MMBenchProfiler
-
-            model = self._model()
-            batch = random_batch(model.shapes, k, seed=self.seed)
-            trace = MMBenchProfiler().capture(model, batch)
-            _TRACE_CACHE[key] = (trace, model.parameter_bytes(), model.input_bytes(k))
+    def _trace(self, k: int) -> StoredTrace:
+        store = default_store()
+        captures_before = store.stats["captures"]
+        stored = store.get_or_capture(
+            self.workload, fusion=self.fusion, batch_size=k,
+            seed=self.seed, backend=self.backend,
+        )
+        if store.stats["captures"] > captures_before:
             PROFILE_STATS["captures"] += 1
-        return _TRACE_CACHE[key]
+        else:
+            PROFILE_STATS["hits"] += 1
+        return stored
 
     def _anchor_time(self, device: str, k: int) -> float:
-        key = (self.workload, self.fusion, self.seed, device, k)
+        key = (self.workload, self.fusion, self.seed, self.backend, device, k)
         if key in _TIME_CACHE:
             PROFILE_STATS["hits"] += 1
             return _TIME_CACHE[key]
         from repro.profiling.profiler import MMBenchProfiler
 
-        trace, model_bytes, input_bytes = self._trace(k)
-        model = self._model()
+        stored = self._trace(k)
         report = MMBenchProfiler(device).price(
-            model, trace, k, model_bytes=model_bytes, input_bytes=input_bytes)
+            None, stored.trace, k,
+            model_bytes=stored.parameter_bytes, input_bytes=stored.input_bytes)
         PROFILE_STATS["pricings"] += 1
         _TIME_CACHE[key] = report.total_time
         return report.total_time
@@ -184,7 +193,8 @@ _ANCHOR_FN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def anchored_batch_time(profiler, model, device: str,
-                        anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0):
+                        anchors: tuple[int, ...] = DEFAULT_ANCHORS, seed: int = 0,
+                        backend: str | None = None):
     """Profile ``model`` at anchor batch sizes; return a ``batch_time(k)`` closure.
 
     The generic building block behind
@@ -192,7 +202,8 @@ def anchored_batch_time(profiler, model, device: str,
     model object (registered or user-built), interpolating between
     anchors and extrapolating affinely beyond the last one. Anchor times
     are memoized per (model instance, device, seed), so repeated closures
-    over the same model never re-profile.
+    over the same model never re-profile. ``backend`` selects the batch
+    backend (``None`` = the process default).
     """
     canonical = get_device(device).name
     per_model = _ANCHOR_FN_CACHE.setdefault(model, {})
@@ -205,7 +216,7 @@ def anchored_batch_time(profiler, model, device: str,
 
         measured = []
         for k in anchors:
-            batch = random_batch(model.shapes, k, seed=seed)
+            batch = random_batch(model.shapes, k, seed=seed, backend=backend)
             trace = profiler.capture(model, batch)
             PROFILE_STATS["captures"] += 1
             report = profiler.price(model, trace, k, device=canonical)

@@ -20,6 +20,15 @@ from repro.trace.tracer import (
     modality_scope,
     stage_scope,
 )
+from repro.trace.store import (
+    StoredTrace,
+    TraceKey,
+    TraceStore,
+    code_fingerprint,
+    configure_default_store,
+    default_store,
+    set_default_store,
+)
 from repro.trace.timeline import (
     hotspot_kernels,
     kernel_category_breakdown,
@@ -44,6 +53,13 @@ __all__ = [
     "emit_kernel",
     "modality_scope",
     "stage_scope",
+    "StoredTrace",
+    "TraceKey",
+    "TraceStore",
+    "code_fingerprint",
+    "configure_default_store",
+    "default_store",
+    "set_default_store",
     "hotspot_kernels",
     "kernel_category_breakdown",
     "modality_work",

@@ -1,0 +1,409 @@
+"""Content-addressed, disk-persistent trace cache ("trace once, price anywhere").
+
+Traces are device-independent, so one capture can be re-priced on every
+device model — but before this module each consumer kept its own private
+memo (the serving cost model's module-level dicts, ad-hoc per-analysis
+re-captures). :class:`TraceStore` is the single cache they all share now:
+
+* **Keyed by content**, not identity: ``(workload, fusion | unimodal,
+  batch size, seed, backend, code fingerprint)`` canonicalized to JSON and
+  hashed. The code fingerprint covers every module that determines the
+  emitted event stream, so editing an op's FLOP accounting invalidates
+  stale traces automatically instead of silently serving them.
+* **Two tiers**: an in-process dict for hot lookups, plus an optional
+  on-disk tier (gzipped JSON, one file per digest) that survives across
+  processes — point ``cache_dir`` (or ``$MMBENCH_CACHE_DIR``) at a
+  directory and batch sweeps warm-start from earlier runs.
+* **Observable**: ``stats`` counts hits / misses / captures / disk hits,
+  surfaced by the CLI's cache-stats line and asserted by tests.
+
+A stored entry carries the trace plus the model-derived scalars the
+pricing path needs (parameter count/bytes, input bytes, modalities), so
+replaying a cached trace requires no model object at all.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.tracer import Trace, Tracer
+
+#: Bump when the serialized payload layout changes.
+SCHEMA_VERSION = 1
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the sources that determine emitted trace events.
+
+    Covers the op library, the layers built on it, the workload
+    definitions and the event records themselves: a change to any of them
+    can change the event stream, so it must change every cache key.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro.data.synthetic
+        import repro.nn.functional
+        import repro.nn.layers
+        import repro.trace.events
+        import repro.trace.tracer
+        import repro.workloads
+
+        digest = hashlib.sha256()
+        nn_dir = Path(repro.nn.functional.__file__).parent
+        roots = [
+            nn_dir / "functional.py",
+            nn_dir / "backend.py",
+            nn_dir / "tensor.py",
+            Path(repro.trace.events.__file__),
+            Path(repro.trace.tracer.__file__),
+            Path(repro.data.synthetic.__file__),
+            *sorted(Path(repro.nn.layers.__file__).parent.glob("*.py")),
+            *sorted(Path(repro.workloads.__file__).parent.glob("*.py")),
+        ]
+        for path in roots:
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:12]
+    return _FINGERPRINT
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """The content-addressed identity of one captured trace."""
+
+    workload: str
+    fusion: str | None
+    unimodal: str | None
+    batch_size: int
+    seed: int
+    backend: str
+    code_version: str
+
+    def canonical(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+
+@dataclass
+class StoredTrace:
+    """A cached trace plus the model scalars pricing needs."""
+
+    trace: Trace
+    model_name: str
+    parameters: int
+    parameter_bytes: int
+    input_bytes: int
+    modalities: list[str] = field(default_factory=list)
+
+
+# -- (de)serialization --------------------------------------------------------
+
+
+def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "key": asdict(key),
+        "model_name": stored.model_name,
+        "parameters": stored.parameters,
+        "parameter_bytes": stored.parameter_bytes,
+        "input_bytes": stored.input_bytes,
+        "modalities": list(stored.modalities),
+        "kernels": [
+            {
+                "name": k.name,
+                "category": k.category.value,
+                "flops": k.flops,
+                "bytes_read": k.bytes_read,
+                "bytes_written": k.bytes_written,
+                "threads": k.threads,
+                "stage": k.stage,
+                "modality": k.modality,
+                "seq": k.seq,
+                "coalesced_fraction": k.coalesced_fraction,
+                "reuse_factor": k.reuse_factor,
+                "meta": k.meta,
+            }
+            for k in stored.trace.kernels
+        ],
+        "host_events": [
+            {
+                "kind": h.kind.value,
+                "bytes": h.bytes,
+                "stage": h.stage,
+                "modality": h.modality,
+                "seq": h.seq,
+                "name": h.name,
+                "meta": h.meta,
+            }
+            for h in stored.trace.host_events
+        ],
+    }
+
+
+def trace_from_payload(payload: dict) -> StoredTrace:
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace payload schema {payload.get('schema')!r}")
+    kernels = [
+        KernelEvent(
+            name=k["name"],
+            category=KernelCategory(k["category"]),
+            flops=k["flops"],
+            bytes_read=k["bytes_read"],
+            bytes_written=k["bytes_written"],
+            threads=k["threads"],
+            stage=k["stage"],
+            modality=k["modality"],
+            seq=k["seq"],
+            coalesced_fraction=k["coalesced_fraction"],
+            reuse_factor=k["reuse_factor"],
+            meta=dict(k["meta"]),
+        )
+        for k in payload["kernels"]
+    ]
+    host = [
+        HostEvent(
+            kind=HostOpKind(h["kind"]),
+            bytes=h["bytes"],
+            stage=h["stage"],
+            modality=h["modality"],
+            seq=h["seq"],
+            name=h["name"],
+            meta=dict(h["meta"]),
+        )
+        for h in payload["host_events"]
+    ]
+    return StoredTrace(
+        trace=Trace(kernels=kernels, host_events=host),
+        model_name=payload["model_name"],
+        parameters=payload["parameters"],
+        parameter_bytes=payload["parameter_bytes"],
+        input_bytes=payload["input_bytes"],
+        modalities=list(payload["modalities"]),
+    )
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class TraceStore:
+    """Two-tier (memory + optional disk) content-addressed trace cache."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, StoredTrace] = {}
+        self._models: dict[tuple, object] = {}
+        self.stats = {"hits": 0, "misses": 0, "captures": 0, "disk_hits": 0}
+
+    # -- keys -----------------------------------------------------------------
+
+    def make_key(
+        self,
+        workload: str,
+        fusion: str | None = None,
+        unimodal: str | None = None,
+        batch_size: int = 1,
+        seed: int = 0,
+        backend: str | None = None,
+    ) -> TraceKey:
+        """Build a normalized key (default fusion resolved, backend pinned)."""
+        from repro.nn.backend import resolve_backend
+        from repro.workloads.registry import get_workload
+
+        info = get_workload(workload)
+        if unimodal is not None:
+            fusion = None
+        elif fusion is None:
+            # fusion=None and the default fusion name build the identical
+            # model; normalize so they share one entry.
+            fusion = info.default_fusion
+        return TraceKey(
+            workload=workload,
+            fusion=fusion,
+            unimodal=unimodal,
+            batch_size=int(batch_size),
+            seed=int(seed),
+            backend=resolve_backend(backend),
+            code_version=code_fingerprint(),
+        )
+
+    # -- model memoization -----------------------------------------------------
+
+    def model(self, workload: str, fusion: str | None = None,
+              unimodal: str | None = None, seed: int = 0):
+        """Build (or reuse) the model a key describes."""
+        from repro.workloads.registry import get_workload
+
+        info = get_workload(workload)
+        if unimodal is None and fusion is None:
+            fusion = info.default_fusion
+        key = (workload, fusion, unimodal, seed)
+        if key not in self._models:
+            if unimodal is not None:
+                self._models[key] = info.build_unimodal(unimodal, seed=seed)
+            else:
+                self._models[key] = info.build(fusion, seed=seed)
+        return self._models[key]
+
+    # -- lookup / insert --------------------------------------------------------
+
+    def _path_for(self, key: TraceKey) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key.digest()}.json.gz"
+
+    def get(self, key: TraceKey) -> StoredTrace | None:
+        """Cached entry for ``key``, or None (counts a hit or a miss)."""
+        digest = key.digest()
+        entry = self._memory.get(digest)
+        if entry is not None:
+            self.stats["hits"] += 1
+            return entry
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as fh:
+                    entry = trace_from_payload(json.load(fh))
+            except (OSError, EOFError, ValueError, KeyError, TypeError):
+                # Corrupt, truncated or old-schema entry: drop it and
+                # fall through to a recapture rather than crashing every
+                # command pointed at this cache dir.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                self._memory[digest] = entry
+                self.stats["hits"] += 1
+                self.stats["disk_hits"] += 1
+                return entry
+        self.stats["misses"] += 1
+        return None
+
+    def put(self, key: TraceKey, stored: StoredTrace) -> None:
+        self._memory[key.digest()] = stored
+        path = self._path_for(key)
+        if path is not None:
+            # Write to a per-writer temp file, then atomically publish:
+            # concurrent sweeps may race on the same key, but each writes
+            # its own file and the final rename is all-or-nothing.
+            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
+                                            prefix=path.name, suffix=".tmp")
+            try:
+                with gzip.open(os.fdopen(fd, "wb"), "wt", encoding="utf-8") as fh:
+                    json.dump(trace_to_payload(stored, key), fh)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+    # -- the main entry point -----------------------------------------------------
+
+    def get_or_capture(
+        self,
+        workload: str,
+        fusion: str | None = None,
+        unimodal: str | None = None,
+        batch_size: int = 1,
+        seed: int = 0,
+        backend: str | None = None,
+    ) -> StoredTrace:
+        """Return the cached trace for the key, capturing it on a miss.
+
+        A warm hit skips model building, batch generation and the traced
+        forward pass entirely.
+        """
+        key = self.make_key(workload, fusion, unimodal, batch_size, seed, backend)
+        entry = self.get(key)
+        if entry is not None:
+            return entry
+
+        from repro import nn
+        from repro.data.synthetic import random_batch
+
+        model = self.model(workload, key.fusion, key.unimodal, seed=key.seed)
+        batch = random_batch(model.shapes, key.batch_size, seed=key.seed,
+                             backend=key.backend)
+        tracer = Tracer()
+        model.eval()
+        with tracer.activate(), nn.no_grad():
+            model(batch)
+        entry = StoredTrace(
+            trace=tracer.finish(),
+            model_name=model.name,
+            parameters=model.num_parameters(),
+            parameter_bytes=model.parameter_bytes(),
+            input_bytes=model.input_bytes(key.batch_size),
+            modalities=list(model.modality_names),
+        )
+        self.stats["captures"] += 1
+        self.put(key, entry)
+        return entry
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop memoized traces and models (and optionally the disk tier)."""
+        self._memory.clear()
+        self._models.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json.gz"):
+                path.unlink()
+
+    def reset_stats(self) -> None:
+        for k in self.stats:
+            self.stats[k] = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats_line(self) -> str:
+        s = self.stats
+        where = str(self.cache_dir) if self.cache_dir else "memory-only"
+        return (
+            f"trace store [{where}]: {s['hits']} hits ({s['disk_hits']} disk), "
+            f"{s['misses']} misses, {s['captures']} captures"
+        )
+
+
+# -- process-wide default store ------------------------------------------------
+
+_DEFAULT_STORE: TraceStore | None = None
+
+
+def default_store() -> TraceStore:
+    """The process-wide store (disk tier from ``$MMBENCH_CACHE_DIR`` if set)."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = TraceStore(os.environ.get("MMBENCH_CACHE_DIR") or None)
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: TraceStore | None) -> TraceStore | None:
+    """Replace the process-wide store; returns the previous one."""
+    global _DEFAULT_STORE
+    prev = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    return prev
+
+
+def configure_default_store(cache_dir: str | os.PathLike | None) -> TraceStore:
+    """Point the process-wide store at ``cache_dir`` (None = memory-only)."""
+    store = TraceStore(cache_dir)
+    set_default_store(store)
+    return store

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import nn
 from repro.data.shapes import ModalityKind, WorkloadShapes
+from repro.nn.backend import is_meta
 from repro.nn.tensor import Tensor
 from repro.trace.events import (
     HostOpKind,
@@ -30,6 +31,13 @@ from repro.trace.events import (
 )
 from repro.trace.tracer import emit_host, modality_scope, stage_scope
 from repro.workloads.fusion import FusionModule
+
+
+def _array_nbytes(array) -> float:
+    """Byte size of a raw batch array (real ndarray, list, or meta)."""
+    if hasattr(array, "nbytes"):
+        return float(array.nbytes)
+    return float(np.asarray(array).nbytes)
 
 
 class MultiModalModel(nn.Module):
@@ -80,10 +88,16 @@ class MultiModalModel(nn.Module):
     # -- hooks workloads may override ------------------------------------------
 
     def _prepare_input(self, modality: str, array: np.ndarray):
-        """Raw numpy batch -> encoder input (Tensor, or ids for token encoders)."""
+        """Raw batch -> encoder input (Tensor, or ids for token encoders).
+
+        Accepts real numpy arrays (eager backend) or shape-only
+        :class:`~repro.nn.backend.MetaArray` batches (meta backend).
+        """
         spec = self.shapes.modality(modality)
         if spec.kind == ModalityKind.TOKENS:
-            return np.asarray(array)
+            return array if is_meta(array) else np.asarray(array)
+        if is_meta(array):
+            return Tensor(array.astype(np.float32))
         return Tensor(np.asarray(array, dtype=np.float32))
 
     def _encode(self, modality: str, array: np.ndarray) -> Tensor:
@@ -111,7 +125,7 @@ class MultiModalModel(nn.Module):
             for mod_name in self._encoder_order:
                 emit_host(
                     HostOpKind.PREPROCESS,
-                    bytes=float(np.asarray(batch[mod_name]).nbytes),
+                    bytes=_array_nbytes(batch[mod_name]),
                     name=f"preprocess:{mod_name}",
                 )
         with stage_scope(STAGE_ENCODER):
@@ -119,7 +133,7 @@ class MultiModalModel(nn.Module):
                 with modality_scope(mod_name):
                     emit_host(
                         HostOpKind.H2D,
-                        bytes=float(np.asarray(batch[mod_name]).nbytes),
+                        bytes=_array_nbytes(batch[mod_name]),
                         name=f"h2d:{mod_name}",
                     )
                     features.append(self._encode(mod_name, batch[mod_name]))

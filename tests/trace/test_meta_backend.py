@@ -1,0 +1,184 @@
+"""The meta-backend invariant: traces are event-for-event identical to eager.
+
+This is the contract that makes "trace once, price anywhere" safe to run
+on the analytical backend everywhere: if any op's shape inference or
+event emission diverges from the eager numpy path, every downstream
+number (latency, counters, memory, serving curves) silently drifts. The
+differential test below pins the full event tuple — names, categories,
+FLOPs, bytes, threads, stages, modalities, ordering — for all nine
+registry workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.synthetic import random_batch
+from repro.nn.backend import MetaArray, backend_scope, current_backend, meta_array
+from repro.profiling.profiler import MMBenchProfiler
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def kernel_tuple(k):
+    return (k.name, k.category, k.flops, k.bytes_read, k.bytes_written,
+            k.threads, k.stage, k.modality, k.seq,
+            k.coalesced_fraction, k.reuse_factor, dict(k.meta))
+
+
+def host_tuple(h):
+    return (h.kind, h.bytes, h.stage, h.modality, h.seq, h.name)
+
+
+class TestDifferentialIdentity:
+    """Acceptance: meta and eager traces are identical on every workload."""
+
+    @pytest.mark.parametrize("workload", list_workloads())
+    def test_event_for_event_identical(self, workload):
+        info = get_workload(workload)
+        model = info.build(seed=0)
+        profiler = MMBenchProfiler()
+        eager = profiler.capture(model, random_batch(model.shapes, 3, seed=0))
+        meta = profiler.capture(
+            model, random_batch(model.shapes, 3, seed=0, backend="meta"))
+
+        assert len(meta.kernels) == len(eager.kernels)
+        assert len(meta.host_events) == len(eager.host_events)
+        for a, b in zip(eager.kernels, meta.kernels):
+            assert kernel_tuple(a) == kernel_tuple(b)
+        for a, b in zip(eager.host_events, meta.host_events):
+            assert host_tuple(a) == host_tuple(b)
+        assert meta.stages() == eager.stages()
+        assert meta.modalities() == eager.modalities()
+        assert meta.total_flops == eager.total_flops
+        assert meta.total_bytes == eager.total_bytes
+
+    def test_unimodal_variant_identical(self):
+        info = get_workload("avmnist")
+        model = info.build_unimodal("image", seed=0)
+        profiler = MMBenchProfiler()
+        eager = profiler.capture(model, random_batch(model.shapes, 4, seed=0))
+        meta = profiler.capture(
+            model, random_batch(model.shapes, 4, seed=0, backend="meta"))
+        assert [kernel_tuple(k) for k in meta.kernels] == \
+               [kernel_tuple(k) for k in eager.kernels]
+
+
+class TestPaperScaleBatches:
+    def test_meta_traces_batches_beyond_memory(self):
+        """A batch far past physical RAM still traces on the meta backend.
+
+        medical_seg at batch 2**20 would need ~17 GB of raw input alone
+        (and far more in activations) eagerly; meta capture carries
+        shapes only.
+        """
+        model = get_workload("medical_seg").build(seed=0)
+        batch = random_batch(model.shapes, 2**20, seed=0, backend="meta")
+        assert sum(v.nbytes for v in batch.values()) > 16e9
+        trace = MMBenchProfiler().capture(model, batch)
+        assert trace.total_flops > 0
+        small = MMBenchProfiler().capture(
+            model, random_batch(model.shapes, 1, seed=0, backend="meta"))
+        # Work descriptors scale with the batch; the event count does not.
+        assert len(trace.kernels) == len(small.kernels)
+        assert trace.total_flops > small.total_flops * 10**5
+
+
+class TestBackendSelection:
+    def test_default_is_eager(self):
+        assert current_backend() == "eager"
+        batch = random_batch(get_workload("avmnist").shapes, 2, seed=0)
+        assert all(isinstance(v, np.ndarray) for v in batch.values())
+
+    def test_backend_scope_switches_and_restores(self):
+        shapes = get_workload("avmnist").shapes
+        with backend_scope("meta"):
+            assert current_backend() == "meta"
+            batch = random_batch(shapes, 2, seed=0)
+        assert current_backend() == "eager"
+        assert all(isinstance(v, MetaArray) for v in batch.values())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            with backend_scope("lazy"):
+                pass
+        with pytest.raises(ValueError, match="unknown backend"):
+            random_batch(get_workload("avmnist").shapes, 2, backend="jit")
+
+
+class TestMetaArraySemantics:
+    """Spot checks that shape inference matches numpy exactly."""
+
+    def assert_matches(self, fn, *shapes, dtype=np.float32):
+        real = fn(*[np.zeros(s, dtype=dtype) for s in shapes])
+        meta = fn(*[meta_array(s, dtype) for s in shapes])
+        assert meta.shape == real.shape, fn
+        assert meta.dtype == real.dtype, fn
+
+    def test_ufuncs_and_broadcasting(self):
+        self.assert_matches(lambda a, b: a + b, (4, 1, 3), (2, 1))
+        self.assert_matches(lambda a, b: a * b, (5,), (2, 5))
+        self.assert_matches(np.exp, (3, 4))
+        self.assert_matches(lambda a: a / 3, (2, 2))
+        self.assert_matches(lambda a: 1.0 / (1.0 + np.exp(-a)), (2, 2))
+
+    def test_scalar_promotion_stays_float32(self):
+        out = meta_array((3,), np.float32) * 0.5 + 1
+        assert out.dtype == np.float32  # NEP-50 weak python scalars
+
+    def test_matmul_shapes(self):
+        self.assert_matches(lambda a, b: a @ b, (4, 5), (5, 6))
+        self.assert_matches(lambda a, b: a @ b, (2, 3, 4, 5), (5, 6))
+        self.assert_matches(lambda a, b: a @ b, (7, 2, 4, 5), (1, 5, 3))
+        with pytest.raises(ValueError):
+            meta_array((4, 5)) @ meta_array((4, 6))
+
+    def test_reductions(self):
+        self.assert_matches(lambda a: a.sum(axis=1), (3, 4, 5))
+        self.assert_matches(lambda a: a.max(axis=-1, keepdims=True), (3, 4))
+        self.assert_matches(lambda a: a.mean(axis=(2, 3)), (2, 3, 4, 5))
+        self.assert_matches(lambda a: a.argmax(axis=-1), (6, 7))
+        self.assert_matches(lambda a: a.sum(), (3, 2))
+
+    def test_indexing_and_views(self):
+        self.assert_matches(lambda a: a[:, 1], (3, 4, 5))
+        self.assert_matches(lambda a: a[..., None], (3, 4))
+        self.assert_matches(lambda a: a[:, 0:2, ::2], (3, 4, 6))
+        self.assert_matches(lambda a: a.transpose(0, 2, 1), (3, 4, 5))
+        self.assert_matches(lambda a: a.reshape(6, -1), (3, 4, 5))
+        self.assert_matches(lambda a: a.repeat(2, axis=1), (3, 4))
+
+    def test_structural_functions(self):
+        self.assert_matches(lambda a: np.pad(a, ((0, 0), (2, 2))), (3, 4))
+        self.assert_matches(
+            lambda a: np.lib.stride_tricks.sliding_window_view(a, (2, 2), axis=(2, 3)),
+            (1, 2, 5, 5))
+        self.assert_matches(lambda a, b: np.concatenate([a, b], axis=1), (2, 3), (2, 4))
+        self.assert_matches(lambda a, b: np.stack([a, b], axis=1), (2, 3), (2, 3))
+        self.assert_matches(lambda a, b: np.einsum("bm,bn->bmn", a, b), (4, 3), (4, 5))
+        self.assert_matches(lambda a: np.where(a > 0, a, 0.1 * a), (3, 4))
+
+    def test_invalid_reshape_raises(self):
+        with pytest.raises(ValueError):
+            meta_array((3, 4)).reshape(5, -1)
+
+    def test_no_silent_materialization(self):
+        m = meta_array((3,))
+        with pytest.raises(TypeError, match="no data"):
+            np.asarray(m)
+        with pytest.raises(TypeError):
+            bool(m)
+        with pytest.raises(TypeError):
+            float(m)
+
+    def test_nbytes_matches_dtype(self):
+        assert meta_array((10, 10), np.float32).nbytes == 400
+        assert meta_array((10,), np.int64).nbytes == 80
+
+
+class TestMetaTensors:
+    def test_tensor_wraps_meta(self):
+        t = nn.Tensor(meta_array((4, 8)))
+        assert t.is_meta and t.shape == (4, 8) and t.nbytes == 4 * 8 * 4
+
+    def test_eager_tensor_is_not_meta(self):
+        assert not nn.Tensor(np.zeros((2, 2))).is_meta

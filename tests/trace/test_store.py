@@ -1,0 +1,193 @@
+"""The content-addressed trace store: keys, tiers, stats, persistence."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.serving import PROFILE_STATS, ProfiledCostModel, clear_cost_cache
+from repro.trace.store import (
+    StoredTrace,
+    TraceStore,
+    code_fingerprint,
+    default_store,
+    set_default_store,
+    trace_from_payload,
+    trace_to_payload,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_store():
+    prev = set_default_store(None)
+    yield
+    set_default_store(prev)
+
+
+class TestKeys:
+    def test_key_is_content_addressed(self):
+        store = TraceStore()
+        k1 = store.make_key("avmnist", batch_size=8, seed=0, backend="meta")
+        k2 = store.make_key("avmnist", batch_size=8, seed=0, backend="meta")
+        assert k1 == k2 and k1.digest() == k2.digest()
+        assert k1.digest() != store.make_key("avmnist", batch_size=9).digest()
+
+    def test_default_fusion_normalized(self):
+        from repro.workloads.registry import get_workload
+
+        store = TraceStore()
+        default = get_workload("avmnist").default_fusion
+        assert store.make_key("avmnist", fusion=None) == \
+               store.make_key("avmnist", fusion=default)
+
+    def test_backend_and_code_version_in_key(self):
+        store = TraceStore()
+        k_meta = store.make_key("avmnist", backend="meta")
+        k_eager = store.make_key("avmnist", backend="eager")
+        assert k_meta != k_eager
+        assert k_meta.code_version == code_fingerprint()
+
+    def test_unimodal_distinct_from_fusion(self):
+        store = TraceStore()
+        assert store.make_key("avmnist", unimodal="image") != \
+               store.make_key("avmnist", fusion="slfs")
+
+
+class TestCaptureAndHits:
+    def test_warm_hit_skips_capture(self):
+        store = TraceStore()
+        first = store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert store.stats["captures"] == 1 and store.stats["misses"] == 1
+        second = store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert second is first  # same object: tracing skipped entirely
+        assert store.stats["captures"] == 1 and store.stats["hits"] == 1
+
+    def test_stored_scalars_match_model(self):
+        store = TraceStore()
+        stored = store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        model = store.model("avmnist")
+        assert stored.parameters == model.num_parameters()
+        assert stored.parameter_bytes == model.parameter_bytes()
+        assert stored.input_bytes == model.input_bytes(4)
+        assert stored.modalities == model.modality_names
+        assert stored.trace.total_flops > 0
+
+    def test_meta_and_eager_entries_price_identically(self):
+        from repro.profiling.profiler import MMBenchProfiler
+
+        store = TraceStore()
+        meta = store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        eager = store.get_or_capture("avmnist", batch_size=4, backend="eager")
+        profiler = MMBenchProfiler("2080ti")
+        t_meta = profiler.price(None, meta.trace, 4,
+                                model_bytes=meta.parameter_bytes,
+                                input_bytes=meta.input_bytes).total_time
+        t_eager = profiler.price(None, eager.trace, 4,
+                                 model_bytes=eager.parameter_bytes,
+                                 input_bytes=eager.input_bytes).total_time
+        assert t_meta == t_eager
+
+
+class TestDiskTier:
+    def test_round_trip_through_disk(self, tmp_path):
+        warm = TraceStore(tmp_path)
+        original = warm.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert len(list(tmp_path.glob("*.json.gz"))) == 1
+
+        cold = TraceStore(tmp_path)  # fresh process-equivalent
+        loaded = cold.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert cold.stats["captures"] == 0
+        assert cold.stats["disk_hits"] == 1
+        assert loaded.parameters == original.parameters
+        assert len(loaded.trace.kernels) == len(original.trace.kernels)
+        for a, b in zip(original.trace.kernels, loaded.trace.kernels):
+            assert (a.name, a.category, a.flops, a.bytes_read, a.bytes_written,
+                    a.threads, a.stage, a.modality, a.seq) == \
+                   (b.name, b.category, b.flops, b.bytes_read, b.bytes_written,
+                    b.threads, b.stage, b.modality, b.seq)
+        for a, b in zip(original.trace.host_events, loaded.trace.host_events):
+            assert (a.kind, a.bytes, a.stage, a.seq, a.name) == \
+                   (b.kind, b.bytes, b.stage, b.seq, b.name)
+
+    def test_payload_rejects_unknown_schema(self):
+        store = TraceStore()
+        stored = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        payload = trace_to_payload(stored, store.make_key("avmnist", batch_size=2))
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_payload(payload)
+
+    def test_payload_is_plain_json(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        path = next(tmp_path.glob("*.json.gz"))
+        with gzip.open(path, "rt") as fh:
+            payload = json.load(fh)
+        assert payload["key"]["workload"] == "avmnist"
+        assert payload["key"]["code_version"] == code_fingerprint()
+
+    def test_corrupt_disk_entry_recaptured_not_fatal(self, tmp_path):
+        seeded = TraceStore(tmp_path)
+        seeded.get_or_capture("avmnist", batch_size=2, backend="meta")
+        path = next(tmp_path.glob("*.json.gz"))
+        path.write_bytes(b"definitely not gzip")
+
+        cold = TraceStore(tmp_path)
+        out = cold.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert cold.stats["captures"] == 1  # recaptured, no crash
+        assert out.trace.total_flops > 0
+        # The bad file was replaced with a good one: next process disk-hits.
+        fresh = TraceStore(tmp_path)
+        fresh.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert fresh.stats["disk_hits"] == 1 and fresh.stats["captures"] == 0
+
+    def test_clear_keeps_disk_unless_asked(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        store.clear()
+        assert len(store) == 0 and list(tmp_path.glob("*.json.gz"))
+        store.clear(disk=True)
+        assert not list(tmp_path.glob("*.json.gz"))
+
+
+class TestCostModelShims:
+    """PR-1 back-compat: clear_cost_cache / PROFILE_STATS over the store."""
+
+    def test_clear_cost_cache_clears_default_store(self):
+        clear_cost_cache()
+        ProfiledCostModel("avmnist", anchors=(1, 4)).latency("2080ti", 2)
+        assert len(default_store()) > 0
+        clear_cost_cache()
+        assert len(default_store()) == 0
+
+    def test_profile_stats_mirror_store_captures(self):
+        clear_cost_cache()
+        before = dict(PROFILE_STATS)
+        ProfiledCostModel("avmnist", anchors=(1, 4)).latency("2080ti", 2)
+        delta = PROFILE_STATS["captures"] - before["captures"]
+        assert delta == 2  # one per anchor
+        assert default_store().stats["captures"] == 2
+
+    def test_cost_model_latency_backend_equivalence(self):
+        clear_cost_cache()
+        t_meta = ProfiledCostModel("avmnist", anchors=(1, 4),
+                                   backend="meta").latency("2080ti", 3)
+        clear_cost_cache()
+        t_eager = ProfiledCostModel("avmnist", anchors=(1, 4),
+                                    backend="eager").latency("2080ti", 3)
+        assert t_meta == t_eager
+
+
+class TestDefaultStore:
+    def test_env_var_configures_disk_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MMBENCH_CACHE_DIR", str(tmp_path / "cache"))
+        set_default_store(None)
+        store = default_store()
+        assert store.cache_dir == tmp_path / "cache"
+        assert store.cache_dir.is_dir()
+
+    def test_set_default_store_returns_previous(self):
+        mine = TraceStore()
+        prev = set_default_store(mine)
+        assert default_store() is mine
+        set_default_store(prev)

@@ -93,6 +93,45 @@ class TestScaleTrace:
         scaled = scale_trace(trace, 1e-9)
         assert all(kx.threads >= 1 for kx in scaled.kernels)
 
+    def test_negative_factor_raises(self, trace):
+        with pytest.raises(ValueError, match="positive"):
+            scale_trace(trace, -2.0)
+
+    def test_fractional_factor(self, trace):
+        scaled = scale_trace(trace, 0.5)
+        assert scaled.total_flops == pytest.approx(trace.total_flops * 0.5)
+        assert scaled.kernels[0].bytes_read == pytest.approx(4.0)
+        assert scaled.kernels[0].bytes_written == pytest.approx(2.0)
+        # Thread counts truncate toward zero but never below one.
+        assert scaled.kernels[0].threads == 8
+
+    def test_host_event_bytes_scale_but_identity_does_not(self, trace):
+        scaled = scale_trace(trace, 3.0)
+        src, dst = trace.host_events[0], scaled.host_events[0]
+        assert dst.bytes == pytest.approx(src.bytes * 3.0)
+        assert (dst.kind, dst.stage, dst.modality, dst.seq, dst.name) == (
+            src.kind, src.stage, src.modality, src.seq, src.name)
+
+    def test_metadata_preserved_and_copied(self):
+        ev = KernelEvent(name="gemm", category=KernelCategory.GEMM, flops=10.0,
+                         bytes_read=8.0, bytes_written=4.0, threads=4,
+                         stage="fusion", modality="image", seq=7,
+                         coalesced_fraction=0.7, reuse_factor=3.0,
+                         meta={"m": 2, "n": 3})
+        host = HostEvent(kind=HostOpKind.SYNC, bytes=0.0, stage="fusion",
+                         seq=8, name="sync:x", meta={"note": "barrier"})
+        scaled = scale_trace(Trace(kernels=[ev], host_events=[host]), 2.0)
+        out = scaled.kernels[0]
+        assert (out.name, out.stage, out.modality, out.seq) == ("gemm", "fusion", "image", 7)
+        assert (out.coalesced_fraction, out.reuse_factor) == (0.7, 3.0)
+        assert out.meta == {"m": 2, "n": 3}
+        assert scaled.host_events[0].meta == {"note": "barrier"}
+        # The copies are deep: mutating the scaled trace leaves the source alone.
+        out.meta["m"] = 99
+        scaled.host_events[0].meta["note"] = "changed"
+        assert ev.meta["m"] == 2
+        assert host.meta["note"] == "barrier"
+
 
 class TestKernelEvent:
     def test_arithmetic_intensity(self):
