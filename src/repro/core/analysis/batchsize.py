@@ -15,7 +15,9 @@ comparing the multi-modal ``slfs`` implementation against its uni-modal
 Traces come from the shared :class:`~repro.trace.store.TraceStore` and
 are captured on the **meta** backend by default: the sweep prices cached
 or analytically-propagated event streams, so batch sizes well beyond
-physical RAM stay reachable and repeated sweeps are cache hits.
+physical RAM stay reachable and repeated sweeps are cache hits. Pricing
+goes through :func:`repro.profiling.profiler.price_grid` — each variant's
+whole batch ladder is priced in one columnar pass.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.memory import MemoryBreakdown
-from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.profiler import GridCell, price_grid
 from repro.trace.store import TraceStore, default_store
 
 VARIANTS = (("slfs", True), ("image", False))  # (name, is_multimodal)
@@ -43,18 +45,18 @@ class BatchSizeResult:
     per_batch_total_time: float
 
 
-def _variant_profile(profiler: MMBenchProfiler, store: TraceStore, workload: str,
-                     variant: str, is_multimodal: bool, batch_size: int,
-                     seed: int, backend: str | None):
-    return profiler.profile_workload(
-        workload,
+def _variant_grid(store: TraceStore, workload: str, variant: str,
+                  is_multimodal: bool, batch_sizes: tuple[int, ...],
+                  device: str, seed: int,
+                  backend: str | None) -> dict[int, GridCell]:
+    """Price one variant's whole batch ladder in a single columnar pass."""
+    grid = price_grid(
+        [workload], batch_sizes, [device],
         fusion=variant if is_multimodal else None,
         unimodal=None if is_multimodal else variant,
-        batch_size=batch_size,
-        seed=seed,
-        backend=backend,
-        store=store,
+        seed=seed, backend=backend, store=store,
     )
+    return {b: grid[(workload, int(b), device)] for b in batch_sizes}
 
 
 def batch_size_study(
@@ -68,22 +70,22 @@ def batch_size_study(
 ) -> list[BatchSizeResult]:
     """Figure 12: kernel population and time vs batch size, uni vs multi."""
     store = store or default_store()
-    profiler = MMBenchProfiler(device)
     results: list[BatchSizeResult] = []
     for variant, is_multi in VARIANTS:
+        cells = _variant_grid(store, workload, variant, is_multi,
+                              tuple(batch_sizes), device, seed, backend)
         for batch_size in batch_sizes:
-            profile = _variant_profile(profiler, store, workload, variant,
-                                       is_multi, batch_size, seed, backend)
+            report = cells[batch_size].report
             n_batches = max(1, total_tasks // batch_size)
             results.append(BatchSizeResult(
                 variant=variant,
                 batch_size=batch_size,
                 n_batches=n_batches,
-                kernel_size_distribution=profile.report.kernel_size_distribution(),
-                gpu_time_total=profile.report.gpu_time * n_batches,
-                inference_time_total=profile.report.total_time * n_batches,
-                per_batch_gpu_time=profile.report.gpu_time,
-                per_batch_total_time=profile.report.total_time,
+                kernel_size_distribution=report.kernel_size_distribution(),
+                gpu_time_total=report.gpu_time * n_batches,
+                inference_time_total=report.total_time * n_batches,
+                per_batch_gpu_time=report.gpu_time,
+                per_batch_total_time=report.total_time,
             ))
     return results
 
@@ -98,15 +100,11 @@ def peak_memory_study(
 ) -> dict[str, dict[int, MemoryBreakdown]]:
     """Figure 13: peak memory decomposition vs batch size, uni vs multi."""
     store = store or default_store()
-    profiler = MMBenchProfiler(device)
     out: dict[str, dict[int, MemoryBreakdown]] = {}
     for variant, is_multi in VARIANTS:
-        per_batch: dict[int, MemoryBreakdown] = {}
-        for batch_size in batch_sizes:
-            profile = _variant_profile(profiler, store, workload, variant,
-                                       is_multi, batch_size, seed, backend)
-            per_batch[batch_size] = profile.report.memory
-        out[variant] = per_batch
+        cells = _variant_grid(store, workload, variant, is_multi,
+                              tuple(batch_sizes), device, seed, backend)
+        out[variant] = {b: cells[b].report.memory for b in batch_sizes}
     return out
 
 

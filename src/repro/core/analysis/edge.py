@@ -24,7 +24,10 @@ capacity effect. The scaling is exact under the analytical device model
 Captures route through the shared :class:`~repro.trace.store.TraceStore`
 on the **meta** backend by default: one cached device-independent trace
 per (variant, batch) feeds every device's pricing, and the scaled-up
-configurations never materialize full-scale activations.
+configurations never materialize full-scale activations. Pricing goes
+through :func:`repro.profiling.profiler.price_grid`, which scales the
+columnar trace once and prices it on all devices in a single broadcasted
+sweep.
 """
 
 from __future__ import annotations
@@ -32,9 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.stalls import STALL_REASONS
-from repro.profiling.profiler import MMBenchProfiler
-from repro.trace.store import StoredTrace, TraceStore, default_store
-from repro.trace.timeline import scale_trace
+from repro.profiling.profiler import price_grid
+from repro.trace.store import TraceStore, default_store
 
 #: Work multiplier from our reduced AV-MNIST to the paper's full-scale one.
 #: Calibrated so the slfs variant at batch 320 approaches the Jetson Nano's
@@ -45,12 +47,6 @@ DEVICES = ("nano", "orin", "2080ti")
 BATCH_SIZES = (40, 80, 160, 320)
 
 _VARIANTS = (("uni", None, "image"), ("slfs", "slfs", None))  # (label, fusion, unimodal)
-
-
-def _stored(store: TraceStore, workload: str, fusion: str | None, unimodal: str | None,
-            batch_size: int, seed: int, backend: str | None) -> StoredTrace:
-    return store.get_or_capture(workload, fusion=fusion, unimodal=unimodal,
-                                batch_size=batch_size, seed=seed, backend=backend)
 
 
 @dataclass
@@ -79,17 +75,15 @@ def edge_latency_study(
     store = store or default_store()
     results: list[EdgeLatency] = []
     for variant_name, fusion, unimodal in _VARIANTS:
+        # Model/dataset bytes scale together with the traced work; each
+        # (variant, batch) trace is priced on every device in one pass.
+        grid = price_grid([workload], batch_sizes, devices,
+                          fusion=fusion, unimodal=unimodal, seed=seed,
+                          backend=backend, scale=scale, store=store)
         for batch_size in batch_sizes:
-            stored = _stored(store, workload, fusion, unimodal, batch_size, seed, backend)
-            trace = scale_trace(stored.trace, scale)
             n_batches = max(1, total_tasks // batch_size)
             for device in devices:
-                # Model/dataset bytes scale together with the traced work.
-                report = MMBenchProfiler(device).price(
-                    None, trace, batch_size, device=device,
-                    model_bytes=stored.parameter_bytes * scale,
-                    input_bytes=stored.input_bytes * scale,
-                )
+                report = grid[(workload, int(batch_size), device)].report
                 results.append(EdgeLatency(
                     device=device,
                     variant=variant_name,
@@ -143,17 +137,16 @@ def edge_stall_study(
         "uni1": (None, "image"),
         "slfs": ("slfs", None),
     }
+    grids = {
+        config_name: price_grid([workload], [batch_size], devices,
+                                fusion=fusion, unimodal=unimodal, seed=seed,
+                                backend=backend, scale=scale, store=store)
+        for config_name, (fusion, unimodal) in configs.items()
+    }
     profiles: list[StallProfile] = []
     for device in devices:
-        pricer = MMBenchProfiler(device)
-        for config_name, (fusion, unimodal) in configs.items():
-            stored = _stored(store, workload, fusion, unimodal, batch_size, seed, backend)
-            trace = scale_trace(stored.trace, scale)
-            report = pricer.price(
-                None, trace, batch_size, device=device,
-                model_bytes=stored.parameter_bytes * scale,
-                input_bytes=stored.input_bytes * scale,
-            )
+        for config_name in configs:
+            report = grids[config_name][(workload, batch_size, device)].report
             profiles.append(StallProfile(
                 device=device, config=config_name, stalls=report.overall_stalls(),
             ))
@@ -174,14 +167,9 @@ def edge_resource_study(
 ) -> dict[str, dict[str, float]]:
     """Figure 15c: per-stage resource usage of slfs on the Jetson Nano."""
     store = store or default_store()
-    stored = _stored(store, workload, "slfs", None, batch_size, seed, backend)
-    trace = scale_trace(stored.trace, scale)
-    report = MMBenchProfiler(device).price(
-        None, trace, batch_size, device=device,
-        model_bytes=stored.parameter_bytes * scale,
-        input_bytes=stored.input_bytes * scale,
-    )
-    return report.stage_counters()
+    grid = price_grid([workload], [batch_size], [device], fusion="slfs",
+                      seed=seed, backend=backend, scale=scale, store=store)
+    return grid[(workload, batch_size, device)].report.stage_counters()
 
 
 def dominant_stalls(profiles: list[StallProfile], device: str, config: str = "slfs",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.profiler import price_grid
 from repro.trace.events import KernelCategory
 from repro.trace.store import TraceStore
 from repro.workloads.registry import list_workloads
@@ -36,19 +36,18 @@ def kernel_breakdown_analysis(
 ) -> dict[str, dict[str, dict[str, float]]]:
     """{workload: {stage: {category: time share}}} — Figure 8."""
     names = workloads or list_workloads()
-    profiler = MMBenchProfiler(device)
+    grid = price_grid(names, [batch_size], [device], seed=seed,
+                      backend=backend, store=store)
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in names:
-        result = profiler.profile_workload(name, batch_size=batch_size,
-                                           seed=seed, backend=backend, store=store)
-        report = result.report
-        stages = {}
-        for stage in result.trace.stages():
-            stages[stage] = {
+        cell = grid[(name, batch_size, device)]
+        out[name] = {
+            stage: {
                 cat.value: share
-                for cat, share in report.category_time_breakdown(stage).items()
+                for cat, share in cell.report.category_time_breakdown(stage).items()
             }
-        out[name] = stages
+            for stage in cell.trace.stages()
+        }
     return out
 
 
@@ -78,9 +77,9 @@ def hotspot_across_stages(
     store: TraceStore | None = None,
 ) -> list[HotspotRecord]:
     """Figure 9a: the same kernel category's hotspot in each stage."""
-    profiler = MMBenchProfiler(device)
-    result = profiler.profile_workload(workload, batch_size=batch_size,
-                                       seed=seed, backend=backend, store=store)
+    grid = price_grid([workload], [batch_size], [device], seed=seed,
+                      backend=backend, store=store)
+    result = grid[(workload, batch_size, device)]
     records = []
     for stage in result.trace.stages():
         kx = result.report.hotspot(category, stage=stage)
@@ -109,12 +108,11 @@ def hotspot_across_fusions(
     store: TraceStore | None = None,
 ) -> list[HotspotRecord]:
     """Figure 9b: a fusion-stage hotspot kernel across fusion methods."""
-    profiler = MMBenchProfiler(device)
     records = []
     for fusion in fusions:
-        result = profiler.profile_workload(workload, fusion=fusion,
-                                           batch_size=batch_size, seed=seed,
-                                           backend=backend, store=store)
+        grid = price_grid([workload], [batch_size], [device], fusion=fusion,
+                          seed=seed, backend=backend, store=store)
+        result = grid[(workload, batch_size, device)]
         kx = result.report.hotspot(category, stage="fusion")
         if kx is None:
             continue

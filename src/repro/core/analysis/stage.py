@@ -14,7 +14,7 @@ prices it on the GPU-server model. The paper's observations to reproduce:
 
 from __future__ import annotations
 
-from repro.profiling.profiler import MMBenchProfiler
+from repro.profiling.profiler import price_grid
 from repro.trace.store import TraceStore
 from repro.workloads.registry import list_workloads
 
@@ -29,13 +29,10 @@ def stage_time_analysis(
 ) -> dict[str, dict[str, float]]:
     """Per-stage device time (seconds) for each workload — Figure 6."""
     names = workloads or list_workloads()
-    profiler = MMBenchProfiler(device)
-    out: dict[str, dict[str, float]] = {}
-    for name in names:
-        result = profiler.profile_workload(name, batch_size=batch_size,
-                                           seed=seed, backend=backend, store=store)
-        out[name] = result.report.stage_time()
-    return out
+    grid = price_grid(names, [batch_size], [device], seed=seed,
+                      backend=backend, store=store)
+    return {name: grid[(name, batch_size, device)].report.stage_time()
+            for name in names}
 
 
 def stage_resource_analysis(
@@ -53,10 +50,7 @@ def stage_resource_analysis(
     the paper traces with Nsight Compute.
     """
     names = workloads or list_workloads()
-    profiler = MMBenchProfiler(device)
-    out: dict[str, dict[str, dict[str, float]]] = {}
-    for name in names:
-        result = profiler.profile_workload(name, batch_size=batch_size,
-                                           seed=seed, backend=backend, store=store)
-        out[name] = result.report.stage_counters()
-    return out
+    grid = price_grid(names, [batch_size], [device], seed=seed,
+                      backend=backend, store=store)
+    return {name: grid[(name, batch_size, device)].report.stage_counters()
+            for name in names}

@@ -19,6 +19,20 @@ from repro.trace.events import KernelCategory, KernelEvent
 # Transaction size used to convert bytes to read transactions (32B sectors).
 _SECTOR_BYTES = 32.0
 
+# Issue-rate ceiling per kernel category: how close each category's
+# instruction mix gets to the scheduler's peak issue rate. Shared with the
+# vectorized counter model (see repro.hw.vectorized).
+_ISSUE_EFFICIENCY: dict[KernelCategory, float] = {
+    KernelCategory.GEMM: 1.0,
+    KernelCategory.CONV: 0.95,
+    KernelCategory.BNORM: 0.55,
+    KernelCategory.ELEWISE: 0.70,
+    KernelCategory.POOLING: 0.60,
+    KernelCategory.RELU: 0.75,
+    KernelCategory.REDUCE: 0.40,
+    KernelCategory.OTHER: 0.35,
+}
+
 
 @dataclass(frozen=True)
 class KernelCounters:
@@ -55,16 +69,7 @@ def derive_counters(
     # IPC: issue rate scaled by compute-side business. Memory-bound kernels
     # leave the schedulers idle waiting on loads.
     compute_busy = lat.compute_time / duration if duration > 0 else 0.0
-    issue_efficiency = {
-        KernelCategory.GEMM: 1.0,
-        KernelCategory.CONV: 0.95,
-        KernelCategory.BNORM: 0.55,
-        KernelCategory.ELEWISE: 0.70,
-        KernelCategory.POOLING: 0.60,
-        KernelCategory.RELU: 0.75,
-        KernelCategory.REDUCE: 0.40,
-        KernelCategory.OTHER: 0.35,
-    }[kernel.category]
+    issue_efficiency = _ISSUE_EFFICIENCY[kernel.category]
     ipc = device.issue_width * compute_busy * issue_efficiency
     # Even pure copy kernels retire some instructions.
     ipc = max(ipc, 0.08 * device.issue_width * min(1.0, busy + compute_busy))

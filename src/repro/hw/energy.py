@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.device import DeviceSpec
 from repro.hw.engine import ExecutionReport
+from repro.trace.columns import NO_MODALITY
 
 # Energy coefficients per device, keyed by DeviceSpec.name.
 #   pj_per_flop: dynamic compute energy
@@ -76,25 +79,35 @@ def coefficients_for(device: DeviceSpec) -> dict[str, float]:
 def report_energy(report: ExecutionReport) -> EnergyBreakdown:
     """Energy of one priced inference run."""
     coeff = coefficients_for(report.device)
-    compute = sum(kx.event.flops for kx in report.kernels) * coeff["pj_per_flop"] * 1e-12
-    memory = sum(kx.latency.dram_bytes for kx in report.kernels) * coeff["pj_per_dram_byte"] * 1e-12
+    cols = report.columns
+    compute = float(cols.flops.sum()) * coeff["pj_per_flop"] * 1e-12
+    memory = float(report.raw_latency.dram_bytes.sum()) * coeff["pj_per_dram_byte"] * 1e-12
     idle = report.gpu_time * coeff["idle_watts"]
     host = report.host_time * coeff["host_watts"]
     return EnergyBreakdown(compute=compute, memory=memory, idle=idle, host=host)
 
 
+def _per_kernel_joules(report: ExecutionReport, coeff: dict[str, float]):
+    """Device energy per kernel: compute + DRAM + idle-over-duration."""
+    return (
+        report.columns.flops * (coeff["pj_per_flop"] * 1e-12)
+        + report.raw_latency.dram_bytes * (coeff["pj_per_dram_byte"] * 1e-12)
+        + report.durations * coeff["idle_watts"]
+    )
+
+
 def stage_energy(report: ExecutionReport) -> dict[str, float]:
     """Device energy per stage (joules), compute + memory + idle share."""
     coeff = coefficients_for(report.device)
-    out: dict[str, float] = {}
-    for kx in report.kernels:
-        joules = (
-            kx.event.flops * coeff["pj_per_flop"] * 1e-12
-            + kx.latency.dram_bytes * coeff["pj_per_dram_byte"] * 1e-12
-            + kx.duration * coeff["idle_watts"]
-        )
-        out[kx.event.stage] = out.get(kx.event.stage, 0.0) + joules
-    return out
+    cols = report.columns
+    joules = _per_kernel_joules(report, coeff)
+    sums = np.bincount(cols.stage_codes, weights=joules, minlength=len(cols.stage_table))
+    counts = np.bincount(cols.stage_codes, minlength=len(cols.stage_table))
+    return {
+        stage: float(sums[code])
+        for code, stage in enumerate(cols.stage_table)
+        if counts[code]
+    }
 
 
 def energy_delay_product(report: ExecutionReport) -> float:
@@ -106,15 +119,14 @@ def modality_energy(report: ExecutionReport) -> dict[str, float]:
     """Device energy per modality — the basis of the encoder-throttling
     tradeoff the paper's Sec. 4.2.3 discusses."""
     coeff = coefficients_for(report.device)
-    out: dict[str, float] = {}
-    for kx in report.kernels:
-        modality = kx.event.modality
-        if modality is None:
-            continue
-        joules = (
-            kx.event.flops * coeff["pj_per_flop"] * 1e-12
-            + kx.latency.dram_bytes * coeff["pj_per_dram_byte"] * 1e-12
-            + kx.duration * coeff["idle_watts"]
-        )
-        out[modality] = out.get(modality, 0.0) + joules
-    return out
+    cols = report.columns
+    mask = cols.modality_codes != NO_MODALITY
+    joules = _per_kernel_joules(report, coeff)[mask]
+    codes = cols.modality_codes[mask]
+    sums = np.bincount(codes, weights=joules, minlength=len(cols.modality_table))
+    counts = np.bincount(codes, minlength=len(cols.modality_table))
+    return {
+        mod: float(sums[code])
+        for code, mod in enumerate(cols.modality_table)
+        if counts[code]
+    }

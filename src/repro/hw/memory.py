@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hw.device import DeviceSpec
+from repro.trace.columns import TraceColumns
 from repro.trace.tracer import Trace
 
 
@@ -56,6 +59,20 @@ def memory_breakdown(trace: Trace, model_bytes: float, input_bytes: float) -> Me
     intermediate = max(stage_bytes.values()) if stage_bytes else 0.0
     return MemoryBreakdown(model=float(model_bytes), dataset=float(input_bytes),
                            intermediate=float(intermediate))
+
+
+def memory_breakdown_columns(
+    cols: TraceColumns, model_bytes: float, input_bytes: float
+) -> MemoryBreakdown:
+    """:func:`memory_breakdown` over a columnar trace (no event objects)."""
+    if cols.n:
+        stage_sums = np.bincount(cols.stage_codes, weights=cols.bytes_written,
+                                 minlength=len(cols.stage_table))
+        intermediate = float(stage_sums.max())
+    else:
+        intermediate = 0.0
+    return MemoryBreakdown(model=float(model_bytes), dataset=float(input_bytes),
+                           intermediate=intermediate)
 
 
 def capacity_pressure(breakdown: MemoryBreakdown, device: DeviceSpec) -> float:

@@ -1,0 +1,267 @@
+"""Scalar reference implementation of the execution engine.
+
+This is the original, pre-columnar pricing path: one
+:func:`~repro.hw.latency.kernel_latency` / :func:`~repro.hw.counters.derive_counters`
+/ :func:`~repro.hw.stalls.stall_breakdown` call per kernel event, and
+pure-Python dict loops for every aggregation. It is deliberately kept
+in-tree, unchanged, as the golden reference:
+
+* ``tests/hw/test_vectorized_equivalence.py`` asserts the vectorized
+  :class:`~repro.hw.engine.ExecutionEngine` matches this implementation on
+  every report field to 1e-9 relative tolerance, across all registry
+  workloads and device models;
+* ``benchmarks/bench_engine.py`` measures the vectorized/scalar speedup
+  against it, and the CI gate fails if that ratio regresses.
+
+Do not "optimize" this module — its value is being the slow, obviously
+correct spelling of the model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.hw.counters import KernelCounters, aggregate_counters, derive_counters
+from repro.hw.device import DeviceSpec
+from repro.hw.latency import LatencyBreakdown, kernel_latency, saturated_latency
+from repro.hw.memory import MemoryBreakdown, capacity_pressure, memory_breakdown, thrash_factor
+from repro.hw.stalls import aggregate_stalls, stall_breakdown
+from repro.hw.transfer import d2h_time, h2d_time, host_data_prep_time
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.tracer import Trace
+
+# Kernel-duration bins (microseconds) used by the Figure-12 histogram.
+KERNEL_SIZE_BINS = ("0-10", "10-50", "50-100", ">100")
+
+
+@dataclass
+class ScalarKernelExecution:
+    """One kernel launch priced on a device (scalar reference)."""
+
+    event: KernelEvent
+    latency: LatencyBreakdown
+    counters: KernelCounters
+    stalls: dict[str, float]
+
+    @property
+    def duration(self) -> float:
+        return self.latency.total
+
+
+@dataclass
+class ScalarExecutionReport:
+    """Reference report: eager per-kernel records, dict-loop aggregations."""
+
+    device: DeviceSpec
+    kernels: list[ScalarKernelExecution]
+    gpu_time: float
+    host_time: float
+    launch_time: float
+    transfer_time: float
+    data_prep_time: float
+    sync_time: float
+    memory: MemoryBreakdown
+    memory_pressure: float
+    slowdown: float
+    host_events: list[HostEvent] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return self.gpu_time + self.host_time
+
+    @property
+    def cpu_runtime_share(self) -> float:
+        total = self.total_time
+        return self.host_time / total if total > 0 else 0.0
+
+    def stage_time(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for kx in self.kernels:
+            out[kx.event.stage] += kx.duration + self.device.kernel_launch_overhead * self.slowdown
+        return dict(out)
+
+    def stage_counters(self) -> dict[str, dict[str, float]]:
+        groups: dict[str, list[tuple[KernelCounters, float]]] = defaultdict(list)
+        for kx in self.kernels:
+            groups[kx.event.stage].append((kx.counters, kx.duration))
+        return {stage: aggregate_counters(items) for stage, items in groups.items()}
+
+    def stage_stalls(self) -> dict[str, dict[str, float]]:
+        groups: dict[str, list[tuple[dict[str, float], float]]] = defaultdict(list)
+        for kx in self.kernels:
+            groups[kx.event.stage].append((kx.stalls, kx.duration))
+        return {stage: aggregate_stalls(items) for stage, items in groups.items()}
+
+    def overall_stalls(self) -> dict[str, float]:
+        return aggregate_stalls([(kx.stalls, kx.duration) for kx in self.kernels])
+
+    def category_time_breakdown(self, stage: str | None = None) -> dict[KernelCategory, float]:
+        totals: dict[KernelCategory, float] = defaultdict(float)
+        for kx in self.kernels:
+            if stage is not None and kx.event.stage != stage:
+                continue
+            totals[kx.event.category] += kx.duration
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {}
+        return {cat: t / grand for cat, t in totals.items()}
+
+    def modality_time(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for kx in self.kernels:
+            if kx.event.modality is not None:
+                out[kx.event.modality] += (
+                    kx.duration + self.device.kernel_launch_overhead * self.slowdown
+                )
+        return dict(out)
+
+    def modality_imbalance(self) -> float:
+        times = list(self.modality_time().values())
+        if len(times) < 2 or min(times) <= 0:
+            return 1.0
+        return max(times) / min(times)
+
+    def kernel_size_distribution(self) -> dict[str, float]:
+        counts = dict.fromkeys(KERNEL_SIZE_BINS, 0)
+        for kx in self.kernels:
+            us = kx.duration * 1e6
+            if us < 10:
+                counts["0-10"] += 1
+            elif us < 50:
+                counts["10-50"] += 1
+            elif us < 100:
+                counts["50-100"] += 1
+            else:
+                counts[">100"] += 1
+        n = len(self.kernels)
+        return {b: c / n for b, c in counts.items()} if n else dict.fromkeys(KERNEL_SIZE_BINS, 0.0)
+
+    def hotspot(self, category: KernelCategory,
+                stage: str | None = None) -> "ScalarKernelExecution | None":
+        pool = [
+            kx
+            for kx in self.kernels
+            if kx.event.category == category and (stage is None or kx.event.stage == stage)
+        ]
+        return max(pool, key=lambda kx: kx.duration) if pool else None
+
+
+class ScalarExecutionEngine:
+    """Prices traces one event at a time (reference path).
+
+    Semantics are identical to :class:`~repro.hw.engine.ExecutionEngine`
+    including ``concurrent_modalities``; see that class for the model
+    documentation.
+    """
+
+    def __init__(self, device: DeviceSpec, concurrent_modalities: bool = False):
+        self.device = device
+        self.concurrent_modalities = concurrent_modalities
+
+    def _concurrent_encoder_time(self, encoder_kernels: list[KernelEvent]) -> float:
+        streams: dict[str, list[KernelEvent]] = defaultdict(list)
+        unattributed: list[KernelEvent] = []
+        for ev in encoder_kernels:
+            if ev.modality is None:
+                unattributed.append(ev)
+            else:
+                streams[ev.modality].append(ev)
+        n = len(streams)
+        if n < 2 or self.device.sm_count < n:
+            return sum(kernel_latency(ev, self.device).total for ev in encoder_kernels)
+
+        latency_bound = max(
+            sum(kernel_latency(ev, self.device).total for ev in events)
+            for events in streams.values()
+        )
+        throughput_bound = sum(
+            saturated_latency(ev, self.device) for ev in encoder_kernels if ev.modality
+        )
+        tail = sum(kernel_latency(ev, self.device).total for ev in unattributed)
+        return max(latency_bound, throughput_bound) + tail
+
+    def _price_host_event(self, ev: HostEvent) -> tuple[str, float]:
+        d = self.device
+        if ev.kind == HostOpKind.H2D:
+            return "transfer", h2d_time(ev.bytes, d)
+        if ev.kind == HostOpKind.D2H:
+            return "transfer", d2h_time(ev.bytes, d)
+        if ev.kind == HostOpKind.DATA_PREP:
+            return "data_prep", host_data_prep_time(ev.bytes, d, ops_per_byte=8.0)
+        if ev.kind == HostOpKind.PREPROCESS:
+            return "data_prep", host_data_prep_time(ev.bytes, d, ops_per_byte=6.0)
+        if ev.kind == HostOpKind.SYNC:
+            return "sync", 5.0 * d.kernel_launch_overhead
+        if ev.kind == HostOpKind.LAUNCH:
+            return "launch", d.kernel_launch_overhead
+        raise ValueError(f"unknown host event kind {ev.kind}")
+
+    def run(self, trace: Trace, model_bytes: float = 0.0,
+            input_bytes: float = 0.0) -> ScalarExecutionReport:
+        """Price every event with per-event scalar calls and aggregate."""
+        kernels: list[ScalarKernelExecution] = []
+        gpu_time = 0.0
+        for ev in trace.kernels:
+            lat = kernel_latency(ev, self.device)
+            counters = derive_counters(ev, self.device, lat)
+            stalls = stall_breakdown(ev, self.device, lat)
+            kernels.append(
+                ScalarKernelExecution(event=ev, latency=lat, counters=counters, stalls=stalls)
+            )
+            gpu_time += lat.total
+
+        if self.concurrent_modalities:
+            encoder_events = [ev for ev in trace.kernels if ev.stage == "encoder"]
+            serial_encoder = sum(
+                kx.latency.total for kx in kernels if kx.event.stage == "encoder"
+            )
+            gpu_time += self._concurrent_encoder_time(encoder_events) - serial_encoder
+
+        launch_time = len(kernels) * self.device.kernel_launch_overhead
+        transfer_time = 0.0
+        data_prep_time = 0.0
+        sync_time = 0.0
+        for ev in trace.host_events:
+            bucket, seconds = self._price_host_event(ev)
+            if bucket == "transfer":
+                transfer_time += seconds
+            elif bucket == "data_prep":
+                data_prep_time += seconds
+            elif bucket == "sync":
+                sync_time += seconds
+            else:
+                launch_time += seconds
+
+        mem = memory_breakdown(trace, model_bytes=model_bytes, input_bytes=input_bytes)
+        pressure = capacity_pressure(mem, self.device)
+        slowdown = thrash_factor(pressure)
+
+        host_time = (launch_time + transfer_time + data_prep_time + sync_time) * slowdown
+        gpu_time *= slowdown
+        if slowdown != 1.0:
+            for kx in kernels:
+                kx.latency = LatencyBreakdown(
+                    total=kx.latency.total * slowdown,
+                    compute_time=kx.latency.compute_time * slowdown,
+                    memory_time=kx.latency.memory_time * slowdown,
+                    fixed_overhead=kx.latency.fixed_overhead,
+                    dram_bytes=kx.latency.dram_bytes,
+                    compute_utilization=kx.latency.compute_utilization,
+                    occupancy=kx.latency.occupancy,
+                )
+
+        return ScalarExecutionReport(
+            device=self.device,
+            kernels=kernels,
+            gpu_time=gpu_time,
+            host_time=host_time,
+            launch_time=launch_time * slowdown,
+            transfer_time=transfer_time * slowdown,
+            data_prep_time=data_prep_time * slowdown,
+            sync_time=sync_time * slowdown,
+            memory=mem,
+            memory_pressure=pressure,
+            slowdown=slowdown,
+            host_events=list(trace.host_events),
+        )

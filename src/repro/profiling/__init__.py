@@ -1,7 +1,7 @@
 """The MMBench profiling pipeline (Figure 3): three metric levels."""
 
 from repro.profiling.flops import count_flops, count_parameters, flops_per_sample
-from repro.profiling.profiler import MMBenchProfiler, ProfileResult
+from repro.profiling.profiler import GridCell, MMBenchProfiler, ProfileResult, price_grid
 from repro.profiling.training import training_flops_ratio, training_trace
 from repro.profiling.report import (
     format_bytes,
@@ -13,6 +13,6 @@ from repro.profiling.report import (
 __all__ = [
     "training_flops_ratio", "training_trace",
     "count_flops", "count_parameters", "flops_per_sample",
-    "MMBenchProfiler", "ProfileResult",
+    "GridCell", "MMBenchProfiler", "ProfileResult", "price_grid",
     "format_bytes", "format_seconds", "format_table", "profile_summary",
 ]

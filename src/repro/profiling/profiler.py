@@ -15,19 +15,27 @@ batch and produces all three metric categories the paper defines:
 The profile is captured once (device-independently) and can be re-priced
 on any :class:`~repro.hw.device.DeviceSpec` — the reproduction's version
 of pointing the same scripts at the server or a Jetson board.
+
+:func:`price_grid` is the sweep entry point: one call prices a
+(workloads x batch sizes x devices) grid, fetching each device-independent
+trace from the shared store once and pricing it on every device in a
+single broadcasted :meth:`~repro.hw.engine.ExecutionEngine.run_sweep`
+pass. The batch-size / edge / heterogeneity / stage analyses and the
+serving cost model all fill their grids through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro import nn
 from repro.hw.device import DeviceSpec, get_device
 from repro.hw.engine import ExecutionEngine, ExecutionReport
-from repro.trace.events import KernelCategory
-from repro.trace.store import TraceStore, default_store
+from repro.trace.store import StoredTrace, TraceStore, default_store
+from repro.trace.timeline import scale_trace
 from repro.trace.tracer import Trace, Tracer
 from repro.workloads.base import MultiModalModel
 
@@ -191,3 +199,81 @@ class MMBenchProfiler:
             flops=stored.trace.total_flops,
             modalities=list(stored.modalities),
         )
+
+
+# -- one-pass grid pricing ------------------------------------------------------
+
+
+@dataclass
+class GridCell:
+    """One (workload, batch size, device) point of a pricing grid."""
+
+    workload: str
+    fusion: str | None
+    unimodal: str | None
+    batch_size: int
+    device: DeviceSpec
+    report: ExecutionReport
+    stored: StoredTrace
+    scale: float = 1.0
+
+    @property
+    def trace(self) -> Trace:
+        """The (possibly scaled) trace the report priced."""
+        return self.report.trace
+
+    @property
+    def total_time(self) -> float:
+        return self.report.total_time
+
+
+def price_grid(
+    workloads: Sequence[str],
+    batches: Sequence[int],
+    devices: Sequence[str | DeviceSpec],
+    fusion: str | None = None,
+    unimodal: str | None = None,
+    seed: int = 0,
+    backend: str | None = "meta",
+    scale: float = 1.0,
+    concurrent_modalities: bool = False,
+    store: TraceStore | None = None,
+) -> dict[tuple[str, int, str], GridCell]:
+    """Price a (workload x batch x device) grid in one pass per trace.
+
+    Each (workload, batch) trace is fetched from the shared
+    :class:`~repro.trace.store.TraceStore` once (captured on a cold key,
+    loaded columnar on a warm one) and priced across *all* ``devices`` by
+    a single broadcasted :meth:`~repro.hw.engine.ExecutionEngine.run_sweep`
+    call. ``scale`` extrapolates the traced work descriptors (and the
+    model/input byte footprints) before pricing — the edge-migration
+    study's full-scale configurations.
+
+    Returns ``{(workload, batch_size, device_key): GridCell}`` where
+    ``device_key`` is the device name exactly as passed in ``devices``
+    (or ``DeviceSpec.name`` for spec objects).
+    """
+    store = store or default_store()
+    specs = [get_device(d) if isinstance(d, str) else d for d in devices]
+    keys = [d if isinstance(d, str) else d.name for d in devices]
+    out: dict[tuple[str, int, str], GridCell] = {}
+    for workload in workloads:
+        for batch_size in batches:
+            stored = store.get_or_capture(
+                workload, fusion=fusion, unimodal=unimodal,
+                batch_size=batch_size, seed=seed, backend=backend,
+            )
+            trace = stored.trace if scale == 1.0 else scale_trace(stored.trace, scale)
+            engine = ExecutionEngine(specs[0], concurrent_modalities)
+            reports = engine.run_sweep(
+                trace, specs,
+                model_bytes=stored.parameter_bytes * scale,
+                input_bytes=stored.input_bytes * scale,
+            )
+            for key, spec, report in zip(keys, specs, reports):
+                out[(workload, int(batch_size), key)] = GridCell(
+                    workload=workload, fusion=fusion, unimodal=unimodal,
+                    batch_size=int(batch_size), device=spec, report=report,
+                    stored=stored, scale=scale,
+                )
+    return out

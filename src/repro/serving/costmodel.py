@@ -27,7 +27,7 @@ import weakref
 import numpy as np
 
 from repro.hw.device import get_device
-from repro.trace.store import StoredTrace, default_store
+from repro.trace.store import default_store
 
 DEFAULT_ANCHORS: tuple[int, ...] = (1, 8, 32, 128, 512)
 
@@ -130,44 +130,54 @@ class ProfiledCostModel:
         self._anchor_arr = np.array(self.anchors, dtype=np.float64)
         self._anchor_times: dict[str, np.ndarray] = {}  # canonical device -> times
 
-    # -- profiling (store-backed) ------------------------------------------------
+    # -- profiling (store-backed, grid-priced) -----------------------------------
 
-    def _trace(self, k: int) -> StoredTrace:
-        store = default_store()
-        captures_before = store.stats["captures"]
-        stored = store.get_or_capture(
-            self.workload, fusion=self.fusion, batch_size=k,
-            seed=self.seed, backend=self.backend,
-        )
-        if store.stats["captures"] > captures_before:
-            PROFILE_STATS["captures"] += 1
-        else:
-            PROFILE_STATS["hits"] += 1
-        return stored
-
-    def _anchor_time(self, device: str, k: int) -> float:
-        key = (self.workload, self.fusion, self.seed, self.backend, device, k)
-        if key in _TIME_CACHE:
-            PROFILE_STATS["hits"] += 1
-            return _TIME_CACHE[key]
-        from repro.profiling.profiler import MMBenchProfiler
-
-        stored = self._trace(k)
-        report = MMBenchProfiler(device).price(
-            None, stored.trace, k,
-            model_bytes=stored.parameter_bytes, input_bytes=stored.input_bytes)
-        PROFILE_STATS["pricings"] += 1
-        _TIME_CACHE[key] = report.total_time
-        return report.total_time
+    def _time_key(self, device: str, k: int) -> tuple:
+        return (self.workload, self.fusion, self.seed, self.backend, device, k)
 
     def _anchor_curve(self, device: str) -> np.ndarray:
+        """Anchor latencies for one device, priced in a single grid pass.
+
+        Anchors already in the module-level price cache are hits; the
+        missing ones go through :func:`repro.profiling.profiler.price_grid`
+        together, so each uncached trace is fetched from the shared store
+        once and priced vectorized.
+        """
         canonical = get_device(device).name
-        if canonical not in self._anchor_times:
-            self._anchor_times[canonical] = np.array(
-                [self._anchor_time(canonical, k) for k in self.anchors],
-                dtype=np.float64,
+        if canonical in self._anchor_times:
+            return self._anchor_times[canonical]
+
+        times = np.empty(len(self.anchors), dtype=np.float64)
+        missing: list[tuple[int, int]] = []  # (position, anchor batch size)
+        for i, k in enumerate(self.anchors):
+            cached = _TIME_CACHE.get(self._time_key(canonical, k))
+            if cached is not None:
+                PROFILE_STATS["hits"] += 1
+                times[i] = cached
+            else:
+                missing.append((i, k))
+
+        if missing:
+            from repro.profiling.profiler import price_grid
+
+            store = default_store()
+            captures_before = store.stats["captures"]
+            grid = price_grid(
+                [self.workload], [k for _, k in missing], [canonical],
+                fusion=self.fusion, seed=self.seed, backend=self.backend,
+                store=store,
             )
-        return self._anchor_times[canonical]
+            captured = store.stats["captures"] - captures_before
+            PROFILE_STATS["captures"] += captured
+            PROFILE_STATS["hits"] += len(missing) - captured
+            PROFILE_STATS["pricings"] += len(missing)
+            for i, k in missing:
+                t = grid[(self.workload, k, canonical)].total_time
+                _TIME_CACHE[self._time_key(canonical, k)] = t
+                times[i] = t
+
+        self._anchor_times[canonical] = times
+        return times
 
     # -- queries ----------------------------------------------------------------
 

@@ -152,11 +152,14 @@ def simulate(
         arrivals = poisson_arrivals(n_requests, arrival_rate, seed=seed)
     requests = make_requests(arrivals)
 
+    totals: dict[str, int] = {}
+    for name in devices:
+        totals[name] = totals.get(name, 0) + 1
     counts: dict[str, int] = {}
     slots: list[_Slot] = []
     for name in devices:
         n_seen = counts.get(name, 0)
-        label = name if devices.count(name) == 1 else f"{name}#{n_seen}"
+        label = name if totals[name] == 1 else f"{name}#{n_seen}"
         counts[name] = n_seen + 1
         slots.append(_Slot(label, name))
     by_label = {s.label: s for s in slots}
@@ -242,7 +245,20 @@ def simulate(
             makespan = max(makespan, finish)
             push(finish, "free")
 
-    latencies = np.array([r.latency for r in requests])
+    # One pass over the requests builds every timing column; the latency /
+    # queue / service decompositions and all three percentiles fall out of
+    # array arithmetic instead of per-request property walks.
+    timing = np.empty((4, n_requests))
+    for i, r in enumerate(requests):
+        timing[0, i] = r.arrival
+        timing[1, i] = r.dispatch
+        timing[2, i] = r.finish
+        timing[3, i] = r.formation_wait
+    arrival_col, dispatch_col, finish_col, formation_col = timing
+    latencies = finish_col - arrival_col
+    queue_times = dispatch_col - arrival_col
+    service_times = finish_col - dispatch_col
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
     stats = {
         s.label: DeviceStats(
             slot=s.label,
@@ -264,12 +280,12 @@ def simulate(
         makespan=makespan,
         throughput=n_requests / makespan if makespan > 0 else 0.0,
         mean_latency=float(latencies.mean()),
-        p50_latency=float(np.percentile(latencies, 50)),
-        p95_latency=float(np.percentile(latencies, 95)),
-        p99_latency=float(np.percentile(latencies, 99)),
-        mean_queue_time=float(np.mean([r.queue_time for r in requests])),
-        mean_formation_wait=float(np.mean([r.formation_wait for r in requests])),
-        mean_service_time=float(np.mean([r.service_time for r in requests])),
+        p50_latency=float(p50),
+        p95_latency=float(p95),
+        p99_latency=float(p99),
+        mean_queue_time=float(queue_times.mean()),
+        mean_formation_wait=float(formation_col.mean()),
+        mean_service_time=float(service_times.mean()),
         device_stats=stats,
         requests=requests,
     )

@@ -1,5 +1,11 @@
 """Execution tracing: kernel/host event capture with stage & modality context."""
 
+from repro.trace.columns import (
+    CATEGORY_ORDER,
+    HOST_KIND_ORDER,
+    NO_MODALITY,
+    TraceColumns,
+)
 from repro.trace.events import (
     HostEvent,
     HostOpKind,
@@ -37,6 +43,10 @@ from repro.trace.timeline import (
 )
 
 __all__ = [
+    "CATEGORY_ORDER",
+    "HOST_KIND_ORDER",
+    "NO_MODALITY",
+    "TraceColumns",
     "HostEvent",
     "HostOpKind",
     "KernelCategory",

@@ -1,0 +1,369 @@
+"""Columnar (structure-of-arrays) view of a trace.
+
+A :class:`~repro.trace.tracer.Trace` holds one Python object per kernel
+launch, which is the right shape for *capture* but the wrong shape for
+*pricing*: the execution engine wants to run the roofline model over
+thousands of kernels in a handful of numpy operations, not an interpreter
+loop. :class:`TraceColumns` is the pricing-side layout — one contiguous
+float64 array per work descriptor (FLOPs, bytes read/written, threads,
+coalescing, reuse), plus small integer code arrays for the categorical
+fields (kernel category, stage, modality, event name) backed by interned
+string tables in first-seen order.
+
+The columns are built once per trace and cached on it
+(:meth:`Trace.columns`); the trace store's disk tier serializes this form
+directly, so a warm load never churns through per-event objects at all —
+``KernelEvent`` / ``HostEvent`` lists are materialized lazily only when a
+consumer actually asks for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+
+#: Fixed category order shared by every columnar trace and every efficiency
+#: lookup vector in :mod:`repro.hw`. Index = code.
+CATEGORY_ORDER: tuple[KernelCategory, ...] = tuple(KernelCategory)
+CATEGORY_CODES: dict[KernelCategory, int] = {c: i for i, c in enumerate(CATEGORY_ORDER)}
+
+#: Fixed host-op order; index = code.
+HOST_KIND_ORDER: tuple[HostOpKind, ...] = tuple(HostOpKind)
+HOST_KIND_CODES: dict[HostOpKind, int] = {k: i for i, k in enumerate(HOST_KIND_ORDER)}
+
+#: Modality code for "no modality" (``KernelEvent.modality is None``).
+NO_MODALITY = -1
+
+
+class _Interner:
+    """First-seen-order string interning: name -> small int code."""
+
+    def __init__(self, table: tuple[str, ...] = ()):
+        self.codes: dict[str, int] = {s: i for i, s in enumerate(table)}
+
+    def code(self, name: str) -> int:
+        code = self.codes.get(name)
+        if code is None:
+            code = len(self.codes)
+            self.codes[name] = code
+        return code
+
+    def table(self) -> tuple[str, ...]:
+        return tuple(self.codes)
+
+
+def _f64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _i64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+@dataclass
+class TraceColumns:
+    """Structure-of-arrays view of one trace (kernels + host events)."""
+
+    # -- kernel columns (length n) ---------------------------------------------
+    n: int
+    flops: np.ndarray
+    bytes_read: np.ndarray
+    bytes_written: np.ndarray
+    threads: np.ndarray  # int64; float view cached in threads_f
+    coalesced_fraction: np.ndarray
+    reuse_factor: np.ndarray
+    category_codes: np.ndarray  # int64 into CATEGORY_ORDER
+    stage_codes: np.ndarray  # int64 into stage_table
+    modality_codes: np.ndarray  # int64 into modality_table; NO_MODALITY = None
+    name_codes: np.ndarray  # int64 into name_table
+    seq: np.ndarray  # int64
+    # -- host-event columns (length host_n) ------------------------------------
+    host_n: int
+    host_kind_codes: np.ndarray  # int64 into HOST_KIND_ORDER
+    host_bytes: np.ndarray
+    host_stage_codes: np.ndarray
+    host_modality_codes: np.ndarray
+    host_name_codes: np.ndarray
+    host_seq: np.ndarray
+    # -- interned string tables (shared by kernel and host columns) ------------
+    stage_table: tuple[str, ...]
+    modality_table: tuple[str, ...]
+    name_table: tuple[str, ...]
+    host_name_table: tuple[str, ...]
+    # -- sparse metadata: index -> non-empty meta dict --------------------------
+    meta: dict[int, dict] = field(default_factory=dict)
+    host_meta: dict[int, dict] = field(default_factory=dict)
+
+    # -- derived columns (cached) ----------------------------------------------
+
+    def __post_init__(self):
+        self._bytes_total: np.ndarray | None = None
+        self._threads_f: np.ndarray | None = None
+
+    @property
+    def bytes_total(self) -> np.ndarray:
+        if self._bytes_total is None:
+            self._bytes_total = self.bytes_read + self.bytes_written
+        return self._bytes_total
+
+    @property
+    def threads_f(self) -> np.ndarray:
+        if self._threads_f is None:
+            self._threads_f = self.threads.astype(np.float64)
+        return self._threads_f
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls, kernels: list[KernelEvent], host_events: list[HostEvent]
+    ) -> "TraceColumns":
+        """Build columns from event objects (the once-per-trace cost)."""
+        stages = _Interner()
+        modalities = _Interner()
+        names = _Interner()
+        host_names = _Interner()
+
+        n = len(kernels)
+        flops = np.empty(n)
+        bytes_read = np.empty(n)
+        bytes_written = np.empty(n)
+        threads = np.empty(n, dtype=np.int64)
+        coalesced = np.empty(n)
+        reuse = np.empty(n)
+        category_codes = np.empty(n, dtype=np.int64)
+        stage_codes = np.empty(n, dtype=np.int64)
+        modality_codes = np.empty(n, dtype=np.int64)
+        name_codes = np.empty(n, dtype=np.int64)
+        seq = np.empty(n, dtype=np.int64)
+        meta: dict[int, dict] = {}
+        for i, k in enumerate(kernels):
+            flops[i] = k.flops
+            bytes_read[i] = k.bytes_read
+            bytes_written[i] = k.bytes_written
+            threads[i] = k.threads
+            coalesced[i] = k.coalesced_fraction
+            reuse[i] = k.reuse_factor
+            category_codes[i] = CATEGORY_CODES[k.category]
+            stage_codes[i] = stages.code(k.stage)
+            modality_codes[i] = (
+                NO_MODALITY if k.modality is None else modalities.code(k.modality)
+            )
+            name_codes[i] = names.code(k.name)
+            seq[i] = k.seq
+            if k.meta:
+                meta[i] = k.meta
+
+        host_n = len(host_events)
+        host_kind_codes = np.empty(host_n, dtype=np.int64)
+        host_bytes = np.empty(host_n)
+        host_stage_codes = np.empty(host_n, dtype=np.int64)
+        host_modality_codes = np.empty(host_n, dtype=np.int64)
+        host_name_codes = np.empty(host_n, dtype=np.int64)
+        host_seq = np.empty(host_n, dtype=np.int64)
+        host_meta: dict[int, dict] = {}
+        for i, h in enumerate(host_events):
+            host_kind_codes[i] = HOST_KIND_CODES[h.kind]
+            host_bytes[i] = h.bytes
+            host_stage_codes[i] = stages.code(h.stage)
+            host_modality_codes[i] = (
+                NO_MODALITY if h.modality is None else modalities.code(h.modality)
+            )
+            host_name_codes[i] = host_names.code(h.name)
+            host_seq[i] = h.seq
+            if h.meta:
+                host_meta[i] = h.meta
+
+        return cls(
+            n=n, flops=flops, bytes_read=bytes_read, bytes_written=bytes_written,
+            threads=threads, coalesced_fraction=coalesced, reuse_factor=reuse,
+            category_codes=category_codes, stage_codes=stage_codes,
+            modality_codes=modality_codes, name_codes=name_codes, seq=seq,
+            host_n=host_n, host_kind_codes=host_kind_codes, host_bytes=host_bytes,
+            host_stage_codes=host_stage_codes,
+            host_modality_codes=host_modality_codes,
+            host_name_codes=host_name_codes, host_seq=host_seq,
+            stage_table=stages.table(), modality_table=modalities.table(),
+            name_table=names.table(), host_name_table=host_names.table(),
+            meta=meta, host_meta=host_meta,
+        )
+
+    # -- materialization (API-compatibility escape hatch) ----------------------
+
+    def materialize_kernels(self) -> list[KernelEvent]:
+        """Rebuild the ``KernelEvent`` list (lazy consumers only)."""
+        out: list[KernelEvent] = []
+        for i in range(self.n):
+            mod_code = int(self.modality_codes[i])
+            out.append(KernelEvent(
+                name=self.name_table[int(self.name_codes[i])],
+                category=CATEGORY_ORDER[int(self.category_codes[i])],
+                flops=float(self.flops[i]),
+                bytes_read=float(self.bytes_read[i]),
+                bytes_written=float(self.bytes_written[i]),
+                threads=int(self.threads[i]),
+                stage=self.stage_table[int(self.stage_codes[i])],
+                modality=None if mod_code == NO_MODALITY else self.modality_table[mod_code],
+                seq=int(self.seq[i]),
+                coalesced_fraction=float(self.coalesced_fraction[i]),
+                reuse_factor=float(self.reuse_factor[i]),
+                meta=dict(self.meta.get(i, {})),
+            ))
+        return out
+
+    def materialize_host_events(self) -> list[HostEvent]:
+        out: list[HostEvent] = []
+        for i in range(self.host_n):
+            mod_code = int(self.host_modality_codes[i])
+            out.append(HostEvent(
+                kind=HOST_KIND_ORDER[int(self.host_kind_codes[i])],
+                bytes=float(self.host_bytes[i]),
+                stage=self.stage_table[int(self.host_stage_codes[i])],
+                modality=None if mod_code == NO_MODALITY else self.modality_table[mod_code],
+                seq=int(self.host_seq[i]),
+                name=self.host_name_table[int(self.host_name_codes[i])],
+                meta=dict(self.host_meta.get(i, {})),
+            ))
+        return out
+
+    # -- categorical lookups ---------------------------------------------------
+
+    def stage_code(self, stage: str) -> int | None:
+        """Code for ``stage``, or None if the trace never saw it."""
+        try:
+            return self.stage_table.index(stage)
+        except ValueError:
+            return None
+
+    def modality_code(self, modality: str) -> int | None:
+        try:
+            return self.modality_table.index(modality)
+        except ValueError:
+            return None
+
+    def kernel_stages(self) -> list[str]:
+        """Stages present among *kernels*, in first-seen order."""
+        if self.n == 0:
+            return []
+        codes, first = np.unique(self.stage_codes, return_index=True)
+        return [self.stage_table[int(c)] for c in codes[np.argsort(first)]]
+
+    def kernel_modalities(self) -> list[str]:
+        """Modalities present among kernels, in first-seen order."""
+        attributed = self.modality_codes[self.modality_codes != NO_MODALITY]
+        if attributed.size == 0:
+            return []
+        codes, first = np.unique(attributed, return_index=True)
+        return [self.modality_table[int(c)] for c in codes[np.argsort(first)]]
+
+    def kernel_indices_in_stage(self, stage: str) -> np.ndarray:
+        code = self.stage_code(stage)
+        if code is None:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self.stage_codes == code)[0]
+
+    def kernel_indices_for_modality(self, modality: str) -> np.ndarray:
+        code = self.modality_code(modality)
+        if code is None:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self.modality_codes == code)[0]
+
+    # -- transforms ------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "TraceColumns":
+        """Scale every work descriptor by ``factor`` (see ``scale_trace``)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return TraceColumns(
+            n=self.n,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            # Truncate toward zero like int(), but never below one thread.
+            threads=np.maximum(1, (self.threads * factor).astype(np.int64)),
+            coalesced_fraction=self.coalesced_fraction.copy(),
+            reuse_factor=self.reuse_factor.copy(),
+            category_codes=self.category_codes.copy(),
+            stage_codes=self.stage_codes.copy(),
+            modality_codes=self.modality_codes.copy(),
+            name_codes=self.name_codes.copy(),
+            seq=self.seq.copy(),
+            host_n=self.host_n,
+            host_kind_codes=self.host_kind_codes.copy(),
+            host_bytes=self.host_bytes * factor,
+            host_stage_codes=self.host_stage_codes.copy(),
+            host_modality_codes=self.host_modality_codes.copy(),
+            host_name_codes=self.host_name_codes.copy(),
+            host_seq=self.host_seq.copy(),
+            stage_table=self.stage_table,
+            modality_table=self.modality_table,
+            name_table=self.name_table,
+            host_name_table=self.host_name_table,
+            meta={i: dict(m) for i, m in self.meta.items()},
+            host_meta={i: dict(m) for i, m in self.host_meta.items()},
+        )
+
+    # -- (de)serialization (the trace store's disk form) -----------------------
+
+    def to_payload(self) -> dict:
+        """Plain-JSON representation (lists of numbers + string tables)."""
+        return {
+            "n": self.n,
+            "flops": self.flops.tolist(),
+            "bytes_read": self.bytes_read.tolist(),
+            "bytes_written": self.bytes_written.tolist(),
+            "threads": self.threads.tolist(),
+            "coalesced_fraction": self.coalesced_fraction.tolist(),
+            "reuse_factor": self.reuse_factor.tolist(),
+            "category_codes": self.category_codes.tolist(),
+            "stage_codes": self.stage_codes.tolist(),
+            "modality_codes": self.modality_codes.tolist(),
+            "name_codes": self.name_codes.tolist(),
+            "seq": self.seq.tolist(),
+            "host_n": self.host_n,
+            "host_kind_codes": self.host_kind_codes.tolist(),
+            "host_bytes": self.host_bytes.tolist(),
+            "host_stage_codes": self.host_stage_codes.tolist(),
+            "host_modality_codes": self.host_modality_codes.tolist(),
+            "host_name_codes": self.host_name_codes.tolist(),
+            "host_seq": self.host_seq.tolist(),
+            "stage_table": list(self.stage_table),
+            "modality_table": list(self.modality_table),
+            "name_table": list(self.name_table),
+            "host_name_table": list(self.host_name_table),
+            "meta": {str(i): m for i, m in self.meta.items()},
+            "host_meta": {str(i): m for i, m in self.host_meta.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceColumns":
+        return cls(
+            n=int(payload["n"]),
+            flops=_f64(payload["flops"]),
+            bytes_read=_f64(payload["bytes_read"]),
+            bytes_written=_f64(payload["bytes_written"]),
+            threads=_i64(payload["threads"]),
+            coalesced_fraction=_f64(payload["coalesced_fraction"]),
+            reuse_factor=_f64(payload["reuse_factor"]),
+            category_codes=_i64(payload["category_codes"]),
+            stage_codes=_i64(payload["stage_codes"]),
+            modality_codes=_i64(payload["modality_codes"]),
+            name_codes=_i64(payload["name_codes"]),
+            seq=_i64(payload["seq"]),
+            host_n=int(payload["host_n"]),
+            host_kind_codes=_i64(payload["host_kind_codes"]),
+            host_bytes=_f64(payload["host_bytes"]),
+            host_stage_codes=_i64(payload["host_stage_codes"]),
+            host_modality_codes=_i64(payload["host_modality_codes"]),
+            host_name_codes=_i64(payload["host_name_codes"]),
+            host_seq=_i64(payload["host_seq"]),
+            stage_table=tuple(payload["stage_table"]),
+            modality_table=tuple(payload["modality_table"]),
+            name_table=tuple(payload["name_table"]),
+            host_name_table=tuple(payload["host_name_table"]),
+            meta={int(i): dict(m) for i, m in payload["meta"].items()},
+            host_meta={int(i): dict(m) for i, m in payload["host_meta"].items()},
+        )

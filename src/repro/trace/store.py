@@ -32,11 +32,15 @@ import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.columns import TraceColumns
 from repro.trace.tracer import Trace, Tracer
 
 #: Bump when the serialized payload layout changes.
-SCHEMA_VERSION = 1
+#: v2: columnar structure-of-arrays payload (one array per work
+#: descriptor + interned string tables) instead of one JSON object per
+#: event — warm loads rebuild ``TraceColumns`` directly and never touch
+#: per-event Python objects unless a consumer materializes them.
+SCHEMA_VERSION = 2
 
 _FINGERPRINT: str | None = None
 
@@ -53,6 +57,7 @@ def code_fingerprint() -> str:
         import repro.data.synthetic
         import repro.nn.functional
         import repro.nn.layers
+        import repro.trace.columns
         import repro.trace.events
         import repro.trace.tracer
         import repro.workloads
@@ -63,6 +68,7 @@ def code_fingerprint() -> str:
             nn_dir / "functional.py",
             nn_dir / "backend.py",
             nn_dir / "tensor.py",
+            Path(repro.trace.columns.__file__),
             Path(repro.trace.events.__file__),
             Path(repro.trace.tracer.__file__),
             Path(repro.data.synthetic.__file__),
@@ -119,72 +125,18 @@ def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
         "parameter_bytes": stored.parameter_bytes,
         "input_bytes": stored.input_bytes,
         "modalities": list(stored.modalities),
-        "kernels": [
-            {
-                "name": k.name,
-                "category": k.category.value,
-                "flops": k.flops,
-                "bytes_read": k.bytes_read,
-                "bytes_written": k.bytes_written,
-                "threads": k.threads,
-                "stage": k.stage,
-                "modality": k.modality,
-                "seq": k.seq,
-                "coalesced_fraction": k.coalesced_fraction,
-                "reuse_factor": k.reuse_factor,
-                "meta": k.meta,
-            }
-            for k in stored.trace.kernels
-        ],
-        "host_events": [
-            {
-                "kind": h.kind.value,
-                "bytes": h.bytes,
-                "stage": h.stage,
-                "modality": h.modality,
-                "seq": h.seq,
-                "name": h.name,
-                "meta": h.meta,
-            }
-            for h in stored.trace.host_events
-        ],
+        "columns": stored.trace.columns().to_payload(),
     }
 
 
 def trace_from_payload(payload: dict) -> StoredTrace:
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(f"unsupported trace payload schema {payload.get('schema')!r}")
-    kernels = [
-        KernelEvent(
-            name=k["name"],
-            category=KernelCategory(k["category"]),
-            flops=k["flops"],
-            bytes_read=k["bytes_read"],
-            bytes_written=k["bytes_written"],
-            threads=k["threads"],
-            stage=k["stage"],
-            modality=k["modality"],
-            seq=k["seq"],
-            coalesced_fraction=k["coalesced_fraction"],
-            reuse_factor=k["reuse_factor"],
-            meta=dict(k["meta"]),
-        )
-        for k in payload["kernels"]
-    ]
-    host = [
-        HostEvent(
-            kind=HostOpKind(h["kind"]),
-            bytes=h["bytes"],
-            stage=h["stage"],
-            modality=h["modality"],
-            seq=h["seq"],
-            name=h["name"],
-            meta=dict(h["meta"]),
-        )
-        for h in payload["host_events"]
-    ]
+    columns = TraceColumns.from_payload(payload["columns"])
     return StoredTrace(
-        trace=Trace(kernels=kernels, host_events=host),
+        # Columnar all the way: consumers that price the trace never touch
+        # per-event objects; ``trace.kernels`` materializes them on demand.
+        trace=Trace.from_columns(columns),
         model_name=payload["model_name"],
         parameters=payload["parameters"],
         parameter_bytes=payload["parameter_bytes"],

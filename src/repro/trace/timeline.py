@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
 from repro.trace.events import KernelCategory, KernelEvent
 from repro.trace.tracer import Trace
 
@@ -39,30 +41,30 @@ def kernel_category_breakdown(
     return {cat: v / grand for cat, v in totals.items()}
 
 
+def _indexed_work(cols, indices: np.ndarray) -> dict[str, float]:
+    return {
+        "flops": float(cols.flops[indices].sum()),
+        "bytes": float(cols.bytes_total[indices].sum()),
+        "kernels": float(len(indices)),
+    }
+
+
 def stage_work(trace: Trace) -> dict[str, dict[str, float]]:
     """Per-stage totals of flops / bytes / kernel count."""
-    out: dict[str, dict[str, float]] = {}
-    for stage in trace.stages():
-        ks = trace.kernels_in_stage(stage)
-        out[stage] = {
-            "flops": sum(k.flops for k in ks),
-            "bytes": sum(k.bytes_total for k in ks),
-            "kernels": float(len(ks)),
-        }
-    return out
+    cols = trace.columns()
+    return {
+        stage: _indexed_work(cols, cols.kernel_indices_in_stage(stage))
+        for stage in cols.kernel_stages()
+    }
 
 
 def modality_work(trace: Trace) -> dict[str, dict[str, float]]:
     """Per-modality totals of flops / bytes / kernel count (encoder stage)."""
-    out: dict[str, dict[str, float]] = {}
-    for modality in trace.modalities():
-        ks = trace.kernels_for_modality(modality)
-        out[modality] = {
-            "flops": sum(k.flops for k in ks),
-            "bytes": sum(k.bytes_total for k in ks),
-            "kernels": float(len(ks)),
-        }
-    return out
+    cols = trace.columns()
+    return {
+        modality: _indexed_work(cols, cols.kernel_indices_for_modality(modality))
+        for modality in cols.kernel_modalities()
+    }
 
 
 def scale_trace(trace: Trace, factor: float) -> Trace:
@@ -74,28 +76,11 @@ def scale_trace(trace: Trace, factor: float) -> Trace:
     where capacity effects only appear at realistic sizes). Latencies and
     counters are *derived* quantities, so scaling the work descriptors and
     re-pricing is exact under the analytical device model.
+
+    Operates on the columnar view: the scaled trace shares the source's
+    string tables and materializes event objects only if asked for them.
     """
-    if factor <= 0:
-        raise ValueError(f"scale factor must be positive, got {factor}")
-    kernels = []
-    for k in trace.kernels:
-        kernels.append(KernelEvent(
-            name=k.name, category=k.category,
-            flops=k.flops * factor,
-            bytes_read=k.bytes_read * factor,
-            bytes_written=k.bytes_written * factor,
-            threads=max(1, int(k.threads * factor)),
-            stage=k.stage, modality=k.modality, seq=k.seq,
-            coalesced_fraction=k.coalesced_fraction,
-            reuse_factor=k.reuse_factor,
-            meta=dict(k.meta),
-        ))
-    host = []
-    for h in trace.host_events:
-        clone = type(h)(kind=h.kind, bytes=h.bytes * factor, stage=h.stage,
-                        modality=h.modality, seq=h.seq, name=h.name, meta=dict(h.meta))
-        host.append(clone)
-    return Trace(kernels=kernels, host_events=host)
+    return Trace.from_columns(trace.columns().scaled(factor))
 
 
 def hotspot_kernels(

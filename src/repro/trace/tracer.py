@@ -20,7 +20,7 @@ the sub-nets respectively".
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.trace.events import (
     HostEvent,
@@ -29,6 +29,9 @@ from repro.trace.events import (
     KernelEvent,
     STAGE_ENCODER,
 )
+
+if TYPE_CHECKING:
+    from repro.trace.columns import TraceColumns
 
 # The currently-active tracer, or None. A single global keeps the per-op
 # emission cost to one attribute load + branch.
@@ -100,40 +103,94 @@ def modality_scope(name: str):
         yield
 
 
-@dataclass
 class Trace:
-    """The immutable result of a tracing session."""
+    """The immutable result of a tracing session.
 
-    kernels: list[KernelEvent] = field(default_factory=list)
-    host_events: list[HostEvent] = field(default_factory=list)
+    Holds two equivalent representations and converts lazily between them:
+    the per-event object lists (``kernels`` / ``host_events``, the capture
+    form) and the columnar structure-of-arrays view
+    (:class:`~repro.trace.columns.TraceColumns`, the pricing form). A trace
+    loaded from the store's disk tier starts life columnar and only
+    materializes event objects if a consumer asks for them; a trace fresh
+    from a tracer starts as events and builds its columns once, on first
+    use, caching them here. The trace is treated as immutable once
+    finished — mutating events after the columns were built desynchronizes
+    the two views.
+    """
+
+    __slots__ = ("_kernels", "_host_events", "_columns",
+                 "_total_flops", "_total_bytes")
+
+    def __init__(self, kernels: list[KernelEvent] | None = None,
+                 host_events: list[HostEvent] | None = None):
+        self._kernels: list[KernelEvent] | None = (
+            list(kernels) if kernels is not None else []
+        )
+        self._host_events: list[HostEvent] | None = (
+            list(host_events) if host_events is not None else []
+        )
+        self._columns: "TraceColumns | None" = None
+        self._total_flops: float | None = None
+        self._total_bytes: float | None = None
+
+    @classmethod
+    def from_columns(cls, columns: "TraceColumns") -> "Trace":
+        """Wrap an existing columnar view; events materialize on demand."""
+        trace = cls.__new__(cls)
+        trace._kernels = None
+        trace._host_events = None
+        trace._columns = columns
+        trace._total_flops = None
+        trace._total_bytes = None
+        return trace
+
+    @property
+    def kernels(self) -> list[KernelEvent]:
+        if self._kernels is None:
+            self._kernels = self._columns.materialize_kernels()
+        return self._kernels
+
+    @property
+    def host_events(self) -> list[HostEvent]:
+        if self._host_events is None:
+            self._host_events = self._columns.materialize_host_events()
+        return self._host_events
+
+    def columns(self) -> "TraceColumns":
+        """The cached columnar view (built on first use)."""
+        if self._columns is None:
+            from repro.trace.columns import TraceColumns
+
+            self._columns = TraceColumns.from_events(self._kernels,
+                                                     self._host_events)
+        return self._columns
 
     def kernels_in_stage(self, stage: str) -> list[KernelEvent]:
-        return [k for k in self.kernels if k.stage == stage]
+        kernels = self.kernels
+        return [kernels[i] for i in self.columns().kernel_indices_in_stage(stage)]
 
     def kernels_for_modality(self, modality: str) -> list[KernelEvent]:
-        return [k for k in self.kernels if k.modality == modality]
+        kernels = self.kernels
+        return [kernels[i] for i in self.columns().kernel_indices_for_modality(modality)]
 
     @property
     def total_flops(self) -> float:
-        return sum(k.flops for k in self.kernels)
+        if self._total_flops is None:
+            self._total_flops = float(self.columns().flops.sum())
+        return self._total_flops
 
     @property
     def total_bytes(self) -> float:
-        return sum(k.bytes_total for k in self.kernels)
+        if self._total_bytes is None:
+            self._total_bytes = float(self.columns().bytes_total.sum())
+        return self._total_bytes
 
     def stages(self) -> list[str]:
-        """Stages present in this trace, in first-seen order."""
-        seen: dict[str, None] = {}
-        for k in self.kernels:
-            seen.setdefault(k.stage, None)
-        return list(seen)
+        """Stages present in this trace's kernels, in first-seen order."""
+        return self.columns().kernel_stages()
 
     def modalities(self) -> list[str]:
-        seen: dict[str, None] = {}
-        for k in self.kernels:
-            if k.modality is not None:
-                seen.setdefault(k.modality, None)
-        return list(seen)
+        return self.columns().kernel_modalities()
 
 
 class Tracer:
