@@ -13,3 +13,11 @@ else
 fi
 
 "${run[@]}" serve --workload avmnist --arrival-rate 100 --policy adaptive
+
+# Multi-tenant mixed serving: every scenario shape, three heterogeneous
+# devices, per-tenant SLO-attainment reporting.
+for mix in uniform heavy-head diurnal bursty; do
+    "${run[@]}" serve --mix "$mix" --arrival-rate 2000 --n-requests 2000 \
+        --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
+        --policy adaptive
+done

@@ -7,10 +7,13 @@ device — the modality imbalance would leave most of those resources idle:
 application will stay idle for more [than] 77% of the entire encoder
 execution" (MuJoCo Push, whose image encoder is a 4.09x straggler).
 
-This module derives exactly those quantities from an
-:class:`~repro.hw.engine.ExecutionReport`: the concurrent encoder wall
-time (the straggler's time), the serial time (what a single-stream
-executor pays), and the idle-resource geometry of the concurrent schedule.
+:func:`analyze_concurrency` derives those quantities from a *simulated
+schedule*: :mod:`repro.hw.streams` executes the one-stream-per-modality
+timeline on an equal-share device partition, and the idle-resource
+geometry is read off the per-stream busy/idle windows. The closed-form
+max/sum shortcut the module originally used is kept as
+:func:`analytic_concurrency`; a tier-1 test pins the two to each other on
+every multi-modal workload.
 """
 
 from __future__ import annotations
@@ -39,9 +42,12 @@ class ConcurrencyAnalysis:
     idle_stream_share: float  # (M-1)/M — the "75% of resources" in the paper
 
 
-def analyze_concurrency(report: ExecutionReport) -> ConcurrencyAnalysis:
-    """Analyze the encoder stage's concurrent-execution geometry."""
-    times = report.modality_time()
+def analytic_concurrency(times: dict[str, float]) -> ConcurrencyAnalysis:
+    """The closed-form max/sum shortcut over per-modality encoder times.
+
+    Kept as the reference the schedule-derived :func:`analyze_concurrency`
+    is differentially tested against.
+    """
     if len(times) < 2:
         raise ValueError("concurrency analysis needs a multi-modal report")
     straggler = max(times, key=times.get)
@@ -70,6 +76,38 @@ def analyze_concurrency(report: ExecutionReport) -> ConcurrencyAnalysis:
         concurrency_speedup=serial / t_max if t_max > 0 else 1.0,
         idle_resource_fraction=idle_fraction,
         idle_window_fraction=idle_window,
+        idle_stream_share=(m - 1) / m,
+    )
+
+
+def analyze_concurrency(report: ExecutionReport) -> ConcurrencyAnalysis:
+    """Analyze the encoder stage's concurrent-execution geometry.
+
+    Simulates the one-stream-per-modality schedule on an equal-share
+    partition of the report's device
+    (:meth:`~repro.hw.engine.ExecutionReport.stream_schedule`) and derives
+    every quantity from the schedule's busy/idle windows. Absolute times
+    are reported at native (full-device) speed — the idle *fractions* are
+    share-scale-invariant under equal shares, which is exactly why the
+    paper can quote them without fixing a partitioning.
+    """
+    if len(report.modality_time()) < 2:
+        raise ValueError("concurrency analysis needs a multi-modal report")
+    schedule = report.stream_schedule()
+    native = schedule.native_times()
+    straggler = schedule.straggler
+    t_max = native[straggler]
+    t_min = min(native.values())
+    m = len(native)
+    return ConcurrencyAnalysis(
+        modality_times=native,
+        straggler=straggler,
+        straggler_ratio=t_max / t_min if t_min > 0 else float("inf"),
+        serial_encoder_time=schedule.serial_time(),
+        concurrent_encoder_time=t_max,
+        concurrency_speedup=schedule.concurrency_speedup(),
+        idle_resource_fraction=schedule.idle_resource_fraction(),
+        idle_window_fraction=schedule.idle_window_fraction(),
         idle_stream_share=(m - 1) / m,
     )
 

@@ -10,6 +10,7 @@ options as command-line parameters)::
     mmbench analyze stage-time --device 2080ti
     mmbench analyze batch-size --cache-dir ~/.cache/mmbench
     mmbench serve --workload avmnist --arrival-rate 100 --policy adaptive
+    mmbench serve --mix heavy-head --arrival-rate 2000 --devices 2080ti,orin,nano
 
 Trace-capturing subcommands accept ``--backend {eager,meta}`` (meta — the
 default — propagates shapes analytically and emits an event-for-event
@@ -131,9 +132,16 @@ def _cmd_serve(args) -> int:
     from repro.hw.device import get_device
     from repro.workloads.registry import get_workload
 
+    if args.mix is not None:
+        return _cmd_serve_mix(args)
+    args.workload = args.workload or "avmnist"
+
     # Validate everything user-typed up front: typos get one clean line and
     # exit 2, while errors raised later inside the simulation stay loud.
     try:
+        if args.workloads is not None:
+            raise ValueError("--workloads only applies with --mix; for one "
+                             "workload use --workload")
         policies = {
             name: make_policy(name, batch_size=args.batch_size,
                               timeout=args.timeout, slo=args.slo,
@@ -173,6 +181,79 @@ def _cmd_serve(args) -> int:
     print(f"workload={args.workload} fusion={args.fusion or 'default'} "
           f"devices={','.join(devices)}")
     print(serving_summary(reports, slo=args.slo))
+    _print_store_stats()
+    return 0
+
+
+def _cmd_serve_mix(args) -> int:
+    """The ``mmbench serve --mix`` path: a multi-tenant workload mix."""
+    from repro.serving import (
+        get_scenario,
+        make_policy,
+        make_router,
+        make_tenants,
+        mixed_serving_summary,
+        simulate_mixed,
+    )
+
+    from repro.hw.device import get_device
+    from repro.workloads.registry import get_workload
+
+    try:
+        if args.workload is not None or args.fusion is not None:
+            raise ValueError("--workload/--fusion don't apply to --mix; "
+                             "name the tenants with --workloads instead")
+        get_scenario(args.mix)
+        policy_names = args.policy.split(",")
+
+        def policy_factory(name):
+            return lambda _workload: make_policy(
+                name, batch_size=args.batch_size, timeout=args.timeout,
+                slo=args.slo, max_batch=args.max_batch)
+
+        for name in policy_names:  # validate every policy name up front
+            policy_factory(name)("probe")
+        workloads = tuple((args.workloads or ",".join(list_workloads())).split(","))
+        if len(set(workloads)) != len(workloads):
+            raise ValueError(f"duplicate workloads in --workloads: "
+                             f"{','.join(workloads)}")
+        for workload in workloads:
+            get_workload(workload)
+        devices = tuple(args.devices.split(","))
+        for device in devices:
+            get_device(device)
+        if args.n_requests <= 0:
+            raise ValueError(f"--n-requests must be positive, got {args.n_requests}")
+        if args.arrival_rate is not None and args.arrival_rate <= 0:
+            raise ValueError("--arrival-rate must be positive")
+        if get_scenario(args.mix).needs_rate and args.arrival_rate is None:
+            raise ValueError(f"--mix {args.mix} needs --arrival-rate "
+                             "(its traffic shape is time-varying)")
+        if args.slo <= 0:
+            raise ValueError(f"--slo must be positive, got {args.slo}")
+        if args.seed < 0:
+            raise ValueError(f"--seed must be non-negative, got {args.seed}")
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    _configure_store(args)
+    # Like the single-workload path, run every listed policy against the
+    # identical scenario stream (same seed) and report each; a fresh
+    # router and fresh per-tenant policy instances per run.
+    for name in policy_names:
+        tenants = make_tenants(workloads, policy_factory=policy_factory(name),
+                               slo=args.slo, seed=args.seed,
+                               backend=args.backend)
+        report = simulate_mixed(
+            tenants, devices=devices, n_requests=args.n_requests,
+            arrival_rate=args.arrival_rate, scenario=args.mix,
+            router=make_router(args.router), seed=args.seed,
+        )
+        print(f"mix={args.mix} policy={name} "
+              f"workloads={','.join(workloads)} devices={','.join(devices)}")
+        print(mixed_serving_summary(report))
+        print()
     _print_store_stats()
     return 0
 
@@ -263,8 +344,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="open-loop serving simulation with dynamic batching")
-    serve.add_argument("--workload", default="avmnist", choices=list_workloads())
+    # Default None so the --mix path can reject an explicit --workload
+    # instead of silently ignoring it; the single path falls back to avmnist.
+    serve.add_argument("--workload", default=None, choices=list_workloads())
     serve.add_argument("--fusion", default=None)
+    serve.add_argument("--mix", default=None, metavar="SCENARIO",
+                       help="serve a multi-tenant workload mix instead of one "
+                            "workload: uniform, heavy-head, diurnal, bursty")
+    serve.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                       help="tenants of the --mix run (default: all nine)")
     serve.add_argument("--arrival-rate", type=float, default=None, metavar="REQ_PER_S",
                        help="Poisson arrival rate (default: closed batch, all at t=0)")
     serve.add_argument("--n-requests", type=int, default=5_000)

@@ -32,6 +32,16 @@ from repro.hw.memory import (
 )
 from repro.hw.reference import ScalarExecutionEngine, ScalarExecutionReport
 from repro.hw.stalls import STALL_REASONS, aggregate_stalls, stall_breakdown
+from repro.hw.streams import (
+    StreamLoad,
+    StreamSchedule,
+    StreamScheduler,
+    StreamWindow,
+    modality_schedule,
+    modality_streams,
+    tenant_schedule,
+    tenant_streams,
+)
 from repro.hw.scheduler import ServingResult, batch_time_from_profile, simulate_serving
 from repro.hw.transfer import d2h_time, h2d_time, host_data_prep_time
 from repro.hw.vectorized import (
@@ -55,6 +65,8 @@ __all__ = [
     "MemoryBreakdown", "capacity_pressure", "memory_breakdown",
     "memory_breakdown_columns", "thrash_factor",
     "STALL_REASONS", "aggregate_stalls", "stall_breakdown",
+    "StreamLoad", "StreamSchedule", "StreamScheduler", "StreamWindow",
+    "modality_schedule", "modality_streams", "tenant_schedule", "tenant_streams",
     "d2h_time", "h2d_time", "host_data_prep_time",
     "CounterColumns", "DeviceParams", "LatencyColumns",
     "derive_counters_batch", "kernel_latency_batch",

@@ -344,6 +344,20 @@ class ExecutionReport:
             return 1.0
         return max(times) / min(times)
 
+    def stream_schedule(self, shares: "dict[str, float] | None" = None,
+                        stage: str = "encoder"):
+        """Simulate the one-stream-per-modality schedule of this run.
+
+        Each modality's encoder kernels run back-to-back in their own
+        stream on a partition of the device (equal resource shares unless
+        ``shares`` is given); see :mod:`repro.hw.streams`. Returns a
+        :class:`~repro.hw.streams.StreamSchedule` whose per-stream
+        busy/idle windows drive the Sec. 4.3.3 idle-resource analysis.
+        """
+        from repro.hw.streams import modality_schedule
+
+        return modality_schedule(self, shares=shares, stage=stage)
+
     # -- kernel population (Figure 12) -----------------------------------------
 
     def kernel_size_distribution(self) -> dict[str, float]:

@@ -9,7 +9,9 @@ with a discrete-event simulator driven by memoized profiler cost models:
 * :mod:`repro.serving.costmodel` — memoized per-batch cost models
 * :mod:`repro.serving.policies` — fixed / timeout / SLO-adaptive batching
 * :mod:`repro.serving.router` — placement across heterogeneous devices
-* :mod:`repro.serving.simulator` — the event loop and its report
+* :mod:`repro.serving.scenarios` — named multi-tenant traffic mixes
+* :mod:`repro.serving.simulator` — the event loop (single- and
+  multi-tenant) and its report
 * :mod:`repro.serving.report` — formatted throughput–tail-latency tables
 """
 
@@ -32,11 +34,14 @@ from repro.serving.policies import (
 from repro.serving.report import (
     format_device_breakdown,
     format_policy_comparison,
+    format_tenant_breakdown,
+    mixed_serving_summary,
     serving_summary,
 )
 from repro.serving.request import (
     Request,
     closed_arrivals,
+    make_mixed_requests,
     make_requests,
     poisson_arrivals,
 )
@@ -46,15 +51,35 @@ from repro.serving.router import (
     Router,
     make_router,
 )
-from repro.serving.simulator import DeviceStats, ServingReport, simulate
+from repro.serving.scenarios import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    make_tenants,
+    scenario_requests,
+)
+from repro.serving.simulator import (
+    DeviceStats,
+    ServingReport,
+    TenantSpec,
+    TenantStats,
+    simulate,
+    simulate_mixed,
+)
 
 __all__ = [
     "DEFAULT_ANCHORS", "PROFILE_STATS", "CallableCostModel", "ProfiledCostModel",
     "clear_cost_cache", "throughput_optimal_batch",
     "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",
     "TimeoutBatchPolicy", "make_policy",
-    "format_device_breakdown", "format_policy_comparison", "serving_summary",
-    "Request", "closed_arrivals", "make_requests", "poisson_arrivals",
+    "format_device_breakdown", "format_policy_comparison",
+    "format_tenant_breakdown", "mixed_serving_summary", "serving_summary",
+    "Request", "closed_arrivals", "make_mixed_requests", "make_requests",
+    "poisson_arrivals",
     "EarliestFinishRouter", "RoundRobinRouter", "Router", "make_router",
-    "DeviceStats", "ServingReport", "simulate",
+    "SCENARIO_NAMES", "SCENARIOS", "Scenario", "get_scenario", "make_tenants",
+    "scenario_requests",
+    "DeviceStats", "ServingReport", "TenantSpec", "TenantStats",
+    "simulate", "simulate_mixed",
 ]

@@ -115,9 +115,11 @@ class AdaptiveSLOPolicy(BatchingPolicy):
         self.max_batch = max_batch
         self.safety = safety
         self.name = f"adaptive(slo={slo:g}s)"
-        # Memoized drain batch per (cost model, device). Keyed weakly by the
-        # cost object so a policy instance reused across simulations with
-        # different cost models never applies a stale curve's optimum.
+        # Memoized drain batch per (cost model, device). Keyed weakly by
+        # the *underlying* cost model — the simulator hands ``decide`` a
+        # per-run slot wrapper, so keying on the argument itself would
+        # rebuild the memo every simulation — while still dying with the
+        # model so a reused policy never applies a stale curve's optimum.
         self._drain_batch: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     def decide(self, now, queue_len, oldest_wait, device, cost):
@@ -151,10 +153,15 @@ class AdaptiveSLOPolicy(BatchingPolicy):
     def _throughput_optimal(self, device: str, cost) -> int:
         from repro.serving.costmodel import throughput_optimal_batch
 
-        per_cost = self._drain_batch.setdefault(cost, {})
-        if device not in per_cost:
-            per_cost[device] = throughput_optimal_batch(cost, device, self.max_batch)
-        return per_cost[device]
+        # Unwrap per-run slot adapters (they expose `underlying` and map
+        # slot labels to device model names) so the memo keys on the cost
+        # model and the device — both stable across simulations.
+        base = getattr(cost, "underlying", cost)
+        key = cost.device_name(device) if hasattr(cost, "device_name") else device
+        per_cost = self._drain_batch.setdefault(base, {})
+        if key not in per_cost:
+            per_cost[key] = throughput_optimal_batch(cost, device, self.max_batch)
+        return per_cost[key]
 
 
 POLICY_NAMES = ("fixed", "timeout", "adaptive")

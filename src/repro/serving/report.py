@@ -43,6 +43,42 @@ def format_policy_comparison(
     return format_table(headers, rows, title="Serving policies: throughput vs tail latency")
 
 
+def format_tenant_breakdown(report: ServingReport) -> str:
+    """One row per tenant: traffic share, tail latency, SLO attainment."""
+    rows = []
+    for name, stats in report.tenant_stats.items():
+        rows.append([
+            name,
+            stats.n_requests,
+            f"{stats.throughput:,.0f} req/s",
+            format_seconds(stats.p50_latency),
+            format_seconds(stats.p99_latency),
+            "-" if stats.slo is None else format_seconds(stats.slo),
+            "-" if stats.slo_attainment is None else f"{stats.slo_attainment:.1%}",
+        ])
+    return format_table(
+        ["tenant", "requests", "throughput", "p50 latency", "p99 latency",
+         "SLO", "attainment"],
+        rows, title="Per-tenant latency / SLO breakdown")
+
+
+def mixed_serving_summary(report: ServingReport) -> str:
+    """Full ``mmbench serve --mix`` report: tenant + device breakdowns."""
+    rate = ("closed batch (all at t=0)" if report.arrival_rate is None
+            else f"~{report.arrival_rate:g} req/s aggregate")
+    lines = [
+        f"mixed serving: {report.n_requests} requests over "
+        f"{len(report.tenant_stats)} tenants, {rate}, router={report.router}",
+        f"makespan {format_seconds(report.makespan)}, "
+        f"{report.throughput:,.0f} req/s served",
+        "",
+        format_tenant_breakdown(report),
+        "",
+        format_device_breakdown({report.policy: report}),
+    ]
+    return "\n".join(lines)
+
+
 def format_device_breakdown(reports: dict[str, ServingReport]) -> str:
     """Per-(policy, device slot) routing and utilization breakdown."""
     rows = []

@@ -12,21 +12,27 @@ engineer debugs it:
 request while a device sat idle (timeout-based policies trade this
 against larger, more efficient batches); ``compute`` is the batch's
 service time on the device it was routed to.
+
+Multi-tenant streams tag each request with the ``tenant`` (workload) it
+belongs to; the simulator keeps one FIFO queue per tenant and never
+batches across tenants (different workloads cannot share a batch).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One inference task; timing fields are filled in by the simulator."""
 
     index: int
     arrival: float
+    tenant: str = ""  # workload/tenant tag; "" in single-tenant simulations
     dispatch: float = field(default=float("nan"))
     finish: float = field(default=float("nan"))
     device: str = ""
@@ -49,9 +55,13 @@ class Request:
 
 
 def poisson_arrivals(n_requests: int, arrival_rate: float, seed: int = 0) -> np.ndarray:
-    """Cumulative arrival times of a Poisson stream with the given mean rate."""
-    if n_requests <= 0:
-        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    """Cumulative arrival times of a Poisson stream with the given mean rate.
+
+    ``n_requests=0`` yields an empty stream (an empty simulation is
+    well-formed); negative counts are rejected.
+    """
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be non-negative, got {n_requests}")
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
     rng = np.random.default_rng(seed)
@@ -60,11 +70,35 @@ def poisson_arrivals(n_requests: int, arrival_rate: float, seed: int = 0) -> np.
 
 def closed_arrivals(n_requests: int) -> np.ndarray:
     """All requests queued at t=0 — the paper's closed 10,000-task setting."""
-    if n_requests <= 0:
-        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be non-negative, got {n_requests}")
     return np.zeros(n_requests)
 
 
-def make_requests(arrivals: np.ndarray) -> list[Request]:
+def make_requests(arrivals: np.ndarray, tenant: str = "") -> list[Request]:
     """Wrap an arrival-time array into simulator requests (FIFO order)."""
-    return [Request(index=i, arrival=float(t)) for i, t in enumerate(arrivals)]
+    return [Request(index=i, arrival=float(t), tenant=tenant)
+            for i, t in enumerate(arrivals)]
+
+
+def make_mixed_requests(
+    arrivals: np.ndarray,
+    tenant_codes: np.ndarray,
+    tenants: Sequence[str],
+) -> list[Request]:
+    """Build a tagged, arrival-sorted request stream for a tenant mix.
+
+    ``arrivals`` and ``tenant_codes`` are parallel arrays (code ``j``
+    means ``tenants[j]``); the merged stream is sorted by arrival time
+    (stable, so same-instant requests keep their generated order) and
+    indexed globally.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    tenant_codes = np.asarray(tenant_codes, dtype=np.int64)
+    if arrivals.shape != tenant_codes.shape:
+        raise ValueError("arrivals and tenant_codes must be parallel arrays")
+    order = np.argsort(arrivals, kind="stable")
+    return [
+        Request(index=i, arrival=float(arrivals[j]), tenant=tenants[int(tenant_codes[j])])
+        for i, j in enumerate(order)
+    ]

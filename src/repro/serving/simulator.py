@@ -1,4 +1,4 @@
-"""Discrete-event, open-loop serving simulator.
+"""Discrete-event, open-loop serving simulator (single- and multi-tenant).
 
 Generalizes the paper's Sec. 5.1 closed 10,000-task batch run into the
 system a deployment actually runs: requests arrive over time (Poisson or
@@ -10,12 +10,22 @@ times come from a cost model (profiled and memoized per
 :mod:`repro.serving.costmodel`), so a simulation of millions of requests
 costs milliseconds, not GPU-hours.
 
+:func:`simulate` serves one workload; :func:`simulate_mixed` serves a
+*mix* of tenants concurrently, the way the paper's fleet runs several of
+the nine multimodal workloads on shared devices. Each
+:class:`TenantSpec` carries its own cost model, batching policy and SLO;
+tenants keep separate FIFO queues, batches never mix tenants (different
+workloads cannot share a batch), and every policy/router decision sees
+the deciding tenant's own latency curves. The report then breaks
+latency and SLO attainment down per tenant (:class:`TenantStats`).
+
 Event loop: a heap holds the next arrival, device-free times and policy
-wake-ups. At each event the simulator absorbs due arrivals into the FIFO
-queue, then repeatedly offers the queue to idle devices in router order;
-the policy either dispatches a batch (finalizing those requests' timing
-at dispatch, since compute time is deterministic) or holds and schedules
-a wake-up.
+wake-ups. At each event the simulator absorbs due arrivals into the
+per-tenant FIFO queues, then repeatedly offers work to idle devices —
+tenants in oldest-head-of-queue-first order, slots in router order; a
+policy either dispatches a batch (finalizing those requests' timing at
+dispatch, since compute time is deterministic) or holds, and when every
+tenant holds on every idle slot the earliest policy wake-up is scheduled.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -48,6 +59,22 @@ class DeviceStats:
 
 
 @dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant latency / SLO breakdown of one mixed simulation."""
+
+    tenant: str
+    n_requests: int
+    slo: float | None
+    throughput: float  # this tenant's requests / overall makespan
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    p99_latency: float
+    mean_queue_time: float
+    slo_attainment: float | None  # None when the tenant declared no SLO
+
+
+@dataclass(frozen=True)
 class ServingReport:
     """Everything one open-loop serving simulation produced."""
 
@@ -66,9 +93,15 @@ class ServingReport:
     mean_service_time: float
     device_stats: dict[str, DeviceStats]
     requests: list[Request] = field(repr=False)
+    tenant_stats: dict[str, TenantStats] = field(default_factory=dict)
 
     def slo_attainment(self, slo: float) -> float:
-        """Fraction of requests whose end-to-end latency met ``slo``."""
+        """Fraction of requests whose end-to-end latency met ``slo``.
+
+        An empty simulation misses nothing: attainment is vacuously 1.
+        """
+        if not self.requests:
+            return 1.0
         met = sum(1 for r in self.requests if r.latency <= slo)
         return met / len(self.requests)
 
@@ -84,15 +117,53 @@ class ServingReport:
         return busy / (n * self.makespan) if self.makespan > 0 else 0.0
 
 
+@dataclass
+class TenantSpec:
+    """One tenant (workload) of a mixed simulation.
+
+    ``cost`` is the tenant's own cost model (a bare ``batch_time(k)``
+    callable is wrapped automatically), ``policy`` its batching policy and
+    ``slo`` its end-to-end latency target (drives the report's per-tenant
+    attainment column). ``weight`` is the tenant's share of the traffic
+    mix — consumed by the scenario generators in
+    :mod:`repro.serving.scenarios`, not by the event loop.
+    """
+
+    name: str
+    cost: object
+    policy: BatchingPolicy
+    slo: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if callable(self.cost) and not hasattr(self.cost, "latency"):
+            self.cost = CallableCostModel(self.cost)
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+        if self.slo is not None and self.slo <= 0:
+            raise ValueError(f"tenant slo must be positive, got {self.slo}")
+
+
 class _SlotCost:
-    """Maps unique slot labels to device names before cost lookups."""
+    """Maps unique slot labels to device names before cost lookups.
+
+    ``underlying`` exposes the wrapped cost model: the wrapper itself is
+    rebuilt every simulation, so anything memoizing per cost model (e.g.
+    :class:`~repro.serving.policies.AdaptiveSLOPolicy`'s drain batch) must
+    key on the underlying model, via :meth:`device_name` for the device
+    part so memos survive runs with different slot labellings.
+    """
 
     def __init__(self, cost, slot_device: dict[str, str]):
-        self._cost = cost
+        self.underlying = cost
         self._slot_device = slot_device
 
     def latency(self, slot: str, batch_size: int) -> float:
-        return self._cost.latency(self._slot_device.get(slot, slot), batch_size)
+        return self.underlying.latency(self._slot_device.get(slot, slot), batch_size)
+
+    def device_name(self, slot: str) -> str:
+        """Device model name behind a slot label (identity for plain names)."""
+        return self._slot_device.get(slot, slot)
 
 
 class _Slot:
@@ -109,6 +180,260 @@ class _Slot:
         self.batches = 0
         self.requests = 0
         self.histogram: dict[int, int] = {}
+
+
+class _Tenant:
+    """Run-time state of one tenant: its FIFO queue and slot-aware cost."""
+
+    __slots__ = ("name", "policy", "queue", "slot_cost")
+
+    def __init__(self, name: str, policy: BatchingPolicy, slot_cost: _SlotCost):
+        self.name = name
+        self.policy = policy
+        self.queue: deque[Request] = deque()
+        self.slot_cost = slot_cost
+
+
+def _make_slots(devices: tuple[str, ...]) -> tuple[list[_Slot], dict[str, _Slot], dict[str, str]]:
+    """Expand device names into labelled slots (``name#i`` for repeats)."""
+    totals: dict[str, int] = {}
+    for name in devices:
+        totals[name] = totals.get(name, 0) + 1
+    counts: dict[str, int] = {}
+    slots: list[_Slot] = []
+    for name in devices:
+        n_seen = counts.get(name, 0)
+        label = name if totals[name] == 1 else f"{name}#{n_seen}"
+        counts[name] = n_seen + 1
+        slots.append(_Slot(label, name))
+    by_label = {s.label: s for s in slots}
+    slot_device = {s.label: s.device for s in slots}
+    return slots, by_label, slot_device
+
+
+def _run_event_loop(
+    requests: list[Request],
+    tenants: dict[str, _Tenant],
+    slots: list[_Slot],
+    by_label: dict[str, _Slot],
+    router: Router,
+) -> float:
+    """Drive the heap until every request is dispatched; returns makespan."""
+    n_requests = len(requests)
+    heap: list[tuple[float, int, str]] = []
+    tick = itertools.count()  # tie-break so heap never compares strings
+    next_arrival = 0
+    scheduled_arrival = -1  # highest arrival index with an event in the heap
+    pending_wakeup: float | None = None  # earliest wakeup event in the heap
+
+    def push(time: float, tag: str) -> None:
+        heapq.heappush(heap, (time, next(tick), tag))
+
+    push(requests[0].arrival, "arrival")
+    scheduled_arrival = 0
+    dispatched = 0
+    makespan = 0.0
+
+    while dispatched < n_requests:
+        now, _, tag = heapq.heappop(heap)
+        if tag == "wakeup" and pending_wakeup is not None and now >= pending_wakeup:
+            pending_wakeup = None
+
+        # Absorb every arrival due by `now`; schedule the next one exactly once.
+        while next_arrival < n_requests and requests[next_arrival].arrival <= now:
+            req = requests[next_arrival]
+            tenants[req.tenant].queue.append(req)
+            next_arrival += 1
+        if next_arrival < n_requests and scheduled_arrival < next_arrival:
+            push(requests[next_arrival].arrival, "arrival")
+            scheduled_arrival = next_arrival
+
+        # Offer queued work to idle devices until every policy holds or
+        # work/devices run out.
+        while True:
+            active = [t for t in tenants.values() if t.queue]
+            if not active:
+                break
+            idle = [s.label for s in slots if s.free_at <= now]
+            if not idle:
+                break
+            if len(active) > 1:
+                # FIFO across tenants: offer the oldest waiting head first.
+                active.sort(key=lambda t: t.queue[0].arrival)
+            # A hold is per-(tenant, device): offer every tenant's queue to
+            # every idle slot (ranked per tenant — placement sees *that*
+            # tenant's latency curves) before giving up on this instant.
+            tenant = None
+            slot = None
+            size = None
+            for tenant in active:
+                queue = tenant.queue
+                # Ranking a single idle slot is a no-op; skipping it also
+                # keeps legacy callable cost models (defined only up to
+                # their batch cap) away from the router's larger probes.
+                ranked = (idle if len(idle) == 1
+                          else router.rank(idle, len(queue), tenant.slot_cost))
+                oldest_wait = now - queue[0].arrival
+                for label in ranked:
+                    size = tenant.policy.decide(now, len(queue), oldest_wait,
+                                                label, tenant.slot_cost)
+                    if size is not None:
+                        slot = by_label[label]
+                        break
+                if size is not None:
+                    break
+            if size is None:
+                wakes = (t.policy.next_wakeup(now, t.queue[0].arrival) for t in active)
+                wake = min((w for w in wakes if w is not None and w > now),
+                           default=None)
+                if wake is not None and (pending_wakeup is None or wake < pending_wakeup):
+                    push(wake, "wakeup")
+                    pending_wakeup = wake
+                if not heap:
+                    names = ",".join(t.policy.name for t in active)
+                    raise RuntimeError(
+                        f"policy {names!r} held with no pending events")
+                break
+            queue = tenant.queue
+            size = max(1, min(size, len(queue)))
+            duration = tenant.slot_cost.latency(slot.label, size)
+            if duration <= 0:
+                raise ValueError("batch_time must return a positive duration")
+            idle_since = slot.free_at
+            finish = now + duration
+            for _ in range(size):
+                req = queue.popleft()
+                req.dispatch = now
+                req.finish = finish
+                req.device = slot.label
+                req.batch_size = size
+                req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
+            slot.free_at = finish
+            slot.busy_time += duration
+            slot.batches += 1
+            slot.requests += size
+            slot.histogram[size] = slot.histogram.get(size, 0) + 1
+            router.note_dispatch(slot.label)
+            dispatched += size
+            makespan = max(makespan, finish)
+            push(finish, "free")
+    return makespan
+
+
+def _column(requests: list[Request], attr: str) -> np.ndarray:
+    return np.fromiter((getattr(r, attr) for r in requests),
+                       dtype=np.float64, count=len(requests))
+
+
+def _tenant_breakdown(
+    requests: list[Request],
+    latencies: np.ndarray,
+    queue_times: np.ndarray,
+    makespan: float,
+    tenants: Sequence[TenantSpec],
+) -> dict[str, TenantStats]:
+    """Per-tenant latency / SLO stats over the finished request stream."""
+    index = {spec.name: i for i, spec in enumerate(tenants)}
+    codes = np.fromiter((index[r.tenant] for r in requests),
+                        dtype=np.int64, count=len(requests))
+    out: dict[str, TenantStats] = {}
+    for i, spec in enumerate(tenants):
+        mask = codes == i
+        n = int(mask.sum())
+        if n:
+            lat = latencies[mask]
+            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            mean_lat = float(lat.mean())
+            mean_queue = float(queue_times[mask].mean())
+            attainment = (float((lat <= spec.slo).mean())
+                          if spec.slo is not None else None)
+        else:
+            p50 = p95 = p99 = mean_lat = mean_queue = 0.0
+            attainment = 1.0 if spec.slo is not None else None
+        out[spec.name] = TenantStats(
+            tenant=spec.name,
+            n_requests=n,
+            slo=spec.slo,
+            throughput=n / makespan if makespan > 0 else 0.0,
+            mean_latency=mean_lat,
+            p50_latency=float(p50),
+            p95_latency=float(p95),
+            p99_latency=float(p99),
+            mean_queue_time=mean_queue,
+            slo_attainment=attainment,
+        )
+    return out
+
+
+def _summarize(
+    requests: list[Request],
+    slots: list[_Slot],
+    makespan: float,
+    policy_name: str,
+    router_name: str,
+    arrival_rate: float | None,
+    tenants: Sequence[TenantSpec] | None = None,
+) -> ServingReport:
+    """Collapse finished requests + slot accounting into a report.
+
+    One pass over the requests builds every timing column; the latency /
+    queue / service decompositions and all three percentiles fall out of
+    array arithmetic instead of per-request property walks. Handles the
+    empty stream (``n_requests=0``) with an all-zero, well-formed report.
+    """
+    n_requests = len(requests)
+    if n_requests:
+        arrival_col = _column(requests, "arrival")
+        dispatch_col = _column(requests, "dispatch")
+        finish_col = _column(requests, "finish")
+        formation_col = _column(requests, "formation_wait")
+        latencies = finish_col - arrival_col
+        queue_times = dispatch_col - arrival_col
+        service_times = finish_col - dispatch_col
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+        mean_latency = float(latencies.mean())
+        mean_queue = float(queue_times.mean())
+        mean_formation = float(formation_col.mean())
+        mean_service = float(service_times.mean())
+    else:
+        latencies = queue_times = np.empty(0)
+        p50 = p95 = p99 = 0.0
+        mean_latency = mean_queue = mean_formation = mean_service = 0.0
+    stats = {
+        s.label: DeviceStats(
+            slot=s.label,
+            device=s.device,
+            batches=s.batches,
+            requests=s.requests,
+            busy_time=s.busy_time,
+            utilization=s.busy_time / makespan if makespan > 0 else 0.0,
+            mean_batch=s.requests / s.batches if s.batches else 0.0,
+            batch_histogram=dict(sorted(s.histogram.items())),
+        )
+        for s in slots
+    }
+    tenant_stats = (
+        _tenant_breakdown(requests, latencies, queue_times, makespan, tenants)
+        if tenants is not None else {}
+    )
+    return ServingReport(
+        policy=policy_name,
+        router=router_name,
+        n_requests=n_requests,
+        arrival_rate=arrival_rate,
+        makespan=makespan,
+        throughput=n_requests / makespan if makespan > 0 else 0.0,
+        mean_latency=mean_latency,
+        p50_latency=float(p50),
+        p95_latency=float(p95),
+        p99_latency=float(p99),
+        mean_queue_time=mean_queue,
+        mean_formation_wait=mean_formation,
+        mean_service_time=mean_service,
+        device_stats=stats,
+        requests=requests,
+        tenant_stats=tenant_stats,
+    )
 
 
 def simulate(
@@ -133,7 +458,7 @@ def simulate(
         Device model names to serve on; repeat a name for multiple
         instances (slots get ``name#i`` labels).
     n_requests:
-        Total requests to serve.
+        Total requests to serve; ``0`` returns a well-formed empty report.
     arrival_rate:
         Mean arrivals/second (Poisson); ``None`` = all at t=0 (the
         paper's closed-batch setting).
@@ -152,140 +477,74 @@ def simulate(
         arrivals = poisson_arrivals(n_requests, arrival_rate, seed=seed)
     requests = make_requests(arrivals)
 
-    totals: dict[str, int] = {}
-    for name in devices:
-        totals[name] = totals.get(name, 0) + 1
-    counts: dict[str, int] = {}
-    slots: list[_Slot] = []
-    for name in devices:
-        n_seen = counts.get(name, 0)
-        label = name if totals[name] == 1 else f"{name}#{n_seen}"
-        counts[name] = n_seen + 1
-        slots.append(_Slot(label, name))
-    by_label = {s.label: s for s in slots}
-    slot_cost = _SlotCost(cost, {s.label: s.device for s in slots})
-
-    queue: deque[Request] = deque()
-    heap: list[tuple[float, int, str]] = []
-    tick = itertools.count()  # tie-break so heap never compares strings
-    next_arrival = 0
-    scheduled_arrival = -1  # highest arrival index with an event in the heap
-    pending_wakeup: float | None = None  # earliest wakeup event in the heap
-
-    def push(time: float, tag: str) -> None:
-        heapq.heappush(heap, (time, next(tick), tag))
-
-    push(requests[0].arrival, "arrival")
-    scheduled_arrival = 0
-    dispatched = 0
-    makespan = 0.0
-
-    while dispatched < n_requests:
-        now, _, tag = heapq.heappop(heap)
-        if tag == "wakeup" and pending_wakeup is not None and now >= pending_wakeup:
-            pending_wakeup = None
-
-        # Absorb every arrival due by `now`; schedule the next one exactly once.
-        while next_arrival < n_requests and requests[next_arrival].arrival <= now:
-            queue.append(requests[next_arrival])
-            next_arrival += 1
-        if next_arrival < n_requests and scheduled_arrival < next_arrival:
-            push(requests[next_arrival].arrival, "arrival")
-            scheduled_arrival = next_arrival
-
-        # Offer the queue to idle devices until the policy holds or work runs out.
-        while queue:
-            idle = [s.label for s in slots if s.free_at <= now]
-            if not idle:
-                break
-            # Ranking a single idle slot is a no-op; skipping it also keeps
-            # legacy callable cost models (defined only up to their batch
-            # cap) away from the router's larger probe batch sizes.
-            ranked = idle if len(idle) == 1 else router.rank(idle, len(queue), slot_cost)
-            oldest_wait = now - queue[0].arrival
-            # A hold is per-device (e.g. adaptive holding on a too-slow
-            # slot): offer the queue to every idle slot before giving up.
-            slot = None
-            size = None
-            for label in ranked:
-                size = policy.decide(now, len(queue), oldest_wait, label, slot_cost)
-                if size is not None:
-                    slot = by_label[label]
-                    break
-            if size is None:
-                wake = policy.next_wakeup(now, queue[0].arrival)
-                if (wake is not None and wake > now
-                        and (pending_wakeup is None or wake < pending_wakeup)):
-                    push(wake, "wakeup")
-                    pending_wakeup = wake
-                if not heap:
-                    raise RuntimeError(
-                        f"policy {policy.name!r} held with no pending events")
-                break
-            size = max(1, min(size, len(queue)))
-            duration = slot_cost.latency(slot.label, size)
-            if duration <= 0:
-                raise ValueError("batch_time must return a positive duration")
-            idle_since = slot.free_at
-            finish = now + duration
-            for _ in range(size):
-                req = queue.popleft()
-                req.dispatch = now
-                req.finish = finish
-                req.device = slot.label
-                req.batch_size = size
-                req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
-            slot.free_at = finish
-            slot.busy_time += duration
-            slot.batches += 1
-            slot.requests += size
-            slot.histogram[size] = slot.histogram.get(size, 0) + 1
-            router.note_dispatch(slot.label)
-            dispatched += size
-            makespan = max(makespan, finish)
-            push(finish, "free")
-
-    # One pass over the requests builds every timing column; the latency /
-    # queue / service decompositions and all three percentiles fall out of
-    # array arithmetic instead of per-request property walks.
-    timing = np.empty((4, n_requests))
-    for i, r in enumerate(requests):
-        timing[0, i] = r.arrival
-        timing[1, i] = r.dispatch
-        timing[2, i] = r.finish
-        timing[3, i] = r.formation_wait
-    arrival_col, dispatch_col, finish_col, formation_col = timing
-    latencies = finish_col - arrival_col
-    queue_times = dispatch_col - arrival_col
-    service_times = finish_col - dispatch_col
-    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
-    stats = {
-        s.label: DeviceStats(
-            slot=s.label,
-            device=s.device,
-            batches=s.batches,
-            requests=s.requests,
-            busy_time=s.busy_time,
-            utilization=s.busy_time / makespan if makespan > 0 else 0.0,
-            mean_batch=s.requests / s.batches if s.batches else 0.0,
-            batch_histogram=dict(sorted(s.histogram.items())),
-        )
-        for s in slots
-    }
-    return ServingReport(
-        policy=policy.name,
-        router=router.name,
-        n_requests=n_requests,
-        arrival_rate=arrival_rate,
-        makespan=makespan,
-        throughput=n_requests / makespan if makespan > 0 else 0.0,
-        mean_latency=float(latencies.mean()),
-        p50_latency=float(p50),
-        p95_latency=float(p95),
-        p99_latency=float(p99),
-        mean_queue_time=float(queue_times.mean()),
-        mean_formation_wait=float(formation_col.mean()),
-        mean_service_time=float(service_times.mean()),
-        device_stats=stats,
-        requests=requests,
+    slots, by_label, slot_device = _make_slots(devices)
+    tenant = _Tenant("", policy, _SlotCost(cost, slot_device))
+    makespan = (
+        _run_event_loop(requests, {"": tenant}, slots, by_label, router)
+        if requests else 0.0
     )
+    return _summarize(requests, slots, makespan, policy.name, router.name,
+                      arrival_rate)
+
+
+def simulate_mixed(
+    tenants: Sequence[TenantSpec],
+    devices: tuple[str, ...] = ("2080ti",),
+    n_requests: int = 10_000,
+    arrival_rate: float | None = None,
+    scenario: str = "uniform",
+    requests: list[Request] | None = None,
+    router: Router | None = None,
+    seed: int = 0,
+) -> ServingReport:
+    """Serve a mix of tenants concurrently on a shared device pool.
+
+    Each tenant keeps its own FIFO queue, cost model, batching policy and
+    SLO; batches never mix tenants, and placement decisions are made
+    against the deciding tenant's latency curves. When ``requests`` is
+    not given, the traffic mix is generated by the named ``scenario``
+    (see :mod:`repro.serving.scenarios`) from the tenants' ``weight``
+    fields; pass a pre-built, tenant-tagged request list to replay a
+    custom stream (the list is copied, so the same stream can be replayed
+    across runs without one run's timings clobbering another report's).
+    The report carries per-tenant latency/SLO breakdowns in
+    ``tenant_stats``.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = [spec.name for spec in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names: {names}")
+    if not devices:
+        raise ValueError("need at least one device")
+    router = router or EarliestFinishRouter()
+
+    if requests is None:
+        from repro.serving.scenarios import scenario_requests
+
+        requests = scenario_requests(scenario, tenants, n_requests=n_requests,
+                                     arrival_rate=arrival_rate, seed=seed)
+    else:
+        unknown = {r.tenant for r in requests} - set(names)
+        if unknown:
+            raise ValueError(f"requests reference unknown tenants {sorted(unknown)}")
+        # Fresh copies (timing fields reset): the loop fills them in
+        # place, and the caller's stream must stay replayable.
+        requests = [Request(index=r.index, arrival=r.arrival, tenant=r.tenant)
+                    for r in requests]
+        arrivals = _column(requests, "arrival")
+        if arrivals.size and np.any(np.diff(arrivals) < 0):
+            requests.sort(key=lambda r: r.arrival)
+
+    slots, by_label, slot_device = _make_slots(devices)
+    states = {
+        spec.name: _Tenant(spec.name, spec.policy, _SlotCost(spec.cost, slot_device))
+        for spec in tenants
+    }
+    makespan = (
+        _run_event_loop(requests, states, slots, by_label, router)
+        if requests else 0.0
+    )
+    return _summarize(requests, slots, makespan,
+                      f"mixed({len(tenants)} tenants)", router.name,
+                      arrival_rate, tenants=tenants)

@@ -65,11 +65,17 @@ class TestValidation:
         with pytest.raises(ValueError):
             simulate_serving(affine_batch_time, 0, 10)
         with pytest.raises(ValueError):
-            simulate_serving(affine_batch_time, 4, 0)
+            simulate_serving(affine_batch_time, 4, -1)
         with pytest.raises(ValueError):
             simulate_serving(affine_batch_time, 4, 10, arrival_rate=0.0)
         with pytest.raises(ValueError, match="positive duration"):
             simulate_serving(lambda k: 0.0, 4, 10)
+
+    def test_zero_tasks_is_a_wellformed_empty_run(self):
+        result = simulate_serving(affine_batch_time, 4, 0)
+        assert result.n_tasks == 0
+        assert result.makespan == 0.0
+        assert result.throughput == 0.0
 
 
 class TestProfileIntegration:

@@ -39,3 +39,71 @@ class TestServeCommand:
         code = main(["serve", "--policy", "belady"])
         assert code == 2
         assert "unknown policy" in capsys.readouterr().err
+
+
+class TestServeMixCommand:
+    def test_mixed_run_reports_per_tenant(self, capsys):
+        code = main([
+            "serve", "--mix", "heavy-head", "--arrival-rate", "2000",
+            "--n-requests", "600", "--workloads", "avmnist,mmimdb,transfuser",
+            "--devices", "2080ti,orin,nano", "--policy", "adaptive",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mix=heavy-head" in out
+        assert "Per-tenant latency / SLO breakdown" in out
+        for tenant in ("avmnist", "mmimdb", "transfuser"):
+            assert tenant in out
+        assert "attainment" in out
+        # All three device models show up in the routing breakdown.
+        assert "orin" in out and "nano" in out
+
+    def test_mix_defaults_to_all_workloads(self, capsys):
+        code = main(["serve", "--mix", "uniform", "--arrival-rate", "3000",
+                     "--n-requests", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "9 tenants" in out
+
+    def test_unknown_mix_fails_cleanly(self, capsys):
+        code = main(["serve", "--mix", "flat"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_time_varying_mix_requires_rate(self, capsys):
+        code = main(["serve", "--mix", "bursty", "--n-requests", "100"])
+        assert code == 2
+        assert "--arrival-rate" in capsys.readouterr().err
+
+    def test_mix_runs_every_listed_policy(self, capsys):
+        code = main(["serve", "--mix", "uniform", "--arrival-rate", "2000",
+                     "--n-requests", "200", "--workloads", "avmnist",
+                     "--policy", "fixed,adaptive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy=fixed" in out and "policy=adaptive" in out
+        assert out.count("Per-tenant latency / SLO breakdown") == 2
+
+    def test_mix_rejects_duplicate_workloads_cleanly(self, capsys):
+        code = main(["serve", "--mix", "uniform", "--arrival-rate", "100",
+                     "--workloads", "avmnist,avmnist"])
+        assert code == 2
+        assert "duplicate workloads" in capsys.readouterr().err
+
+    def test_workloads_flag_requires_mix(self, capsys):
+        code = main(["serve", "--workloads", "avmnist,mmimdb",
+                     "--arrival-rate", "100"])
+        assert code == 2
+        assert "--mix" in capsys.readouterr().err
+
+    def test_mix_rejects_explicit_workload_flag(self, capsys):
+        code = main(["serve", "--mix", "uniform", "--arrival-rate", "100",
+                     "--workload", "mmimdb"])
+        assert code == 2
+        assert "--workloads" in capsys.readouterr().err
+
+    def test_mix_rejects_bad_slo_cleanly(self, capsys):
+        code = main(["serve", "--mix", "uniform", "--arrival-rate", "100",
+                     "--policy", "fixed", "--slo", "-1"])
+        assert code == 2
+        assert "--slo must be positive" in capsys.readouterr().err

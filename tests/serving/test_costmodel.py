@@ -90,6 +90,35 @@ class TestCurve:
         far = cost.latency("2080ti", 2048)
         assert inside < beyond < far  # affine growth, not np.interp clamping
 
+    def test_extrapolates_below_first_anchor(self):
+        # Non-default anchors starting above 1: small batches must ride the
+        # first segment's slope down, not flat-clamp at the k=8 price.
+        cost = ProfiledCostModel("avmnist", anchors=(8, 32, 128))
+        t8 = cost.latency("2080ti", 8)
+        t32 = cost.latency("2080ti", 32)
+        slope = (t32 - t8) / (32 - 8)
+        for k in (1, 2, 4, 7):
+            priced = cost.latency("2080ti", k)
+            assert priced < t8  # the old code returned t8 for all of these
+            assert priced == pytest.approx(t8 - slope * (8 - k))
+            assert priced > 0
+
+    def test_below_anchor_extrapolation_floors_positive(self):
+        import numpy as np
+
+        from repro.serving.costmodel import _interp_affine
+
+        # Superlinear anchor pair: the affine extrapolation would cross
+        # zero at small k; the floor keeps pricing proportional instead.
+        anchors = np.array([8.0, 32.0])
+        times = np.array([1.0, 10.0])  # slope 0.375 -> affine at k=1: -1.625
+        priced = _interp_affine(1, anchors, times)
+        assert priced == pytest.approx(1.0 * 1 / 8)
+        # The normal (positive-intercept) case is untouched by the floor.
+        gentle = np.array([1.0, 1.24])  # slope 0.01/k
+        assert _interp_affine(4, anchors, gentle) == pytest.approx(
+            1.0 - (0.24 / 24) * 4)
+
     def test_edge_slower_than_server(self, cost):
         assert cost.latency("nano", 32) > cost.latency("2080ti", 32)
 

@@ -1,15 +1,21 @@
 """Dynamic batching policies: decision rules and SLO adaptation."""
 
+import math
+
 import pytest
 
 from repro.serving import (
     AdaptiveSLOPolicy,
     CallableCostModel,
     FixedBatchPolicy,
+    PROFILE_STATS,
+    ProfiledCostModel,
     TimeoutBatchPolicy,
     make_policy,
     simulate,
 )
+from repro.serving.policies import _wake_after
+from repro.serving.simulator import _SlotCost
 
 
 def affine(k: int) -> float:
@@ -111,6 +117,97 @@ class TestAdaptive:
             AdaptiveSLOPolicy(1.0, max_batch=0)
         with pytest.raises(ValueError):
             AdaptiveSLOPolicy(1.0, safety=1.5)
+
+
+class TestWakeAfter:
+    """The float-rounding livelock guard behind every policy wakeup."""
+
+    def test_wakeup_survives_its_own_comparison(self):
+        # Wake times must satisfy `wake - base >= delta` — the comparison
+        # `decide` makes at the wakeup — even where `base + delta` rounds
+        # down. Sweep magnitudes where the rounding actually bites.
+        bases = [0.1, 0.3, 1.0, 3.0, 1e3, 1e6, 12345.6789, 2**40 + 0.5]
+        deltas = [1e-3, 2e-3, 1e-6, 0.1, 1.0 / 3.0, 5e-9]
+        for base in bases:
+            for delta in deltas:
+                wake = _wake_after(base, delta)
+                assert wake - base >= delta, (base, delta)
+                # And it is the tightest such float: either the plain sum
+                # already satisfied the invariant, or stepping one ulp back
+                # lands on an iterate that failed it.
+                assert (wake == base + delta
+                        or math.nextafter(wake, -math.inf) - base < delta)
+
+    def test_plain_sum_would_livelock(self):
+        # A concrete pair where naive `base + delta` fails the comparison,
+        # demonstrating why the guard exists.
+        base, delta = 1.0, 1e-3
+        assert (base + delta) - base < delta
+        assert _wake_after(base, delta) - base >= delta
+
+    def test_timeout_policy_simulation_never_livelocks(self):
+        # Pathological (base, delta) pairs occur naturally under Poisson
+        # arrivals; the run completing at all is the livelock regression.
+        report = simulate(affine, TimeoutBatchPolicy(64, 1e-3), devices=("d",),
+                          n_requests=2_000, arrival_rate=3_000.0, seed=11)
+        assert report.n_requests == 2_000
+
+
+class TestDrainMemo:
+    """The drain-batch memo must key on the underlying cost model, not on
+    the per-run slot wrapper the simulator hands to ``decide``."""
+
+    class CountingCost:
+        def __init__(self):
+            self.calls = 0
+
+        def latency(self, device, k):
+            self.calls += 1
+            return 1e-3 + 1e-6 * k * k
+
+    def test_memo_survives_new_slot_wrappers(self):
+        cost = self.CountingCost()
+        policy = AdaptiveSLOPolicy(slo=1e-6, max_batch=512)  # always drains
+        # Two simulations build two distinct wrappers over the same model.
+        first = _SlotCost(cost, {"slot": "dev"})
+        policy.decide(0.0, 1_000, 1.0, "slot", first)
+        probes = cost.calls
+        assert probes > 2  # the ladder search ran once
+        second = _SlotCost(cost, {"slot": "dev"})
+        policy.decide(0.0, 1_000, 1.0, "slot", second)
+        # Only decide's own headroom probe (latency at k=1) runs again;
+        # the ladder search is a memo hit despite the fresh wrapper.
+        assert cost.calls == probes + 1
+
+    def test_memo_keys_on_device_not_slot_label(self):
+        cost = self.CountingCost()
+        policy = AdaptiveSLOPolicy(slo=1e-6, max_batch=512)
+        policy.decide(0.0, 1_000, 1.0, "dev#0", _SlotCost(cost, {"dev#0": "dev"}))
+        probes = cost.calls
+        # A different slot label over the same device model: still a memo
+        # hit (only the per-decide headroom probe runs).
+        policy.decide(0.0, 1_000, 1.0, "dev#3", _SlotCost(cost, {"dev#3": "dev"}))
+        assert cost.calls == probes + 1
+
+    def test_distinct_models_keep_distinct_optima(self):
+        policy = AdaptiveSLOPolicy(slo=1e-6, max_batch=512)
+        cost_a = CallableCostModel(lambda k: 1e-3 + 1e-6 * k * k)  # optimum ~32
+        cost_b = CallableCostModel(lambda k: 1e-3 + 1e-8 * k * k)  # optimum ~256
+        a = policy.decide(0.0, 10_000, 1.0, "d", _SlotCost(cost_a, {}))
+        b = policy.decide(0.0, 10_000, 1.0, "d", _SlotCost(cost_b, {}))
+        assert (a, b) == (32, 256)
+
+    def test_profiled_stats_flat_across_simulations(self):
+        # End-to-end: repeated drain-heavy simulations over one profiled
+        # model do no extra captures/pricings once the curves are warm.
+        cost = ProfiledCostModel("avmnist", anchors=(1, 8, 32))
+        policy = AdaptiveSLOPolicy(slo=1e-4, max_batch=64)
+        simulate(cost, policy, devices=("2080ti",), n_requests=200,
+                 arrival_rate=50_000.0, seed=0)
+        before = dict(PROFILE_STATS)
+        simulate(cost, policy, devices=("2080ti",), n_requests=200,
+                 arrival_rate=50_000.0, seed=1)
+        assert dict(PROFILE_STATS) == before
 
 
 class TestEndToEndSLO:

@@ -138,6 +138,72 @@ class TestRouting:
         assert report.router == "earliest-finish"
 
 
+class _PickyPolicy:
+    """Scripted policy: dispatches singles only on one device, records
+    every offer the simulator makes."""
+
+    name = "picky"
+
+    def __init__(self, accept):
+        self.accept = accept
+        self.offers = []
+
+    def decide(self, now, queue_len, oldest_wait, device, cost):
+        self.offers.append((now, device))
+        return 1 if device == self.accept else None
+
+    def next_wakeup(self, now, oldest_arrival):
+        return None
+
+
+class TestRouterPolicyPaths:
+    """The per-device hold loop and router rotation under changing idle
+    sets — the interaction paths between `simulate`, policies and routers."""
+
+    def test_round_robin_rotation_under_changing_idle_sets(self):
+        router = RoundRobinRouter()
+        cost = CallableCostModel(affine)
+        assert router.rank(["a", "b", "c"], 1, cost) == ["a", "b", "c"]
+        router.note_dispatch("a")
+        # Idle set shrank between dispatches: pivot 1 over sorted(["b","c"]).
+        assert router.rank(["b", "c"], 1, cost) == ["c", "b"]
+        router.note_dispatch("c")
+        # All three idle again: pivot 2.
+        assert router.rank(["a", "b", "c"], 1, cost) == ["c", "a", "b"]
+        router.note_dispatch("b")
+        # pivot 3 % 2 == 1 over sorted(["a","c"]).
+        assert router.rank(["a", "c"], 1, cost) == ["c", "a"]
+        # Offers with no dispatch never advance the rotation.
+        assert router.rank(["a", "c"], 1, cost) == ["c", "a"]
+
+    def test_hold_loop_offers_every_idle_slot_in_rank_order(self):
+        # The policy holds on "a" (ranked first: label tie-break) and
+        # accepts only "b": every batch must land on "b", and each "b"
+        # offer must have been preceded by a spurned "a" offer at the
+        # same instant — the per-device hold loop at work.
+        policy = _PickyPolicy("b")
+        report = simulate(affine, policy, devices=("a", "b"), n_requests=3)
+        assert report.device_stats["b"].requests == 3
+        assert report.device_stats["a"].requests == 0
+        b_offers = [i for i, (_, dev) in enumerate(policy.offers) if dev == "b"]
+        for i in b_offers:
+            assert policy.offers[i - 1][1] == "a"
+            assert policy.offers[i - 1][0] == policy.offers[i][0]
+
+    def test_hold_everywhere_with_no_events_raises(self):
+        class AlwaysHold:
+            name = "never"
+
+            def decide(self, now, queue_len, oldest_wait, device, cost):
+                return None
+
+            def next_wakeup(self, now, oldest_arrival):
+                return None
+
+        with pytest.raises(RuntimeError, match="held with no pending events"):
+            simulate(affine, AlwaysHold(), devices=("d",), n_requests=4)
+
+
 class TestDeterminism:
     def test_same_seed_same_report(self):
         a = simulate(affine, FixedBatchPolicy(8), devices=("d", "d"),
@@ -160,10 +226,39 @@ class TestValidation:
         with pytest.raises(ValueError):
             simulate(affine, FixedBatchPolicy(4), devices=(), n_requests=10)
         with pytest.raises(ValueError):
-            simulate(affine, FixedBatchPolicy(4), devices=("d",), n_requests=0)
+            simulate(affine, FixedBatchPolicy(4), devices=("d",), n_requests=-1)
         with pytest.raises(ValueError):
             simulate(affine, FixedBatchPolicy(4), devices=("d",), n_requests=10,
                      arrival_rate=-1.0)
         with pytest.raises(ValueError, match="positive duration"):
             simulate(lambda k: 0.0, FixedBatchPolicy(4), devices=("d",),
                      n_requests=10)
+
+
+class TestEmptySimulation:
+    """n_requests=0 returns a well-formed empty report (the old code
+    crashed before ever building one)."""
+
+    @pytest.mark.parametrize("arrival_rate", [None, 100.0])
+    def test_empty_report_wellformed(self, arrival_rate):
+        report = simulate(affine, FixedBatchPolicy(4), devices=("d0", "d1"),
+                          n_requests=0, arrival_rate=arrival_rate)
+        assert report.n_requests == 0
+        assert report.requests == []
+        assert report.makespan == 0.0
+        assert report.throughput == 0.0
+        assert report.mean_latency == 0.0
+        assert report.p99_latency == 0.0
+        assert set(report.device_stats) == {"d0", "d1"}
+        for stats in report.device_stats.values():
+            assert stats.batches == 0 and stats.requests == 0
+            assert stats.utilization == 0.0 and stats.mean_batch == 0.0
+        assert report.batch_sizes_used() == {"d0": [], "d1": []}
+        assert report.total_utilization == 0.0
+
+    def test_empty_slo_attainment_is_vacuous(self):
+        report = simulate(affine, FixedBatchPolicy(4), devices=("d",),
+                          n_requests=0)
+        # No request missed the SLO, so attainment is vacuously 1 (and no
+        # ZeroDivisionError).
+        assert report.slo_attainment(1e-6) == 1.0
