@@ -21,3 +21,12 @@ for mix in uniform heavy-head diurnal bursty; do
         --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
         --policy adaptive
 done
+
+# Fine-tuning mix: background training jobs hold stream shares of every
+# device while the inference traffic keeps being served.
+"${run[@]}" serve --mix finetune --arrival-rate 2000 --n-requests 2000 \
+    --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
+    --finetune-share 0.25 --policy adaptive
+
+# Traced-training breakdown: per-pass/per-stage table + cross-check.
+"${run[@]}" train-analyze --workload avmnist --batch-size 8 --cross-check

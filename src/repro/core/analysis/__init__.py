@@ -38,6 +38,13 @@ from repro.core.analysis.performance import (
 from repro.core.analysis.robustness import RobustnessReport, robustness_analysis
 from repro.core.analysis.serving import best_batch_for_slo, policy_study, serving_sweep
 from repro.core.analysis.stage import stage_resource_analysis, stage_time_analysis
+from repro.core.analysis.training import (
+    TrainingCrossCheck,
+    TrainingStepBreakdown,
+    traced_vs_synthetic,
+    training_batch_sweep,
+    training_step_analysis,
+)
 from repro.core.analysis.synchronization import (
     SyncShare,
     modality_time_analysis,
@@ -58,4 +65,6 @@ __all__ = [
     "PerformanceRow", "best_by_kind", "fusion_spread", "performance_analysis",
     "stage_resource_analysis", "stage_time_analysis",
     "SyncShare", "modality_time_analysis", "sync_share_analysis",
+    "TrainingCrossCheck", "TrainingStepBreakdown", "traced_vs_synthetic",
+    "training_batch_sweep", "training_step_analysis",
 ]

@@ -69,7 +69,7 @@ def batch_size_study(
     store: TraceStore | None = None,
 ) -> list[BatchSizeResult]:
     """Figure 12: kernel population and time vs batch size, uni vs multi."""
-    store = store or default_store()
+    store = store if store is not None else default_store()
     results: list[BatchSizeResult] = []
     for variant, is_multi in VARIANTS:
         cells = _variant_grid(store, workload, variant, is_multi,
@@ -99,7 +99,7 @@ def peak_memory_study(
     store: TraceStore | None = None,
 ) -> dict[str, dict[int, MemoryBreakdown]]:
     """Figure 13: peak memory decomposition vs batch size, uni vs multi."""
-    store = store or default_store()
+    store = store if store is not None else default_store()
     out: dict[str, dict[int, MemoryBreakdown]] = {}
     for variant, is_multi in VARIANTS:
         cells = _variant_grid(store, workload, variant, is_multi,

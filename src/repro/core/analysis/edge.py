@@ -72,7 +72,7 @@ def edge_latency_study(
     store: TraceStore | None = None,
 ) -> list[EdgeLatency]:
     """Figure 14: inference time vs batch size per device, uni vs slfs."""
-    store = store or default_store()
+    store = store if store is not None else default_store()
     results: list[EdgeLatency] = []
     for variant_name, fusion, unimodal in _VARIANTS:
         # Model/dataset bytes scale together with the traced work; each
@@ -131,7 +131,7 @@ def edge_stall_study(
     image-only, ``slfs`` = the multi-modal variant, plus slfs's per-stage
     breakdowns (encoder / fusion / head).
     """
-    store = store or default_store()
+    store = store if store is not None else default_store()
     configs = {
         "uni0": (None, "audio"),
         "uni1": (None, "image"),
@@ -166,7 +166,7 @@ def edge_resource_study(
     store: TraceStore | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 15c: per-stage resource usage of slfs on the Jetson Nano."""
-    store = store or default_store()
+    store = store if store is not None else default_store()
     grid = price_grid([workload], [batch_size], [device], fusion="slfs",
                       seed=seed, backend=backend, scale=scale, store=store)
     return grid[(workload, batch_size, device)].report.stage_counters()

@@ -189,6 +189,7 @@ def _cmd_serve_mix(args) -> int:
     """The ``mmbench serve --mix`` path: a multi-tenant workload mix."""
     from repro.serving import (
         get_scenario,
+        make_finetune_jobs,
         make_policy,
         make_router,
         make_tenants,
@@ -233,11 +234,29 @@ def _cmd_serve_mix(args) -> int:
             raise ValueError(f"--slo must be positive, got {args.slo}")
         if args.seed < 0:
             raise ValueError(f"--seed must be non-negative, got {args.seed}")
+        if not 0.0 < args.finetune_share < 1.0:
+            raise ValueError(f"--finetune-share must be in (0, 1), got "
+                             f"{args.finetune_share}")
+        finetune_workloads = ()
+        if args.mix == "finetune" or args.finetune_workloads is not None:
+            # Background training jobs: the named workloads (default: the
+            # first tenant) fine-tune behind the inference traffic.
+            finetune_workloads = tuple(
+                (args.finetune_workloads or workloads[0]).split(","))
+            if len(set(finetune_workloads)) != len(finetune_workloads):
+                raise ValueError(f"duplicate workloads in --finetune-workloads: "
+                                 f"{','.join(finetune_workloads)}")
+            for workload in finetune_workloads:
+                get_workload(workload)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
 
     _configure_store(args)
+    finetune = make_finetune_jobs(
+        finetune_workloads, share=args.finetune_share,
+        seed=args.seed, backend=args.backend or "meta",
+    ) if finetune_workloads else None
     # Like the single-workload path, run every listed policy against the
     # identical scenario stream (same seed) and report each; a fresh
     # router and fresh per-tenant policy instances per run.
@@ -248,12 +267,106 @@ def _cmd_serve_mix(args) -> int:
         report = simulate_mixed(
             tenants, devices=devices, n_requests=args.n_requests,
             arrival_rate=args.arrival_rate, scenario=args.mix,
-            router=make_router(args.router), seed=args.seed,
+            router=make_router(args.router), finetune=finetune, seed=args.seed,
         )
         print(f"mix={args.mix} policy={name} "
               f"workloads={','.join(workloads)} devices={','.join(devices)}")
         print(mixed_serving_summary(report))
         print()
+    _print_store_stats()
+    return 0
+
+
+def _cmd_train_analyze(args) -> int:
+    """Per-pass / per-stage breakdown of traced training steps."""
+    try:
+        from repro.hw.device import get_device
+        from repro.nn.optim import OPTIMIZERS
+
+        if args.optimizer not in OPTIMIZERS:
+            raise KeyError(f"unknown optimizer {args.optimizer!r}; "
+                           f"available: {sorted(OPTIMIZERS)}")
+        workloads = (args.workloads.split(",") if args.workloads
+                     else [args.workload])
+        for workload in workloads:
+            args.workload = workload
+            _validate_common(args)
+        if args.sweep is not None and len(workloads) != 1:
+            raise ValueError("--sweep takes exactly one workload")
+        sweep_batches = None
+        if args.sweep is not None:
+            try:
+                sweep_batches = tuple(int(b) for b in args.sweep.split(","))
+            except ValueError:
+                raise ValueError(f"--sweep must be comma-separated ints, "
+                                 f"got {args.sweep!r}") from None
+            if any(b <= 0 for b in sweep_batches):
+                raise ValueError(f"--sweep batch sizes must be positive, "
+                                 f"got {args.sweep!r}")
+            for device in args.devices.split(","):
+                get_device(device)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    _configure_store(args)
+    from repro.core.analysis.training import (
+        traced_vs_synthetic,
+        training_batch_sweep,
+        training_step_analysis,
+    )
+
+    if sweep_batches is not None:
+        devices = tuple(args.devices.split(","))
+        grid = training_batch_sweep(
+            workloads[0], batches=sweep_batches, devices=devices,
+            optimizer=args.optimizer, seed=args.seed, backend=args.backend)
+        rows = [[b, dev, f"{cell.total_time * 1e3:.3f} ms",
+                 f"{cell.samples_per_second:,.0f}/s",
+                 f"{cell.pass_share().get('backward', 0.0):.0%}",
+                 f"{cell.memory_pressure:.2f}"]
+                for (b, dev), cell in grid.items()]
+        print(format_table(
+            ["batch", "device", "step time", "samples", "bwd share", "mem pressure"],
+            rows, title=f"Training batch-size sweep: {workloads[0]} ({args.optimizer})"))
+        _print_store_stats()
+        return 0
+
+    data = training_step_analysis(
+        workloads=workloads, device=args.device, batch_size=args.batch_size,
+        optimizer=args.optimizer, seed=args.seed, backend=args.backend)
+    rows = []
+    for workload, b in data.items():
+        share = b.pass_share()
+        rows.append([
+            workload, f"{b.total_time * 1e3:.3f} ms",
+            f"{share.get('forward', 0.0):.0%}", f"{share.get('loss', 0.0):.0%}",
+            f"{share.get('backward', 0.0):.0%}",
+            f"{share.get('optimizer', 0.0):.0%}", f"{b.flops_ratio:.2f}x",
+        ])
+    print(format_table(
+        ["workload", "step time", "fwd", "loss", "bwd", "opt", "flops vs fwd"],
+        rows, title=f"Traced training step ({args.optimizer}, "
+                    f"batch {args.batch_size}, {args.device})"))
+    for workload, b in data.items():
+        stages = b.pass_stage_time
+        stage_rows = [[pass_name] +
+                      [f"{stages[pass_name].get(s, 0.0) * 1e3:.3f} ms"
+                       for s in ("encoder", "fusion", "head", "optimizer")]
+                      for pass_name in stages]
+        print(format_table(
+            ["pass", "encoder", "fusion", "head", "optimizer"], stage_rows,
+            title=f"{workload}: per-stage time by pass"))
+    if args.cross_check:
+        rows = []
+        for workload in workloads:
+            check = traced_vs_synthetic(
+                workload, batch_size=args.batch_size, optimizer=args.optimizer,
+                seed=args.seed, backend=args.backend)
+            rows.append([workload, f"{check.traced_ratio:.2f}x",
+                         f"{check.synthetic_ratio:.2f}x", f"{check.agreement:.2f}"])
+        print(format_table(
+            ["workload", "traced ratio", "synthetic ratio", "traced/synthetic"],
+            rows, title="Traced vs synthetic (2x-heuristic) cross-check"))
     _print_store_stats()
     return 0
 
@@ -350,9 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fusion", default=None)
     serve.add_argument("--mix", default=None, metavar="SCENARIO",
                        help="serve a multi-tenant workload mix instead of one "
-                            "workload: uniform, heavy-head, diurnal, bursty")
+                            "workload: uniform, heavy-head, diurnal, bursty, "
+                            "finetune")
     serve.add_argument("--workloads", default=None, metavar="W1,W2,...",
                        help="tenants of the --mix run (default: all nine)")
+    serve.add_argument("--finetune-workloads", default=None, metavar="W1,W2,...",
+                       help="background fine-tuning jobs sharing the devices "
+                            "(default for --mix finetune: the first tenant)")
+    serve.add_argument("--finetune-share", type=float, default=0.25,
+                       help="aggregate device share the fine-tuning jobs hold")
     serve.add_argument("--arrival-rate", type=float, default=None, metavar="REQ_PER_S",
                        help="Poisson arrival rate (default: closed batch, all at t=0)")
     serve.add_argument("--n-requests", type=int, default=5_000)
@@ -380,6 +499,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--device", default="2080ti")
     _add_trace_options(analyze)
     analyze.set_defaults(fn=_cmd_analyze)
+
+    train = sub.add_parser(
+        "train-analyze",
+        help="per-pass/per-stage breakdown of traced training steps")
+    train.add_argument("--workload", default="avmnist", choices=list_workloads())
+    train.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                       help="analyze several workloads (overrides --workload; "
+                            "'all' via comma list)")
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--device", default="2080ti")
+    train.add_argument("--optimizer", default="adam",
+                       help="sgd, sgd_momentum, adam, adamw")
+    train.add_argument("--sweep", default=None, metavar="B1,B2,...",
+                       help="batch-size sweep (one-pass run_sweep pricing "
+                            "across --devices)")
+    train.add_argument("--devices", default="2080ti",
+                       help="comma-separated devices for --sweep")
+    train.add_argument("--cross-check", action="store_true",
+                       help="also report the traced-vs-synthetic (2x "
+                            "heuristic) differential")
+    train.add_argument("--seed", type=int, default=0)
+    _add_trace_options(train)
+    train.set_defaults(fn=_cmd_train_analyze)
     return parser
 
 

@@ -111,6 +111,26 @@ class BenchmarkSuite:
         optimizer.step()
         return loss.item()
 
+    def training_breakdown(self, config: RunConfig, optimizer: str = "adam"):
+        """Priced per-pass/per-stage breakdown of one traced training step.
+
+        Backs ``mmbench train-analyze``: the store-cached traced step
+        (forward + loss + backward + optimizer kernels) priced on the
+        vectorized engine for ``config.device``.
+        """
+        from repro.core.analysis.training import training_step_analysis
+
+        return training_step_analysis(
+            workloads=[config.workload],
+            device=config.device or self.device,
+            batch_size=config.batch_size,
+            optimizer=optimizer,
+            fusion=config.fusion,
+            unimodal=config.unimodal,
+            seed=config.seed,
+            backend=config.backend,
+        )[config.workload]
+
     def train(self, config: RunConfig, n_train: int = 384, n_test: int = 256,
               epochs: int = 6):
         """Full training on a latent-factor dataset; returns a TrainResult."""

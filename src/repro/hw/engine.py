@@ -65,6 +65,7 @@ from repro.trace.columns import (
     CATEGORY_ORDER,
     HOST_KIND_CODES,
     NO_MODALITY,
+    PASS_ORDER,
     TraceColumns,
 )
 from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
@@ -319,6 +320,63 @@ class ExecutionReport:
             for i in range(n_cats)
             if counts[i]
         }
+
+    # -- per-pass aggregations (traced training steps) ---------------------------
+
+    def pass_time(self) -> dict[str, float]:
+        """Device time per pass (forward/loss/backward/optimizer),
+        including per-kernel launch overhead. Inference traces report a
+        single ``forward`` entry."""
+        cols = self.columns
+        n_passes = len(PASS_ORDER)
+        counts = np.bincount(cols.pass_codes, minlength=n_passes)
+        sums = np.bincount(cols.pass_codes, weights=self.durations, minlength=n_passes)
+        overhead = self.device.kernel_launch_overhead * self.slowdown
+        return {
+            PASS_ORDER[code]: float(sums[code] + counts[code] * overhead)
+            for code in range(n_passes)
+            if counts[code]
+        }
+
+    def pass_stage_time(self) -> dict[str, dict[str, float]]:
+        """Device time per (pass, stage) — the training-step breakdown
+        grid: ``out["backward"]["encoder"]`` is the encoder's share of the
+        backward pass."""
+        cols = self.columns
+        n_stages = len(cols.stage_table)
+        combined = cols.pass_codes * n_stages + cols.stage_codes
+        minlength = len(PASS_ORDER) * n_stages
+        counts = np.bincount(combined, minlength=minlength)
+        sums = np.bincount(combined, weights=self.durations, minlength=minlength)
+        overhead = self.device.kernel_launch_overhead * self.slowdown
+        out: dict[str, dict[str, float]] = {}
+        for code in np.nonzero(counts)[0]:
+            pass_name = PASS_ORDER[int(code) // n_stages]
+            stage = cols.stage_table[int(code) % n_stages]
+            out.setdefault(pass_name, {})[stage] = float(
+                sums[code] + counts[code] * overhead)
+        return out
+
+    def pass_modality_time(self) -> dict[str, dict[str, float]]:
+        """Device time per (modality, pass) over modality-attributed
+        kernels — how each encoder's forward/backward shares compare."""
+        cols = self.columns
+        mask = cols.modality_codes != NO_MODALITY
+        if not mask.any():
+            return {}
+        n_mods = len(cols.modality_table)
+        combined = cols.modality_codes[mask] * len(PASS_ORDER) + cols.pass_codes[mask]
+        minlength = n_mods * len(PASS_ORDER)
+        counts = np.bincount(combined, minlength=minlength)
+        sums = np.bincount(combined, weights=self.durations[mask], minlength=minlength)
+        overhead = self.device.kernel_launch_overhead * self.slowdown
+        out: dict[str, dict[str, float]] = {}
+        for code in np.nonzero(counts)[0]:
+            modality = cols.modality_table[int(code) // len(PASS_ORDER)]
+            pass_name = PASS_ORDER[int(code) % len(PASS_ORDER)]
+            out.setdefault(modality, {})[pass_name] = float(
+                sums[code] + counts[code] * overhead)
+        return out
 
     # -- per-modality aggregations (Figure 10) ----------------------------------
 

@@ -12,6 +12,14 @@ Every op does three things:
 
 The kernel emission is a no-op unless a tracer is active, so training runs
 pay only a branch per op.
+
+Backward closures are traced execution paths too: each op snapshots its
+(stage, modality) context at graph-build time and its closure emits
+``pass_="backward"`` kernels carrying that context before computing the
+gradients. All backward work descriptors are shape-derived, so the meta
+backend (shape-only gradients, no numeric work) emits an event stream
+identical to eager backward — the forward-path differential invariant,
+extended to full training steps.
 """
 
 from __future__ import annotations
@@ -20,8 +28,8 @@ import numpy as np
 
 from repro.nn.backend import MetaArray, is_meta, meta_array, meta_like
 from repro.nn.tensor import DEFAULT_DTYPE, Tensor, as_tensor, is_grad_enabled
-from repro.trace.events import KernelCategory
-from repro.trace.tracer import emit_kernel
+from repro.trace.events import KernelCategory, PASS_BACKWARD
+from repro.trace.tracer import UNSET, active_tracer, emit_kernel
 
 _ITEMSIZE = np.dtype(DEFAULT_DTYPE).itemsize
 
@@ -60,15 +68,96 @@ def _emit(name, category, flops, inputs_bytes, out_bytes, threads, coalesced=1.0
 
 
 # ---------------------------------------------------------------------------
+# backward-pass tracing helpers
+# ---------------------------------------------------------------------------
+#
+# Every op snapshots the tracer's (stage, modality) context while the
+# forward graph is being built; its backward closure re-applies that
+# context when it emits the backward kernels, long after the forward
+# scopes have unwound. All backward work descriptors are derived from
+# shapes only, so the meta and eager backends emit identical events — the
+# same invariant the forward path already guarantees.
+
+
+def _ctx():
+    """Snapshot (stage, modality) for this op's backward emissions."""
+    tracer = active_tracer()
+    if tracer is None:
+        return None
+    return (tracer.current_stage, tracer.current_modality)
+
+
+def _emit_bwd(ctx, name, category, flops, inputs_bytes, out_bytes, threads,
+              coalesced=1.0, reuse=1.0, **meta):
+    """Emit one backward kernel carrying the forward op's context."""
+    stage, modality = ctx if ctx is not None else (None, UNSET)
+    emit_kernel(
+        name,
+        category,
+        flops=flops,
+        bytes_read=inputs_bytes,
+        bytes_written=out_bytes,
+        threads=threads,
+        coalesced_fraction=coalesced,
+        reuse_factor=reuse,
+        stage=stage,
+        modality=modality,
+        pass_=PASS_BACKWARD,
+        **meta,
+    )
+
+
+def _meta_accumulate(grad, *tensors) -> bool:
+    """Shape-only gradient propagation for the meta backend.
+
+    When ``grad`` is a :class:`MetaArray`, accumulate a meta gradient of
+    each grad-requiring tensor's own shape and report True so the caller
+    skips its numeric path. The backward *events* were already emitted
+    (shape-derived, backend-independent) before this call.
+    """
+    if not is_meta(grad):
+        return False
+    for t in tensors:
+        if t is not None and t.requires_grad:
+            t.accumulate_grad(meta_like(t.data))
+    return True
+
+
+def _unary_bwd(ctx, a, grad, name, category, flops, extra_read=0.0, coalesced=1.0):
+    """Emit a one-input backward kernel; True when the meta path handled it.
+
+    ``extra_read`` is whatever the closure reads besides the incoming
+    gradient (saved inputs/outputs), in bytes.
+    """
+    _emit_bwd(ctx, name, category, flops=flops,
+              inputs_bytes=float(a.nbytes + extra_read),
+              out_bytes=float(a.nbytes), threads=a.size, coalesced=coalesced)
+    return _meta_accumulate(grad, a)
+
+
+# ---------------------------------------------------------------------------
 # element-wise arithmetic
 # ---------------------------------------------------------------------------
 
 
-def _binary_elementwise(a: Tensor, b: Tensor, fwd, bwd_a, bwd_b, opname: str) -> Tensor:
+def _binary_elementwise(a: Tensor, b: Tensor, fwd, bwd_a, bwd_b, opname: str,
+                        bwd_flops_per_out: float = 1.0) -> Tensor:
     data = fwd(a.data, b.data)
     out_bytes = data.nbytes
+    ctx = _ctx()
 
     def backward(grad):
+        active = int(a.requires_grad) + int(b.requires_grad)
+        _emit_bwd(
+            ctx, f"{opname}_bwd", KernelCategory.ELEWISE,
+            flops=bwd_flops_per_out * data.size * active,
+            inputs_bytes=float(out_bytes + a.nbytes + b.nbytes),
+            out_bytes=float((a.nbytes if a.requires_grad else 0)
+                            + (b.nbytes if b.requires_grad else 0)),
+            threads=data.size,
+        )
+        if _meta_accumulate(grad, a, b):
+            return
         if a.requires_grad:
             a.accumulate_grad(bwd_a(grad, a.data, b.data, data))
         if b.requires_grad:
@@ -115,13 +204,17 @@ def div(a, b) -> Tensor:
         lambda g, x, y, o: g / y,
         lambda g, x, y, o: -g * x / (y * y),
         "div",
+        bwd_flops_per_out=2.0,
     )
 
 
 def neg(a: Tensor) -> Tensor:
     data = -a.data
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "neg_bwd", KernelCategory.ELEWISE, a.size):
+            return
         a.accumulate_grad(-grad)
 
     _emit("neg", KernelCategory.ELEWISE, data.size, a.nbytes, data.nbytes, data.size)
@@ -130,8 +223,12 @@ def neg(a: Tensor) -> Tensor:
 
 def pow_(a: Tensor, exponent: float) -> Tensor:
     data = a.data**exponent
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "pow_bwd", KernelCategory.ELEWISE,
+                      3 * a.size, extra_read=a.nbytes):
+            return
         a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
 
     _emit("pow", KernelCategory.ELEWISE, 2 * data.size, a.nbytes, data.nbytes, data.size)
@@ -140,8 +237,12 @@ def pow_(a: Tensor, exponent: float) -> Tensor:
 
 def exp(a: Tensor) -> Tensor:
     data = np.exp(a.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "exp_bwd", KernelCategory.ELEWISE,
+                      a.size, extra_read=data.nbytes):
+            return
         a.accumulate_grad(grad * data)
 
     _emit("exp", KernelCategory.ELEWISE, 4 * data.size, a.nbytes, data.nbytes, data.size)
@@ -150,8 +251,12 @@ def exp(a: Tensor) -> Tensor:
 
 def log(a: Tensor) -> Tensor:
     data = np.log(a.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "log_bwd", KernelCategory.ELEWISE,
+                      a.size, extra_read=a.nbytes):
+            return
         a.accumulate_grad(grad / a.data)
 
     _emit("log", KernelCategory.ELEWISE, 4 * data.size, a.nbytes, data.nbytes, data.size)
@@ -160,8 +265,12 @@ def log(a: Tensor) -> Tensor:
 
 def sqrt(a: Tensor) -> Tensor:
     data = np.sqrt(a.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "sqrt_bwd", KernelCategory.ELEWISE,
+                      2 * a.size, extra_read=data.nbytes):
+            return
         a.accumulate_grad(grad * 0.5 / np.maximum(data, 1e-12))
 
     _emit("sqrt", KernelCategory.ELEWISE, 2 * data.size, a.nbytes, data.nbytes, data.size)
@@ -175,8 +284,12 @@ def sqrt(a: Tensor) -> Tensor:
 
 def relu(a: Tensor) -> Tensor:
     data = np.maximum(a.data, 0)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "relu_bwd", KernelCategory.RELU,
+                      a.size, extra_read=a.nbytes):
+            return
         a.accumulate_grad(grad * (a.data > 0))
 
     _emit("relu", KernelCategory.RELU, data.size, a.nbytes, data.nbytes, data.size)
@@ -185,8 +298,12 @@ def relu(a: Tensor) -> Tensor:
 
 def leaky_relu(a: Tensor, slope: float = 0.01) -> Tensor:
     data = np.where(a.data > 0, a.data, slope * a.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "leaky_relu_bwd", KernelCategory.RELU,
+                      2 * a.size, extra_read=a.nbytes):
+            return
         a.accumulate_grad(grad * np.where(a.data > 0, 1.0, slope).astype(DEFAULT_DTYPE))
 
     _emit("leaky_relu", KernelCategory.RELU, 2 * data.size, a.nbytes, data.nbytes, data.size)
@@ -195,8 +312,12 @@ def leaky_relu(a: Tensor, slope: float = 0.01) -> Tensor:
 
 def sigmoid(a: Tensor) -> Tensor:
     data = 1.0 / (1.0 + np.exp(-a.data))
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "sigmoid_bwd", KernelCategory.ELEWISE,
+                      3 * a.size, extra_read=data.nbytes):
+            return
         a.accumulate_grad(grad * data * (1.0 - data))
 
     _emit("sigmoid", KernelCategory.ELEWISE, 5 * data.size, a.nbytes, data.nbytes, data.size)
@@ -205,8 +326,12 @@ def sigmoid(a: Tensor) -> Tensor:
 
 def tanh(a: Tensor) -> Tensor:
     data = np.tanh(a.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "tanh_bwd", KernelCategory.ELEWISE,
+                      3 * a.size, extra_read=data.nbytes):
+            return
         a.accumulate_grad(grad * (1.0 - data * data))
 
     _emit("tanh", KernelCategory.ELEWISE, 6 * data.size, a.nbytes, data.nbytes, data.size)
@@ -219,8 +344,12 @@ def gelu(a: Tensor) -> Tensor:
     inner = c * (a.data + 0.044715 * a.data**3)
     t = np.tanh(inner)
     data = 0.5 * a.data * (1.0 + t)
+    ctx = _ctx()
 
     def backward(grad):
+        if _unary_bwd(ctx, a, grad, "gelu_bwd", KernelCategory.ELEWISE,
+                      10 * a.size, extra_read=a.nbytes + t.nbytes):
+            return
         dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * a.data**2)
         a.accumulate_grad(grad * (0.5 * (1.0 + t) + 0.5 * a.data * dt))
 
@@ -235,8 +364,16 @@ def gelu(a: Tensor) -> Tensor:
 
 def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     data = a.data.sum(axis=axis, keepdims=keepdims)
+    ctx = _ctx()
+    out_nbytes = int(data.nbytes)
 
     def backward(grad):
+        # Broadcast of the (small) output gradient back over the input.
+        _emit_bwd(ctx, "reduce_sum_bwd", KernelCategory.ELEWISE,
+                  flops=float(a.size), inputs_bytes=float(out_nbytes),
+                  out_bytes=float(a.nbytes), threads=a.size, coalesced=0.85)
+        if _meta_accumulate(grad, a):
+            return
         g = np.asarray(grad)
         if axis is not None and not keepdims:
             g = np.expand_dims(g, axis=axis)
@@ -269,8 +406,16 @@ def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
 def max_(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
     data = a.data.max(axis=axis, keepdims=keepdims)
     arg = a.data.argmax(axis=axis)
+    ctx = _ctx()
+    out_nbytes = int(data.nbytes)
 
     def backward(grad):
+        # Scatter of the output gradient into the argmax positions.
+        _emit_bwd(ctx, "reduce_max_bwd", KernelCategory.ELEWISE,
+                  flops=float(a.size), inputs_bytes=float(out_nbytes + arg.nbytes),
+                  out_bytes=float(a.nbytes), threads=a.size, coalesced=0.85)
+        if _meta_accumulate(grad, a):
+            return
         g = np.asarray(grad)
         if not keepdims:
             g = np.expand_dims(g, axis=axis)
@@ -294,8 +439,20 @@ def softmax(a: Tensor, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
     data = e / e.sum(axis=axis, keepdims=True)
+    ctx = _ctx()
 
     def backward(grad):
+        # The Jacobian-vector product: a dot-reduce along the softmax axis
+        # plus an elementwise combine, mirroring the forward's two kernels.
+        _emit_bwd(ctx, "softmax_bwd_reduce", KernelCategory.REDUCE,
+                  flops=2.0 * a.size, inputs_bytes=float(2 * a.nbytes),
+                  out_bytes=float(a.nbytes // max(a.shape[axis], 1)),
+                  threads=a.size, coalesced=0.85)
+        _emit_bwd(ctx, "softmax_bwd_elewise", KernelCategory.ELEWISE,
+                  flops=2.0 * a.size, inputs_bytes=float(2 * a.nbytes),
+                  out_bytes=float(a.nbytes), threads=a.size)
+        if _meta_accumulate(grad, a):
+            return
         dot = (grad * data).sum(axis=axis, keepdims=True)
         a.accumulate_grad(data * (grad - dot))
 
@@ -310,8 +467,18 @@ def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     log_denominator = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     data = shifted - log_denominator
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "log_softmax_bwd_reduce", KernelCategory.REDUCE,
+                  flops=float(a.size), inputs_bytes=float(a.nbytes),
+                  out_bytes=float(a.nbytes // max(a.shape[axis], 1)),
+                  threads=a.size, coalesced=0.85)
+        _emit_bwd(ctx, "log_softmax_bwd_elewise", KernelCategory.ELEWISE,
+                  flops=3.0 * a.size, inputs_bytes=float(2 * a.nbytes),
+                  out_bytes=float(a.nbytes), threads=a.size)
+        if _meta_accumulate(grad, a):
+            return
         softmax_vals = np.exp(data)
         a.accumulate_grad(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
 
@@ -327,8 +494,29 @@ def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
 
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     data = a.data @ b.data
+    ctx = _ctx()
+
+    m = a.data.shape[-2] if a.data.ndim >= 2 else 1
+    k = a.data.shape[-1]
+    n = b.data.shape[-1] if b.data.ndim >= 2 else 1
+    batch = int(np.prod(data.shape[:-2])) if data.ndim > 2 else 1
+    gemm_flops = 2.0 * batch * m * k * n
 
     def backward(grad):
+        # dA = dOut @ B^T and dB = A^T @ dOut: each a GEMM with the same
+        # FLOP volume as the forward product.
+        if a.requires_grad:
+            _emit_bwd(ctx, "gemm_bwd_da", KernelCategory.GEMM,
+                      flops=gemm_flops, inputs_bytes=float(data.nbytes + b.nbytes),
+                      out_bytes=float(a.nbytes), threads=max(int(a.size), 1),
+                      reuse=min(float(n), 64.0))
+        if b.requires_grad:
+            _emit_bwd(ctx, "gemm_bwd_db", KernelCategory.GEMM,
+                      flops=gemm_flops, inputs_bytes=float(data.nbytes + a.nbytes),
+                      out_bytes=float(b.nbytes), threads=max(int(b.size), 1),
+                      reuse=min(float(m), 64.0))
+        if _meta_accumulate(grad, a, b):
+            return
         if a.requires_grad:
             ga = grad @ np.swapaxes(b.data, -1, -2)
             a.accumulate_grad(ga)
@@ -336,14 +524,10 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
             gb = np.swapaxes(a.data, -1, -2) @ grad
             b.accumulate_grad(gb)
 
-    m = a.data.shape[-2] if a.data.ndim >= 2 else 1
-    k = a.data.shape[-1]
-    n = b.data.shape[-1] if b.data.ndim >= 2 else 1
-    batch = int(np.prod(data.shape[:-2])) if data.ndim > 2 else 1
     _emit(
         "gemm",
         KernelCategory.GEMM,
-        flops=2.0 * batch * m * k * n,
+        flops=gemm_flops,
         inputs_bytes=a.nbytes + b.nbytes,
         out_bytes=data.nbytes,
         threads=max(int(data.size), 1),
@@ -369,8 +553,19 @@ def outer_product(a: Tensor, b: Tensor) -> Tensor:
     This is the ``x ⊗ y`` fusion operator of Table 1.
     """
     data = np.einsum("bm,bn->bmn", a.data, b.data)
+    ctx = _ctx()
 
     def backward(grad):
+        if a.requires_grad:
+            _emit_bwd(ctx, "outer_product_bwd_a", KernelCategory.GEMM,
+                      flops=2.0 * data.size, inputs_bytes=float(data.nbytes + b.nbytes),
+                      out_bytes=float(a.nbytes), threads=max(int(a.size), 1), reuse=2.0)
+        if b.requires_grad:
+            _emit_bwd(ctx, "outer_product_bwd_b", KernelCategory.GEMM,
+                      flops=2.0 * data.size, inputs_bytes=float(data.nbytes + a.nbytes),
+                      out_bytes=float(b.nbytes), threads=max(int(b.size), 1), reuse=2.0)
+        if _meta_accumulate(grad, a, b):
+            return
         if a.requires_grad:
             a.accumulate_grad(np.einsum("bmn,bn->bm", grad, b.data))
         if b.requires_grad:
@@ -408,8 +603,14 @@ def transpose(a: Tensor, axes=None) -> Tensor:
         axes = tuple(reversed(range(a.ndim)))
     data = np.transpose(a.data, axes)
     inverse = np.argsort(axes)
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "transpose_bwd", KernelCategory.OTHER, flops=0.0,
+                  inputs_bytes=float(a.nbytes), out_bytes=float(a.nbytes),
+                  threads=a.size, coalesced=0.5)
+        if _meta_accumulate(grad, a):
+            return
         a.accumulate_grad(np.transpose(grad, inverse))
 
     _emit("transpose", KernelCategory.OTHER, 0.0, a.nbytes, data.nbytes, a.size, coalesced=0.5)
@@ -421,8 +622,15 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+    ctx = _ctx()
 
     def backward(grad):
+        active_bytes = float(sum(t.nbytes for t in tensors if t.requires_grad))
+        _emit_bwd(ctx, "concat_bwd", KernelCategory.OTHER, flops=0.0,
+                  inputs_bytes=float(data.nbytes), out_bytes=active_bytes,
+                  threads=int(data.size), coalesced=0.9)
+        if _meta_accumulate(grad, *tensors):
+            return
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             if t.requires_grad:
                 index = [slice(None)] * grad.ndim
@@ -444,8 +652,15 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
+    ctx = _ctx()
 
     def backward(grad):
+        active_bytes = float(sum(t.nbytes for t in tensors if t.requires_grad))
+        _emit_bwd(ctx, "stack_bwd", KernelCategory.OTHER, flops=0.0,
+                  inputs_bytes=float(data.nbytes), out_bytes=active_bytes,
+                  threads=int(data.size), coalesced=0.9)
+        if _meta_accumulate(grad, *tensors):
+            return
         parts = np.split(grad, len(tensors), axis=axis)
         for t, g in zip(tensors, parts):
             if t.requires_grad:
@@ -467,6 +682,10 @@ def getitem(a: Tensor, index) -> Tensor:
     data = a.data[index]
 
     def backward(grad):
+        # No kernel: the forward view emits none, so its scatter-back
+        # stays un-evented too (both are free on contiguous data).
+        if _meta_accumulate(grad, a):
+            return
         full = np.zeros_like(a.data)
         np.add.at(full, index, grad)
         a.accumulate_grad(full)
@@ -480,8 +699,14 @@ def pad2d(a: Tensor, padding: int) -> Tensor:
         return a
     p = padding
     data = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "pad_bwd", KernelCategory.OTHER, flops=0.0,
+                  inputs_bytes=float(data.nbytes), out_bytes=float(a.nbytes),
+                  threads=a.size)
+        if _meta_accumulate(grad, a):
+            return
         a.accumulate_grad(grad[:, :, p:-p, p:-p])
 
     _emit("pad", KernelCategory.OTHER, 0.0, a.nbytes, data.nbytes, int(data.size))
@@ -501,8 +726,14 @@ def dropout(a: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     else:
         mask = (rng.random(a.shape) < keep).astype(DEFAULT_DTYPE) / keep
         data = a.data * mask
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "dropout_bwd", KernelCategory.ELEWISE, flops=float(a.size),
+                  inputs_bytes=float(2 * a.nbytes), out_bytes=float(a.nbytes),
+                  threads=a.size)
+        if _meta_accumulate(grad, a) or mask is None:
+            return
         a.accumulate_grad(grad * mask)
 
     _emit("dropout", KernelCategory.ELEWISE, data.size, a.nbytes, data.nbytes, data.size)
@@ -517,8 +748,15 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     else:
         idx = np.asarray(indices)
         data = weight.data[idx]
+    ctx = _ctx()
 
     def backward(grad):
+        # Scatter-add of row gradients back into the embedding table.
+        _emit_bwd(ctx, "embedding_scatter_bwd", KernelCategory.OTHER, flops=0.0,
+                  inputs_bytes=float(data.nbytes), out_bytes=float(weight.nbytes),
+                  threads=int(data.size), coalesced=0.35)
+        if _meta_accumulate(grad, weight) or is_meta(idx):
+            return
         full = np.zeros_like(weight.data)
         np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.shape[1]))
         weight.accumulate_grad(full)
@@ -568,8 +806,30 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     if bias is not None:
         out = out + bias.data
     data = out.transpose(0, 2, 1).reshape(n, o, oh, ow)
+    ctx = _ctx()
+    flops = 2.0 * n * oh * ow * o * c * kh * kw
+    cols_bytes = float(n * oh * ow * c * kh * kw * _ITEMSIZE)
 
     def backward(grad):
+        # wgrad and dgrad are each implicit GEMMs with the forward's FLOP
+        # volume; the bias gradient is a reduce over batch and space.
+        if bias is not None and bias.requires_grad:
+            _emit_bwd(ctx, "conv2d_bwd_b", KernelCategory.REDUCE,
+                      flops=float(n * oh * ow * o), inputs_bytes=float(data.nbytes),
+                      out_bytes=float(bias.nbytes), threads=max(int(o), 1),
+                      coalesced=0.85)
+        if weight.requires_grad:
+            _emit_bwd(ctx, "conv2d_bwd_w", KernelCategory.CONV, flops=flops,
+                      inputs_bytes=float(data.nbytes) + cols_bytes,
+                      out_bytes=float(weight.nbytes), threads=int(weight.size),
+                      reuse=min(float(n * oh * ow), 96.0), kh=kh, kw=kw, stride=stride)
+        if x.requires_grad:
+            _emit_bwd(ctx, "conv2d_bwd_x", KernelCategory.CONV, flops=flops,
+                      inputs_bytes=float(data.nbytes + weight.nbytes),
+                      out_bytes=float(x.nbytes), threads=int(x.size),
+                      reuse=min(float(o * kh * kw), 96.0), kh=kh, kw=kw, stride=stride)
+        if _meta_accumulate(grad, x, weight, bias):
+            return
         gout = grad.reshape(n, o, oh * ow).transpose(0, 2, 1)  # (N, OH*OW, O)
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(gout.sum(axis=(0, 1)))
@@ -587,8 +847,6 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
                     )
             gx = gx_pad[:, :, p : p + h, p : p + w] if p else gx_pad
             x.accumulate_grad(gx)
-
-    flops = 2.0 * n * oh * ow * o * c * kh * kw
     _emit(
         "conv2d",
         KernelCategory.CONV,
@@ -624,8 +882,28 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
     if bias is not None:
         out = out + bias.data
     data = out.transpose(0, 2, 1)  # (N, O, OT)
+    ctx = _ctx()
+    flops = 2.0 * n * ot * o * c * kw
+    cols_bytes = float(n * ot * c * kw * _ITEMSIZE)
 
     def backward(grad):
+        if bias is not None and bias.requires_grad:
+            _emit_bwd(ctx, "conv1d_bwd_b", KernelCategory.REDUCE,
+                      flops=float(n * ot * o), inputs_bytes=float(data.nbytes),
+                      out_bytes=float(bias.nbytes), threads=max(int(o), 1),
+                      coalesced=0.85)
+        if weight.requires_grad:
+            _emit_bwd(ctx, "conv1d_bwd_w", KernelCategory.CONV, flops=flops,
+                      inputs_bytes=float(data.nbytes) + cols_bytes,
+                      out_bytes=float(weight.nbytes), threads=int(weight.size),
+                      reuse=min(float(n * ot), 64.0), kh=1, kw=kw, stride=stride)
+        if x.requires_grad:
+            _emit_bwd(ctx, "conv1d_bwd_x", KernelCategory.CONV, flops=flops,
+                      inputs_bytes=float(data.nbytes + weight.nbytes),
+                      out_bytes=float(x.nbytes), threads=int(x.size),
+                      reuse=min(float(o * kw), 64.0), kh=1, kw=kw, stride=stride)
+        if _meta_accumulate(grad, x, weight, bias):
+            return
         gout = grad.transpose(0, 2, 1)  # (N, OT, O)
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(gout.sum(axis=(0, 1)))
@@ -639,8 +917,6 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, padd
                 gx_pad[:, :, j : j + ot * stride : stride] += gcols[:, :, :, j].transpose(0, 2, 1)
             gx = gx_pad[:, :, p : p + t] if p else gx_pad
             x.accumulate_grad(gx)
-
-    flops = 2.0 * n * ot * o * c * kw
     _emit(
         "conv1d",
         KernelCategory.CONV,
@@ -676,8 +952,14 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     arg = windows.argmax(axis=-1)
     data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
     n, c = x.shape[0], x.shape[1]
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "max_pool2d_bwd", KernelCategory.POOLING,
+                  flops=float(data.size), inputs_bytes=float(data.nbytes + arg.nbytes),
+                  out_bytes=float(x.nbytes), threads=int(data.size), coalesced=0.9)
+        if _meta_accumulate(grad, x):
+            return
         gx = np.zeros_like(x.data)
         ni, ci, hi, wi = np.indices((n, c, oh, ow))
         h_idx = hi * stride + arg // kernel
@@ -701,8 +983,15 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     stride = stride or kernel
     windows, oh, ow = _pool_windows(x.data, kernel, stride)
     data = windows.mean(axis=-1)
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "avg_pool2d_bwd", KernelCategory.POOLING,
+                  flops=float(kernel * kernel * data.size),
+                  inputs_bytes=float(data.nbytes), out_bytes=float(x.nbytes),
+                  threads=int(data.size), coalesced=0.9)
+        if _meta_accumulate(grad, x):
+            return
         gx = np.zeros_like(x.data)
         scale = 1.0 / (kernel * kernel)
         for i in range(kernel):
@@ -725,8 +1014,14 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
 def upsample_nearest2d(x: Tensor, scale: int = 2) -> Tensor:
     """Nearest-neighbour spatial upsampling (used by the U-Net decoder)."""
     data = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "upsample_nearest_bwd", KernelCategory.OTHER,
+                  flops=float(data.size), inputs_bytes=float(data.nbytes),
+                  out_bytes=float(x.nbytes), threads=int(data.size), coalesced=0.8)
+        if _meta_accumulate(grad, x):
+            return
         n, c, h, w = x.shape
         g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
         x.accumulate_grad(g)
@@ -782,8 +1077,17 @@ def batch_norm(
     data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
 
     count = x.size / x.shape[1]
+    ctx = _ctx()
 
     def backward(grad):
+        # dgamma/dbeta reduces plus the normalized input gradient — the
+        # fused cuDNN bnorm-backward kernel.
+        _emit_bwd(ctx, "batch_norm_bwd", KernelCategory.BNORM,
+                  flops=16.0 * x.size, inputs_bytes=float(2 * x.nbytes + gamma.nbytes),
+                  out_bytes=float(x.nbytes + gamma.nbytes + beta.nbytes),
+                  threads=x.size, coalesced=0.95)
+        if _meta_accumulate(grad, x, gamma, beta):
+            return
         if beta.requires_grad:
             beta.accumulate_grad(grad.sum(axis=axes))
         if gamma.requires_grad:
@@ -818,8 +1122,15 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     x_hat = (x.data - mean_val) * inv_std
     data = gamma.data * x_hat + beta.data
     d = x.shape[-1]
+    ctx = _ctx()
 
     def backward(grad):
+        _emit_bwd(ctx, "layer_norm_bwd", KernelCategory.BNORM,
+                  flops=16.0 * x.size, inputs_bytes=float(2 * x.nbytes + gamma.nbytes),
+                  out_bytes=float(x.nbytes + gamma.nbytes + beta.nbytes),
+                  threads=x.size, coalesced=0.95)
+        if _meta_accumulate(grad, x, gamma, beta):
+            return
         if beta.requires_grad:
             beta.accumulate_grad(grad.reshape(-1, d).sum(axis=0))
         if gamma.requires_grad:

@@ -1,10 +1,44 @@
-"""Optimizers: SGD with momentum, and Adam."""
+"""Optimizers: SGD with momentum, Adam, and decoupled AdamW.
+
+Optimizer steps are traced execution paths: each per-parameter update
+emits one fused element-wise kernel (``pass_="optimizer"``, its own
+``optimizer`` stage) describing the parameter/gradient/state traffic the
+update performs, so a traced training step accounts the optimizer's share
+of the step the same way it accounts forward and backward kernels. Under
+the meta backend gradients are shape-only and the numeric update is
+skipped — the events are shape-derived either way, which keeps the
+meta==eager event invariant intact.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import MetaArray
 from repro.nn.module import Parameter
+from repro.trace.events import KernelCategory, PASS_OPTIMIZER, STAGE_OPTIMIZER
+from repro.trace.tracer import emit_kernel
+
+
+def _emit_update(name: str, p: Parameter, flops_per_elt: float,
+                 reads: float, writes: float) -> None:
+    """One fused update kernel over one parameter tensor.
+
+    ``reads``/``writes`` count parameter-sized arrays moved (param, grad,
+    and optimizer-state buffers).
+    """
+    nbytes = float(p.data.nbytes)
+    emit_kernel(
+        name,
+        KernelCategory.ELEWISE,
+        flops=flops_per_elt * p.data.size,
+        bytes_read=reads * nbytes,
+        bytes_written=writes * nbytes,
+        threads=p.data.size,
+        stage=STAGE_OPTIMIZER,
+        modality=None,
+        pass_=PASS_OPTIMIZER,
+    )
 
 
 class Optimizer:
@@ -34,8 +68,15 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        # Update traffic: read param+grad (plus velocity with momentum),
+        # write param (plus velocity with momentum).
+        state = 1.0 if self.momentum else 0.0
+        flops = 2.0 + (2.0 if self.momentum else 0.0) + (2.0 if self.weight_decay else 0.0)
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
+                continue
+            _emit_update("sgd_update", p, flops, 2.0 + state, 1.0 + state)
+            if isinstance(p.grad, MetaArray):
                 continue
             g = p.grad
             if self.weight_decay:
@@ -48,14 +89,23 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias correction."""
+    """Adam with bias correction.
+
+    ``weight_decay`` follows the classic L2 formulation (decay folded into
+    the gradient before the moment updates). ``decoupled=True`` switches
+    to AdamW semantics: the decay is applied directly to the parameters,
+    outside the adaptive moments — see :class:`AdamW`.
+    """
+
+    name = "adam"
 
     def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
-                 eps: float = 1e-8, weight_decay: float = 0.0):
+                 eps: float = 1e-8, weight_decay: float = 0.0, decoupled: bool = False):
         super().__init__(params, lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
+        self.decoupled = decoupled
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
@@ -64,23 +114,98 @@ class Adam(Optimizer):
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
+        name = "adamw_update" if self.decoupled else "adam_update"
+        flops = 12.0 + (2.0 if self.weight_decay else 0.0)
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
+            # Reads param + grad + both moments; writes param + both moments.
+            _emit_update(name, p, flops, 4.0, 3.0)
+            if isinstance(p.grad, MetaArray):
+                continue
             g = p.grad
-            if self.weight_decay:
+            if self.weight_decay and not self.decoupled:
+                # L2: decay rides the gradient into the adaptive moments,
+                # which distorts the effective decay per parameter.
                 g = g + self.weight_decay * p.data
             m *= self.beta1
             m += (1.0 - self.beta1) * g
             v *= self.beta2
             v += (1.0 - self.beta2) * (g * g)
+            if self.weight_decay and self.decoupled:
+                # Decoupled (AdamW): decay applies to the parameter
+                # directly, scaled by lr only — invariant to the moments.
+                p.data -= self.lr * self.weight_decay * p.data
             p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
 
 
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    Unlike L2-style ``Adam(weight_decay=...)``, the decay term never
+    enters the moment estimates, so the optimizer-kernel byte accounting
+    (and the regularization itself) is independent of the gradient scale.
+    """
+
+    name = "adamw"
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 1e-2):
+        super().__init__(params, lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay, decoupled=True)
+
+
+#: CLI/key-friendly optimizer names -> constructor.
+OPTIMIZERS = {
+    "sgd": lambda params, lr=0.01: SGD(params, lr=lr),
+    "sgd_momentum": lambda params, lr=0.01: SGD(params, lr=lr, momentum=0.9),
+    "adam": lambda params, lr=1e-3: Adam(params, lr=lr),
+    "adamw": lambda params, lr=1e-3: AdamW(params, lr=lr),
+}
+
+
+def make_optimizer(name: str, params, lr: float | None = None):
+    """Build an optimizer from its name (``sgd``/``sgd_momentum``/``adam``/``adamw``)."""
+    try:
+        factory = OPTIMIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; known: {sorted(OPTIMIZERS)}") from None
+    return factory(params) if lr is None else factory(params, lr=lr)
+
+
 def clip_grad_norm(params, max_norm: float) -> float:
-    """Clip gradients to a maximum global L2 norm; returns the norm."""
+    """Clip gradients to a maximum global L2 norm; returns the norm.
+
+    Emits one global norm-reduce kernel when a tracer is active. If the
+    computed norm is non-finite (an inf/nan gradient), the gradients are
+    left untouched — scaling by ``max_norm / inf`` would silently zero
+    every gradient, and by ``nan`` would poison them all. Shape-only
+    (meta-backend) gradients have no numeric norm; they are left as-is and
+    the function returns ``nan``.
+    """
     params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total_elems = sum(int(p.grad.size) for p in params)
+    total_bytes = float(sum(p.grad.nbytes for p in params))
+    emit_kernel(
+        "grad_norm",
+        KernelCategory.REDUCE,
+        flops=2.0 * total_elems,
+        bytes_read=total_bytes,
+        bytes_written=4.0,
+        threads=max(total_elems, 1),
+        coalesced_fraction=0.85,
+        stage=STAGE_OPTIMIZER,
+        modality=None,
+        pass_=PASS_OPTIMIZER,
+    )
+    if any(isinstance(p.grad, MetaArray) for p in params):
+        return float("nan")
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if not np.isfinite(total):
+        return total
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

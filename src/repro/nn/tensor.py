@@ -124,13 +124,22 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def accumulate_grad(self, grad: np.ndarray) -> None:
+    def accumulate_grad(self, grad) -> None:
         """Add ``grad`` into this tensor's gradient buffer.
 
         Handles broadcast reduction: if the incoming gradient has extra
         leading axes, or broadcast axes of size 1, they are summed out so the
         gradient always matches ``self.shape``.
+
+        Under the meta backend gradients are shape-only
+        :class:`~repro.nn.backend.MetaArray` values: the buffer pins the
+        tensor's own shape and accumulation is a no-op (there are no
+        numbers to add, only the fact that a gradient exists).
         """
+        if isinstance(grad, MetaArray):
+            if self.grad is None:
+                self.grad = MetaArray(self.data.shape, DEFAULT_DTYPE)
+            return
         grad = _unbroadcast(np.asarray(grad), self.data.shape)
         if self.grad is None:
             self.grad = grad.astype(DEFAULT_DTYPE, copy=True)
@@ -163,9 +172,16 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        # Backward closures emit their own kernel events (tagged with the
+        # snapshotted forward stage/modality); the pass scope covers any
+        # event that reaches the tracer without an explicit pass override.
+        from repro.trace.events import PASS_BACKWARD
+        from repro.trace.tracer import pass_scope
+
+        with pass_scope(PASS_BACKWARD):
+            for node in reversed(order):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
 
     # Arithmetic dunders are attached by repro.nn.functional at import time.
 

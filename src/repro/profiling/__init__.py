@@ -2,7 +2,15 @@
 
 from repro.profiling.flops import count_flops, count_parameters, flops_per_sample
 from repro.profiling.profiler import GridCell, MMBenchProfiler, ProfileResult, price_grid
-from repro.profiling.training import training_flops_ratio, training_trace
+from repro.profiling.training import (
+    synthetic_training_trace,
+    trace_training_step,
+    traced_training_flops_ratio,
+    traced_training_step,
+    training_flops_ratio,
+    training_memory_factor,
+    training_trace,
+)
 from repro.profiling.report import (
     format_bytes,
     format_seconds,
@@ -11,7 +19,9 @@ from repro.profiling.report import (
 )
 
 __all__ = [
-    "training_flops_ratio", "training_trace",
+    "synthetic_training_trace", "trace_training_step",
+    "traced_training_flops_ratio", "traced_training_step",
+    "training_flops_ratio", "training_memory_factor", "training_trace",
     "count_flops", "count_parameters", "flops_per_sample",
     "GridCell", "MMBenchProfiler", "ProfileResult", "price_grid",
     "format_bytes", "format_seconds", "format_table", "profile_summary",

@@ -179,7 +179,7 @@ class MMBenchProfiler:
         (captured with ``backend`` on a cold key, loaded on a warm one), so
         repeated sweeps over the same configuration never re-trace.
         """
-        store = store or default_store()
+        store = store if store is not None else default_store()
         stored = store.get_or_capture(
             workload, fusion=fusion, unimodal=unimodal,
             batch_size=batch_size, seed=seed, backend=backend,
@@ -253,7 +253,7 @@ def price_grid(
     ``device_key`` is the device name exactly as passed in ``devices``
     (or ``DeviceSpec.name`` for spec objects).
     """
-    store = store or default_store()
+    store = store if store is not None else default_store()
     specs = [get_device(d) if isinstance(d, str) else d for d in devices]
     keys = [d if isinstance(d, str) else d.name for d in devices]
     out: dict[tuple[str, int, str], GridCell] = {}

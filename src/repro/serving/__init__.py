@@ -10,6 +10,8 @@ with a discrete-event simulator driven by memoized profiler cost models:
 * :mod:`repro.serving.policies` — fixed / timeout / SLO-adaptive batching
 * :mod:`repro.serving.router` — placement across heterogeneous devices
 * :mod:`repro.serving.scenarios` — named multi-tenant traffic mixes
+* :mod:`repro.serving.finetune` — background fine-tuning jobs sharing
+  devices with inference traffic through stream resource shares
 * :mod:`repro.serving.simulator` — the event loop (single- and
   multi-tenant) and its report
 * :mod:`repro.serving.report` — formatted throughput–tail-latency tables
@@ -23,6 +25,15 @@ from repro.serving.costmodel import (
     clear_cost_cache,
     throughput_optimal_batch,
 )
+from repro.serving.finetune import (
+    FinetuneJob,
+    FinetuneStats,
+    TrainingCostModel,
+    finetune_progress,
+    inference_slowdown,
+    make_finetune_jobs,
+    total_background_share,
+)
 from repro.serving.policies import (
     POLICY_NAMES,
     AdaptiveSLOPolicy,
@@ -33,6 +44,7 @@ from repro.serving.policies import (
 )
 from repro.serving.report import (
     format_device_breakdown,
+    format_finetune_breakdown,
     format_policy_comparison,
     format_tenant_breakdown,
     mixed_serving_summary,
@@ -71,9 +83,12 @@ from repro.serving.simulator import (
 __all__ = [
     "DEFAULT_ANCHORS", "PROFILE_STATS", "CallableCostModel", "ProfiledCostModel",
     "clear_cost_cache", "throughput_optimal_batch",
+    "FinetuneJob", "FinetuneStats", "TrainingCostModel", "finetune_progress",
+    "inference_slowdown", "make_finetune_jobs", "total_background_share",
     "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",
     "TimeoutBatchPolicy", "make_policy",
-    "format_device_breakdown", "format_policy_comparison",
+    "format_device_breakdown", "format_finetune_breakdown",
+    "format_policy_comparison",
     "format_tenant_breakdown", "mixed_serving_summary", "serving_summary",
     "Request", "closed_arrivals", "make_mixed_requests", "make_requests",
     "poisson_arrivals",

@@ -1,0 +1,196 @@
+"""Background fine-tuning tenants sharing serving devices.
+
+A production fleet rarely dedicates devices to fine-tuning: training jobs
+run *behind* the inference traffic, holding a resource share of each
+device. This module models that through the stream-share semantics of
+:mod:`repro.hw.streams`: a job with share ``w`` runs on a partition whose
+effective roofline is scaled by ``w`` (its steps take ``step_time / w``),
+and the inference streams keep the remaining ``1 - sum(w)`` of every
+device, so every batch slows down by ``1 / (1 - sum(w))``.
+
+Training-step times come from the traced training path — the shared trace
+store's pass-aware keys price one full forward + loss + backward +
+optimizer step per (workload, batch, optimizer, device) — so the
+background jobs and the foreground traffic are costed by the same
+vectorized engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.hw.device import get_device
+from repro.hw.streams import StreamLoad
+
+#: Matches the StreamScheduler's oversubscription tolerance.
+_SHARE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FinetuneJob:
+    """One background fine-tuning job riding on the serving pool.
+
+    The job holds ``share`` of *every* device slot in the pool (a
+    fleet-wide background train loop); its training steps run at
+    ``step_time / share`` on that partition, the
+    :class:`~repro.hw.streams.StreamLoad` scaling rule.
+    """
+
+    name: str
+    workload: str
+    share: float
+    batch_size: int = 32
+    optimizer: str = "adam"
+    fusion: str | None = None
+    seed: int = 0
+    backend: str = "meta"
+
+    def __post_init__(self):
+        if not 0.0 < self.share < 1.0:
+            raise ValueError(
+                f"finetune share must be in (0, 1), got {self.share}")
+        if self.batch_size <= 0:
+            raise ValueError(
+                f"finetune batch_size must be positive, got {self.batch_size}")
+
+
+def total_background_share(jobs: Sequence[FinetuneJob]) -> float:
+    """Sum of job shares; rejects oversubscription (inference needs > 0)."""
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate finetune job names: {names}")
+    total = sum(job.share for job in jobs)
+    if total >= 1.0 - _SHARE_TOL:
+        raise ValueError(
+            f"finetune shares leave no room for inference: sum={total:.6f} >= 1")
+    return total
+
+
+def inference_slowdown(jobs: Sequence[FinetuneJob]) -> float:
+    """Batch-latency multiplier for the inference partition.
+
+    Inference keeps ``1 - sum(shares)`` of each device; under the
+    share-scaled roofline of :class:`~repro.hw.streams.StreamScheduler`
+    every kernel (hence every batch) runs ``1 / (1 - sum)`` slower.
+    """
+    if not jobs:
+        return 1.0
+    return 1.0 / (1.0 - total_background_share(jobs))
+
+
+class TrainingCostModel:
+    """Memoized native training-step seconds per device for one job."""
+
+    def __init__(self, job: FinetuneJob, store=None):
+        self.job = job
+        self._store = store
+        self._times: dict[str, float] = {}
+
+    def step_time(self, device: str) -> float:
+        """Seconds for one full-device training step on ``device``."""
+        canonical = get_device(device).name
+        if canonical not in self._times:
+            from repro.core.analysis.training import training_step_analysis
+
+            breakdown = training_step_analysis(
+                workloads=[self.job.workload], device=canonical,
+                batch_size=self.job.batch_size, optimizer=self.job.optimizer,
+                fusion=self.job.fusion, seed=self.job.seed,
+                backend=self.job.backend, store=self._store,
+            )[self.job.workload]
+            self._times[canonical] = breakdown.total_time
+        return self._times[canonical]
+
+
+@dataclass(frozen=True)
+class FinetuneStats:
+    """What one background job achieved during a serving run."""
+
+    name: str
+    workload: str
+    share: float
+    optimizer: str
+    batch_size: int
+    makespan: float  # the serving run's wall time the job trained through
+    steps_completed: float  # fractional: jobs run continuously
+    samples_processed: float
+    step_times: dict[str, float] = field(default_factory=dict)  # slot -> native s
+    per_slot_steps: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.steps_completed / self.makespan if self.makespan > 0 else 0.0
+
+
+def finetune_progress(
+    jobs: Sequence[FinetuneJob],
+    slots: Mapping[str, str],
+    makespan: float,
+    store=None,
+) -> dict[str, FinetuneStats]:
+    """Steps each background job completed while the traffic was served.
+
+    ``slots`` maps slot labels to device model names (the simulator's
+    labelling). Each job holds its share on every slot; on one slot its
+    partitioned step time is ``step_time / share``
+    (:class:`~repro.hw.streams.StreamLoad` semantics), so it completes
+    ``makespan * share / step_time`` steps there.
+    """
+    if not jobs:
+        return {}
+    total_background_share(jobs)  # validates
+    out: dict[str, FinetuneStats] = {}
+    for job in jobs:
+        cost = TrainingCostModel(job, store=store)
+        step_times: dict[str, float] = {}
+        per_slot: dict[str, float] = {}
+        for label, device in slots.items():
+            native = cost.step_time(device)
+            # The stream-share scaling rule, spelled out through the
+            # hw.streams primitive the scheduler itself uses.
+            load = StreamLoad(name=job.name, durations=np.array([native]),
+                              share=job.share)
+            partitioned = float(load.durations[0] / load.share)
+            step_times[label] = native
+            per_slot[label] = makespan / partitioned if partitioned > 0 else 0.0
+        steps = float(sum(per_slot.values()))
+        out[job.name] = FinetuneStats(
+            name=job.name,
+            workload=job.workload,
+            share=job.share,
+            optimizer=job.optimizer,
+            batch_size=job.batch_size,
+            makespan=makespan,
+            steps_completed=steps,
+            samples_processed=steps * job.batch_size,
+            step_times=step_times,
+            per_slot_steps=per_slot,
+        )
+    return out
+
+
+def make_finetune_jobs(
+    workloads: Sequence[str],
+    share: float = 0.25,
+    batch_size: int = 32,
+    optimizer: str = "adam",
+    seed: int = 0,
+    backend: str = "meta",
+) -> list[FinetuneJob]:
+    """One background job per workload, splitting ``share`` equally."""
+    if not workloads:
+        return []
+    if len(set(workloads)) != len(workloads):
+        raise ValueError(f"duplicate finetune workloads: {list(workloads)}")
+    if not 0.0 < share < 1.0:
+        raise ValueError(f"aggregate finetune share must be in (0, 1), got {share}")
+    each = share / len(workloads)
+    return [
+        FinetuneJob(name=f"{workload}:finetune", workload=workload, share=each,
+                    batch_size=batch_size, optimizer=optimizer, seed=seed,
+                    backend=backend)
+        for workload in workloads
+    ]

@@ -62,6 +62,26 @@ def format_tenant_breakdown(report: ServingReport) -> str:
         rows, title="Per-tenant latency / SLO breakdown")
 
 
+def format_finetune_breakdown(report: ServingReport) -> str:
+    """One row per background fine-tuning job: share, step time, progress."""
+    rows = []
+    for name, stats in report.finetune_stats.items():
+        step_times = list(stats.step_times.values())
+        mean_step = sum(step_times) / len(step_times) if step_times else 0.0
+        rows.append([
+            name,
+            f"{stats.share:.0%}",
+            stats.optimizer,
+            format_seconds(mean_step),
+            f"{stats.steps_completed:,.0f}",
+            f"{stats.samples_processed:,.0f}",
+            f"{stats.steps_per_second:,.1f}/s",
+        ])
+    return format_table(
+        ["job", "share", "optimizer", "step time", "steps", "samples", "rate"],
+        rows, title="Background fine-tuning jobs (stream shares)")
+
+
 def mixed_serving_summary(report: ServingReport) -> str:
     """Full ``mmbench serve --mix`` report: tenant + device breakdowns."""
     rate = ("closed batch (all at t=0)" if report.arrival_rate is None
@@ -76,6 +96,13 @@ def mixed_serving_summary(report: ServingReport) -> str:
         "",
         format_device_breakdown({report.policy: report}),
     ]
+    if report.finetune_stats:
+        lines += [
+            "",
+            f"inference slowed {report.inference_slowdown:.2f}x by background "
+            "training shares",
+            format_finetune_breakdown(report),
+        ]
     return "\n".join(lines)
 
 

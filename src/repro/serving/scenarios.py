@@ -124,6 +124,13 @@ SCENARIOS: dict[str, Scenario] = {
                  _weight_probs, _diurnal, needs_rate=True),
         Scenario("bursty", "on/off bursts at 8x the mean rate",
                  _weight_probs, _bursty, needs_rate=True),
+        # The inference traffic itself is uniform Poisson; what makes the
+        # scenario is the background fine-tuning jobs holding stream
+        # shares of every device (built by make_finetune_jobs and passed
+        # to simulate_mixed(finetune=...); the CLI's --mix finetune path
+        # does both).
+        Scenario("finetune", "uniform traffic + background fine-tuning jobs",
+                 _weight_probs, _poisson),
     )
 }
 

@@ -94,6 +94,10 @@ class ServingReport:
     device_stats: dict[str, DeviceStats]
     requests: list[Request] = field(repr=False)
     tenant_stats: dict[str, TenantStats] = field(default_factory=dict)
+    # Background fine-tuning jobs that shared the devices during the run
+    # (see repro.serving.finetune); empty for pure-inference simulations.
+    finetune_stats: dict = field(default_factory=dict)
+    inference_slowdown: float = 1.0  # batch-latency multiplier the jobs imposed
 
     def slo_attainment(self, slo: float) -> float:
         """Fraction of requests whose end-to-end latency met ``slo``.
@@ -152,14 +156,22 @@ class _SlotCost:
     :class:`~repro.serving.policies.AdaptiveSLOPolicy`'s drain batch) must
     key on the underlying model, via :meth:`device_name` for the device
     part so memos survive runs with different slot labellings.
+
+    ``scale`` multiplies every latency uniformly — the inference-partition
+    slowdown when background fine-tuning jobs hold device shares. Uniform
+    scaling preserves the throughput-optimal batch (``argmax k/latency``),
+    so the drain memo keyed on the underlying model stays valid across
+    runs with different scales.
     """
 
-    def __init__(self, cost, slot_device: dict[str, str]):
+    def __init__(self, cost, slot_device: dict[str, str], scale: float = 1.0):
         self.underlying = cost
         self._slot_device = slot_device
+        self._scale = scale
 
     def latency(self, slot: str, batch_size: int) -> float:
-        return self.underlying.latency(self._slot_device.get(slot, slot), batch_size)
+        base = self.underlying.latency(self._slot_device.get(slot, slot), batch_size)
+        return base * self._scale if self._scale != 1.0 else base
 
     def device_name(self, slot: str) -> str:
         """Device model name behind a slot label (identity for plain names)."""
@@ -373,6 +385,8 @@ def _summarize(
     router_name: str,
     arrival_rate: float | None,
     tenants: Sequence[TenantSpec] | None = None,
+    finetune_stats: dict | None = None,
+    inference_slowdown: float = 1.0,
 ) -> ServingReport:
     """Collapse finished requests + slot accounting into a report.
 
@@ -433,6 +447,8 @@ def _summarize(
         device_stats=stats,
         requests=requests,
         tenant_stats=tenant_stats,
+        finetune_stats=finetune_stats or {},
+        inference_slowdown=inference_slowdown,
     )
 
 
@@ -495,6 +511,7 @@ def simulate_mixed(
     scenario: str = "uniform",
     requests: list[Request] | None = None,
     router: Router | None = None,
+    finetune: Sequence | None = None,
     seed: int = 0,
 ) -> ServingReport:
     """Serve a mix of tenants concurrently on a shared device pool.
@@ -509,6 +526,12 @@ def simulate_mixed(
     across runs without one run's timings clobbering another report's).
     The report carries per-tenant latency/SLO breakdowns in
     ``tenant_stats``.
+
+    ``finetune`` adds background training jobs
+    (:class:`~repro.serving.finetune.FinetuneJob`): each holds a stream
+    share of every device, inference batches slow down by
+    ``1 / (1 - sum(shares))``, and the report's ``finetune_stats`` records
+    the training steps each job completed during the run's makespan.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -518,6 +541,12 @@ def simulate_mixed(
     if not devices:
         raise ValueError("need at least one device")
     router = router or EarliestFinishRouter()
+
+    slowdown = 1.0
+    if finetune:
+        from repro.serving.finetune import inference_slowdown
+
+        slowdown = inference_slowdown(finetune)
 
     if requests is None:
         from repro.serving.scenarios import scenario_requests
@@ -538,13 +567,21 @@ def simulate_mixed(
 
     slots, by_label, slot_device = _make_slots(devices)
     states = {
-        spec.name: _Tenant(spec.name, spec.policy, _SlotCost(spec.cost, slot_device))
+        spec.name: _Tenant(spec.name, spec.policy,
+                           _SlotCost(spec.cost, slot_device, scale=slowdown))
         for spec in tenants
     }
     makespan = (
         _run_event_loop(requests, states, slots, by_label, router)
         if requests else 0.0
     )
+    finetune_stats = None
+    if finetune:
+        from repro.serving.finetune import finetune_progress
+
+        finetune_stats = finetune_progress(finetune, slot_device, makespan)
     return _summarize(requests, slots, makespan,
                       f"mixed({len(tenants)} tenants)", router.name,
-                      arrival_rate, tenants=tenants)
+                      arrival_rate, tenants=tenants,
+                      finetune_stats=finetune_stats,
+                      inference_slowdown=slowdown)

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent
+from repro.trace.events import HostEvent, HostOpKind, KernelCategory, KernelEvent, PASSES
 
 #: Fixed category order shared by every columnar trace and every efficiency
 #: lookup vector in :mod:`repro.hw`. Index = code.
@@ -33,6 +33,12 @@ CATEGORY_CODES: dict[KernelCategory, int] = {c: i for i, c in enumerate(CATEGORY
 #: Fixed host-op order; index = code.
 HOST_KIND_ORDER: tuple[HostOpKind, ...] = tuple(HostOpKind)
 HOST_KIND_CODES: dict[HostOpKind, int] = {k: i for i, k in enumerate(HOST_KIND_ORDER)}
+
+#: Fixed pass order (forward/loss/backward/optimizer); index = code.
+#: Code 0 is ``forward``, which is what schema-v2 payloads (captured
+#: before passes existed — pure inference traces) decode to.
+PASS_ORDER: tuple[str, ...] = PASSES
+PASS_CODES: dict[str, int] = {p: i for i, p in enumerate(PASS_ORDER)}
 
 #: Modality code for "no modality" (``KernelEvent.modality is None``).
 NO_MODALITY = -1
@@ -78,6 +84,7 @@ class TraceColumns:
     category_codes: np.ndarray  # int64 into CATEGORY_ORDER
     stage_codes: np.ndarray  # int64 into stage_table
     modality_codes: np.ndarray  # int64 into modality_table; NO_MODALITY = None
+    pass_codes: np.ndarray  # int64 into PASS_ORDER
     name_codes: np.ndarray  # int64 into name_table
     seq: np.ndarray  # int64
     # -- host-event columns (length host_n) ------------------------------------
@@ -86,6 +93,7 @@ class TraceColumns:
     host_bytes: np.ndarray
     host_stage_codes: np.ndarray
     host_modality_codes: np.ndarray
+    host_pass_codes: np.ndarray
     host_name_codes: np.ndarray
     host_seq: np.ndarray
     # -- interned string tables (shared by kernel and host columns) ------------
@@ -137,6 +145,7 @@ class TraceColumns:
         category_codes = np.empty(n, dtype=np.int64)
         stage_codes = np.empty(n, dtype=np.int64)
         modality_codes = np.empty(n, dtype=np.int64)
+        pass_codes = np.empty(n, dtype=np.int64)
         name_codes = np.empty(n, dtype=np.int64)
         seq = np.empty(n, dtype=np.int64)
         meta: dict[int, dict] = {}
@@ -152,6 +161,7 @@ class TraceColumns:
             modality_codes[i] = (
                 NO_MODALITY if k.modality is None else modalities.code(k.modality)
             )
+            pass_codes[i] = PASS_CODES[k.pass_]
             name_codes[i] = names.code(k.name)
             seq[i] = k.seq
             if k.meta:
@@ -162,6 +172,7 @@ class TraceColumns:
         host_bytes = np.empty(host_n)
         host_stage_codes = np.empty(host_n, dtype=np.int64)
         host_modality_codes = np.empty(host_n, dtype=np.int64)
+        host_pass_codes = np.empty(host_n, dtype=np.int64)
         host_name_codes = np.empty(host_n, dtype=np.int64)
         host_seq = np.empty(host_n, dtype=np.int64)
         host_meta: dict[int, dict] = {}
@@ -172,6 +183,7 @@ class TraceColumns:
             host_modality_codes[i] = (
                 NO_MODALITY if h.modality is None else modalities.code(h.modality)
             )
+            host_pass_codes[i] = PASS_CODES[h.pass_]
             host_name_codes[i] = host_names.code(h.name)
             host_seq[i] = h.seq
             if h.meta:
@@ -181,10 +193,12 @@ class TraceColumns:
             n=n, flops=flops, bytes_read=bytes_read, bytes_written=bytes_written,
             threads=threads, coalesced_fraction=coalesced, reuse_factor=reuse,
             category_codes=category_codes, stage_codes=stage_codes,
-            modality_codes=modality_codes, name_codes=name_codes, seq=seq,
+            modality_codes=modality_codes, pass_codes=pass_codes,
+            name_codes=name_codes, seq=seq,
             host_n=host_n, host_kind_codes=host_kind_codes, host_bytes=host_bytes,
             host_stage_codes=host_stage_codes,
             host_modality_codes=host_modality_codes,
+            host_pass_codes=host_pass_codes,
             host_name_codes=host_name_codes, host_seq=host_seq,
             stage_table=stages.table(), modality_table=modalities.table(),
             name_table=names.table(), host_name_table=host_names.table(),
@@ -207,6 +221,7 @@ class TraceColumns:
                 threads=int(self.threads[i]),
                 stage=self.stage_table[int(self.stage_codes[i])],
                 modality=None if mod_code == NO_MODALITY else self.modality_table[mod_code],
+                pass_=PASS_ORDER[int(self.pass_codes[i])],
                 seq=int(self.seq[i]),
                 coalesced_fraction=float(self.coalesced_fraction[i]),
                 reuse_factor=float(self.reuse_factor[i]),
@@ -223,6 +238,7 @@ class TraceColumns:
                 bytes=float(self.host_bytes[i]),
                 stage=self.stage_table[int(self.host_stage_codes[i])],
                 modality=None if mod_code == NO_MODALITY else self.modality_table[mod_code],
+                pass_=PASS_ORDER[int(self.host_pass_codes[i])],
                 seq=int(self.host_seq[i]),
                 name=self.host_name_table[int(self.host_name_codes[i])],
                 meta=dict(self.host_meta.get(i, {})),
@@ -271,6 +287,19 @@ class TraceColumns:
             return np.empty(0, dtype=np.int64)
         return np.nonzero(self.modality_codes == code)[0]
 
+    def kernel_passes(self) -> list[str]:
+        """Passes present among kernels, in first-seen order."""
+        if self.n == 0:
+            return []
+        codes, first = np.unique(self.pass_codes, return_index=True)
+        return [PASS_ORDER[int(c)] for c in codes[np.argsort(first)]]
+
+    def kernel_indices_for_pass(self, pass_: str) -> np.ndarray:
+        code = PASS_CODES.get(pass_)
+        if code is None:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self.pass_codes == code)[0]
+
     # -- transforms ------------------------------------------------------------
 
     def scaled(self, factor: float) -> "TraceColumns":
@@ -289,6 +318,7 @@ class TraceColumns:
             category_codes=self.category_codes.copy(),
             stage_codes=self.stage_codes.copy(),
             modality_codes=self.modality_codes.copy(),
+            pass_codes=self.pass_codes.copy(),
             name_codes=self.name_codes.copy(),
             seq=self.seq.copy(),
             host_n=self.host_n,
@@ -296,6 +326,7 @@ class TraceColumns:
             host_bytes=self.host_bytes * factor,
             host_stage_codes=self.host_stage_codes.copy(),
             host_modality_codes=self.host_modality_codes.copy(),
+            host_pass_codes=self.host_pass_codes.copy(),
             host_name_codes=self.host_name_codes.copy(),
             host_seq=self.host_seq.copy(),
             stage_table=self.stage_table,
@@ -321,6 +352,7 @@ class TraceColumns:
             "category_codes": self.category_codes.tolist(),
             "stage_codes": self.stage_codes.tolist(),
             "modality_codes": self.modality_codes.tolist(),
+            "pass_codes": self.pass_codes.tolist(),
             "name_codes": self.name_codes.tolist(),
             "seq": self.seq.tolist(),
             "host_n": self.host_n,
@@ -328,6 +360,7 @@ class TraceColumns:
             "host_bytes": self.host_bytes.tolist(),
             "host_stage_codes": self.host_stage_codes.tolist(),
             "host_modality_codes": self.host_modality_codes.tolist(),
+            "host_pass_codes": self.host_pass_codes.tolist(),
             "host_name_codes": self.host_name_codes.tolist(),
             "host_seq": self.host_seq.tolist(),
             "stage_table": list(self.stage_table),
@@ -340,8 +373,19 @@ class TraceColumns:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "TraceColumns":
+        n = int(payload["n"])
+        host_n = int(payload["host_n"])
+
+        def _passes(key: str, length: int) -> np.ndarray:
+            # Schema-v2 payloads predate passes: every kernel was a
+            # forward-pass kernel (code 0, the PASS_ORDER anchor).
+            raw = payload.get(key)
+            if raw is None:
+                return np.zeros(length, dtype=np.int64)
+            return _i64(raw)
+
         return cls(
-            n=int(payload["n"]),
+            n=n,
             flops=_f64(payload["flops"]),
             bytes_read=_f64(payload["bytes_read"]),
             bytes_written=_f64(payload["bytes_written"]),
@@ -351,13 +395,15 @@ class TraceColumns:
             category_codes=_i64(payload["category_codes"]),
             stage_codes=_i64(payload["stage_codes"]),
             modality_codes=_i64(payload["modality_codes"]),
+            pass_codes=_passes("pass_codes", n),
             name_codes=_i64(payload["name_codes"]),
             seq=_i64(payload["seq"]),
-            host_n=int(payload["host_n"]),
+            host_n=host_n,
             host_kind_codes=_i64(payload["host_kind_codes"]),
             host_bytes=_f64(payload["host_bytes"]),
             host_stage_codes=_i64(payload["host_stage_codes"]),
             host_modality_codes=_i64(payload["host_modality_codes"]),
+            host_pass_codes=_passes("host_pass_codes", host_n),
             host_name_codes=_i64(payload["host_name_codes"]),
             host_seq=_i64(payload["host_seq"]),
             stage_table=tuple(payload["stage_table"]),

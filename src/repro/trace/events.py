@@ -56,7 +56,21 @@ STAGE_PREPROCESS = "preprocess"
 STAGE_ENCODER = "encoder"
 STAGE_FUSION = "fusion"
 STAGE_HEAD = "head"
+# Optimizer updates run outside the model's staged forward; they get their
+# own stage so training traces do not pollute the encoder/fusion/head
+# breakdowns the paper's figures are built on.
+STAGE_OPTIMIZER = "optimizer"
 STAGES = (STAGE_ENCODER, STAGE_FUSION, STAGE_HEAD)
+
+# Execution passes of one training step. Inference traces are pure
+# ``forward``; a traced training step interleaves all four. The taxonomy is
+# fixed (like the kernel categories) so pass codes are stable across traces
+# and across the store's serialized schema.
+PASS_FORWARD = "forward"
+PASS_LOSS = "loss"
+PASS_BACKWARD = "backward"
+PASS_OPTIMIZER = "optimizer"
+PASSES = (PASS_FORWARD, PASS_LOSS, PASS_BACKWARD, PASS_OPTIMIZER)
 
 
 @dataclass
@@ -77,6 +91,7 @@ class KernelEvent:
     threads: int
     stage: str = STAGE_ENCODER
     modality: str | None = None
+    pass_: str = PASS_FORWARD  # which training-step pass emitted the kernel
     seq: int = 0
     # Access-pattern descriptors used by the counter model.
     coalesced_fraction: float = 1.0
@@ -104,6 +119,7 @@ class HostEvent:
     bytes: float = 0.0
     stage: str = STAGE_ENCODER
     modality: str | None = None
+    pass_: str = PASS_FORWARD
     seq: int = 0
     name: str = ""
     meta: dict = field(default_factory=dict)

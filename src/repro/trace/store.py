@@ -40,7 +40,12 @@ from repro.trace.tracer import Trace, Tracer
 #: descriptor + interned string tables) instead of one JSON object per
 #: event — warm loads rebuild ``TraceColumns`` directly and never touch
 #: per-event Python objects unless a consumer materializes them.
-SCHEMA_VERSION = 2
+#: v3: pass-code columns (forward/loss/backward/optimizer) on kernels and
+#: host events, for traced training steps. v2 payloads still load: a
+#: missing pass column decodes as all-forward, which is exactly what a
+#: pre-v3 (inference-only) capture was.
+SCHEMA_VERSION = 3
+_READABLE_SCHEMAS = (2, 3)
 
 _FINGERPRINT: str | None = None
 
@@ -64,10 +69,18 @@ def code_fingerprint() -> str:
 
         digest = hashlib.sha256()
         nn_dir = Path(repro.nn.functional.__file__).parent
+        pkg_dir = nn_dir.parent
         roots = [
             nn_dir / "functional.py",
             nn_dir / "backend.py",
             nn_dir / "tensor.py",
+            # Training captures also depend on the optimizer update and
+            # loss kernels these modules emit, on the capture recipe
+            # (pass scoping, step ordering) and on the loss selection.
+            nn_dir / "optim.py",
+            nn_dir / "losses.py",
+            pkg_dir / "profiling" / "training.py",
+            pkg_dir / "core" / "train.py",
             Path(repro.trace.columns.__file__),
             Path(repro.trace.events.__file__),
             Path(repro.trace.tracer.__file__),
@@ -84,7 +97,14 @@ def code_fingerprint() -> str:
 
 @dataclass(frozen=True)
 class TraceKey:
-    """The content-addressed identity of one captured trace."""
+    """The content-addressed identity of one captured trace.
+
+    ``mode`` distinguishes execution paths over the same model build:
+    ``"inference"`` is a traced forward pass; ``"train:<optimizer>"`` is a
+    full traced training step (forward + loss + backward + optimizer), so
+    training captures never collide with inference captures of the same
+    (workload, batch, seed, backend).
+    """
 
     workload: str
     fusion: str | None
@@ -93,6 +113,7 @@ class TraceKey:
     seed: int
     backend: str
     code_version: str
+    mode: str = "inference"
 
     def canonical(self) -> str:
         return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
@@ -130,7 +151,7 @@ def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
 
 
 def trace_from_payload(payload: dict) -> StoredTrace:
-    if payload.get("schema") != SCHEMA_VERSION:
+    if payload.get("schema") not in _READABLE_SCHEMAS:
         raise ValueError(f"unsupported trace payload schema {payload.get('schema')!r}")
     columns = TraceColumns.from_payload(payload["columns"])
     return StoredTrace(
@@ -169,6 +190,7 @@ class TraceStore:
         batch_size: int = 1,
         seed: int = 0,
         backend: str | None = None,
+        mode: str = "inference",
     ) -> TraceKey:
         """Build a normalized key (default fusion resolved, backend pinned)."""
         from repro.nn.backend import resolve_backend
@@ -189,6 +211,7 @@ class TraceStore:
             seed=int(seed),
             backend=resolve_backend(backend),
             code_version=code_fingerprint(),
+            mode=mode,
         )
 
     # -- model memoization -----------------------------------------------------
@@ -297,6 +320,53 @@ class TraceStore:
             model(batch)
         entry = StoredTrace(
             trace=tracer.finish(),
+            model_name=model.name,
+            parameters=model.num_parameters(),
+            parameter_bytes=model.parameter_bytes(),
+            input_bytes=model.input_bytes(key.batch_size),
+            modalities=list(model.modality_names),
+        )
+        self.stats["captures"] += 1
+        self.put(key, entry)
+        return entry
+
+    def get_or_capture_training(
+        self,
+        workload: str,
+        fusion: str | None = None,
+        unimodal: str | None = None,
+        batch_size: int = 8,
+        seed: int = 0,
+        backend: str | None = None,
+        optimizer: str = "adam",
+    ) -> StoredTrace:
+        """Return the cached *training-step* trace, capturing it on a miss.
+
+        The capture runs one full traced step — forward, loss, backward and
+        optimizer update — through :func:`repro.profiling.training.trace_training_step`
+        on a **fresh** model build (the optimizer step mutates parameters,
+        so the memoized inference model must never be reused here).
+        """
+        key = self.make_key(workload, fusion, unimodal, batch_size, seed,
+                            backend, mode=f"train:{optimizer}")
+        entry = self.get(key)
+        if entry is not None:
+            return entry
+
+        from repro.profiling.training import trace_training_step
+        from repro.workloads.registry import get_workload
+
+        info = get_workload(workload)
+        if key.unimodal is not None:
+            model = info.build_unimodal(key.unimodal, seed=key.seed)
+        else:
+            model = info.build(key.fusion, seed=key.seed)
+        trace = trace_training_step(
+            model, batch_size=key.batch_size, seed=key.seed,
+            backend=key.backend, optimizer=optimizer,
+        )
+        entry = StoredTrace(
+            trace=trace,
             model_name=model.name,
             parameters=model.num_parameters(),
             parameter_bytes=model.parameter_bytes(),

@@ -27,6 +27,7 @@ from repro.trace.events import (
     HostOpKind,
     KernelCategory,
     KernelEvent,
+    PASS_FORWARD,
     STAGE_ENCODER,
 )
 
@@ -36,6 +37,10 @@ if TYPE_CHECKING:
 # The currently-active tracer, or None. A single global keeps the per-op
 # emission cost to one attribute load + branch.
 _ACTIVE: "Tracer | None" = None
+
+#: Sentinel for "no explicit override" on fields where ``None`` is a
+#: meaningful value (a kernel with no modality attribution).
+UNSET = object()
 
 
 def active_tracer() -> "Tracer | None":
@@ -52,9 +57,18 @@ def emit_kernel(
     threads: int,
     coalesced_fraction: float = 1.0,
     reuse_factor: float = 1.0,
+    stage: "str | None" = None,
+    modality=UNSET,
+    pass_: "str | None" = None,
     **meta,
 ) -> None:
-    """Record a kernel launch on the active tracer (no-op when inactive)."""
+    """Record a kernel launch on the active tracer (no-op when inactive).
+
+    ``stage`` / ``modality`` / ``pass_`` override the tracer's context
+    stacks when given. Backward closures use this: they execute long after
+    the stage/modality scopes that built them have unwound, so they carry
+    the snapshotted forward context explicitly.
+    """
     tracer = _ACTIVE
     if tracer is None:
         return
@@ -69,7 +83,10 @@ def emit_kernel(
             coalesced_fraction=coalesced_fraction,
             reuse_factor=reuse_factor,
             meta=meta,
-        )
+        ),
+        stage=stage,
+        modality=modality,
+        pass_=pass_,
     )
 
 
@@ -100,6 +117,17 @@ def modality_scope(name: str):
         yield
         return
     with tracer.modality(name):
+        yield
+
+
+@contextlib.contextmanager
+def pass_scope(name: str):
+    """Enter a pass context on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield
+        return
+    with tracer.pass_(name):
         yield
 
 
@@ -192,6 +220,18 @@ class Trace:
     def modalities(self) -> list[str]:
         return self.columns().kernel_modalities()
 
+    def passes(self) -> list[str]:
+        """Passes present in this trace's kernels, in first-seen order.
+
+        Inference traces report ``["forward"]``; a traced training step
+        reports all four passes of the taxonomy.
+        """
+        return self.columns().kernel_passes()
+
+    def kernels_in_pass(self, pass_: str) -> list[KernelEvent]:
+        kernels = self.kernels
+        return [kernels[i] for i in self.columns().kernel_indices_for_pass(pass_)]
+
 
 class Tracer:
     """Collects kernel and host events with stage/modality context."""
@@ -201,6 +241,7 @@ class Tracer:
         self._host: list[HostEvent] = []
         self._stage_stack: list[str] = []
         self._modality_stack: list[str] = []
+        self._pass_stack: list[str] = []
         self._seq = 0
 
     # -- context management -------------------------------------------------
@@ -235,6 +276,16 @@ class Tracer:
         finally:
             self._modality_stack.pop()
 
+    @contextlib.contextmanager
+    def pass_(self, name: str):
+        """Set the pass label (forward/loss/backward/optimizer) for events
+        emitted inside the block."""
+        self._pass_stack.append(name)
+        try:
+            yield
+        finally:
+            self._pass_stack.pop()
+
     @property
     def current_stage(self) -> str:
         return self._stage_stack[-1] if self._stage_stack else STAGE_ENCODER
@@ -243,11 +294,17 @@ class Tracer:
     def current_modality(self) -> str | None:
         return self._modality_stack[-1] if self._modality_stack else None
 
+    @property
+    def current_pass(self) -> str:
+        return self._pass_stack[-1] if self._pass_stack else PASS_FORWARD
+
     # -- recording -----------------------------------------------------------
 
-    def record_kernel(self, event: KernelEvent) -> None:
-        event.stage = self.current_stage
-        event.modality = self.current_modality
+    def record_kernel(self, event: KernelEvent, stage: str | None = None,
+                      modality=UNSET, pass_: str | None = None) -> None:
+        event.stage = self.current_stage if stage is None else stage
+        event.modality = self.current_modality if modality is UNSET else modality
+        event.pass_ = self.current_pass if pass_ is None else pass_
         event.seq = self._seq
         self._seq += 1
         self._kernels.append(event)
@@ -255,6 +312,7 @@ class Tracer:
     def record_host(self, event: HostEvent) -> None:
         event.stage = self.current_stage
         event.modality = self.current_modality
+        event.pass_ = self.current_pass
         event.seq = self._seq
         self._seq += 1
         self._host.append(event)

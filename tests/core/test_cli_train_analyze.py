@@ -1,0 +1,99 @@
+"""The ``mmbench train-analyze`` subcommand and serve --mix finetune path."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+class TestTrainAnalyze:
+    def test_default_breakdown(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Traced training step" in out
+        assert "per-stage time by pass" in out
+        for pass_name in ("forward", "loss", "backward", "optimizer"):
+            assert pass_name in out
+        assert "trace store" in out
+
+    def test_cross_check(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--batch-size", "4", "--cross-check"]) == 0
+        out = capsys.readouterr().out
+        assert "Traced vs synthetic" in out
+
+    def test_sweep(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--sweep", "1,8", "--devices", "2080ti,nano"]) == 0
+        out = capsys.readouterr().out
+        assert "Training batch-size sweep" in out
+        assert "nano" in out
+
+    def test_optimizer_choice(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--batch-size", "2", "--optimizer", "adamw"]) == 0
+        assert "adamw" in capsys.readouterr().out
+
+    def test_unknown_optimizer_rejected(self, capsys):
+        assert main(["train-analyze", "--optimizer", "lamb"]) == 2
+        assert "unknown optimizer" in capsys.readouterr().err
+
+    def test_sweep_rejects_multiple_workloads(self, capsys):
+        assert main(["train-analyze", "--workloads", "avmnist,mmimdb",
+                     "--sweep", "1,8"]) == 2
+        assert "exactly one workload" in capsys.readouterr().err
+
+    def test_bad_batch_size_rejected(self, capsys):
+        assert main(["train-analyze", "--batch-size", "0"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_malformed_sweep_rejected(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--sweep", "1,x"]) == 2
+        assert "--sweep" in capsys.readouterr().err
+
+    def test_unknown_sweep_device_rejected(self, capsys):
+        assert main(["train-analyze", "--workload", "avmnist",
+                     "--sweep", "8", "--devices", "nodevice"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+
+class TestServeFinetuneMix:
+    def test_finetune_mix_reports_jobs(self, capsys):
+        assert main(["serve", "--mix", "finetune", "--arrival-rate", "400",
+                     "--n-requests", "300", "--workloads", "avmnist,mmimdb",
+                     "--devices", "2080ti", "--policy", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "Background fine-tuning jobs" in out
+        assert "avmnist:finetune" in out
+        assert "inference slowed" in out
+
+    def test_explicit_finetune_workloads_on_other_mix(self, capsys):
+        assert main(["serve", "--mix", "uniform", "--arrival-rate", "400",
+                     "--n-requests", "200", "--workloads", "avmnist",
+                     "--finetune-workloads", "mmimdb",
+                     "--finetune-share", "0.2",
+                     "--devices", "2080ti", "--policy", "fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "mmimdb:finetune" in out
+
+    def test_bad_share_rejected(self, capsys):
+        assert main(["serve", "--mix", "finetune", "--arrival-rate", "100",
+                     "--workloads", "avmnist", "--finetune-share", "1.5",
+                     "--policy", "fixed"]) == 2
+        assert "--finetune-share" in capsys.readouterr().err
+
+    def test_duplicate_finetune_workloads_rejected(self, capsys):
+        assert main(["serve", "--mix", "finetune", "--arrival-rate", "100",
+                     "--workloads", "avmnist",
+                     "--finetune-workloads", "avmnist,avmnist",
+                     "--policy", "fixed"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_unknown_finetune_workload_rejected(self, capsys):
+        assert main(["serve", "--mix", "finetune", "--arrival-rate", "100",
+                     "--workloads", "avmnist",
+                     "--finetune-workloads", "nonesuch",
+                     "--policy", "fixed"]) == 2
+        err = capsys.readouterr().err
+        assert "nonesuch" in err

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.nn.backend import meta_array
 from repro.nn.module import Parameter
-from repro.nn.optim import Adam, SGD, clip_grad_norm
+from repro.nn.optim import Adam, AdamW, SGD, clip_grad_norm, make_optimizer
 from repro.nn.tensor import Tensor
 
 
@@ -66,6 +67,55 @@ class TestAdam:
         opt.zero_grad()
         assert w.grad is None
 
+    def test_meta_grads_skip_numeric_update(self):
+        w = Parameter(np.ones(3, dtype=np.float32))
+        opt = Adam([w], lr=0.5)
+        w.grad = meta_array((3,))
+        opt.step()  # shape-only gradient: no numbers to apply
+        assert (w.data == 1.0).all()
+
+
+class TestAdamW:
+    def test_converges(self):
+        assert quadratic_steps(AdamW, lr=0.05, weight_decay=0.0) < 1e-2
+
+    def test_decay_is_decoupled_from_gradient_scale(self):
+        """L2 Adam folds decay into the adaptive moments, so its effective
+        decay shrinks under large gradients; decoupled AdamW does not."""
+        def first_step(cls, grad_scale):
+            w = Parameter(np.full(1, 4.0, dtype=np.float32))
+            opt = cls([w], lr=0.1, weight_decay=0.1)
+            w.grad = np.zeros(1, dtype=np.float32)
+            # A pure-decay step: the data gradient is zero.
+            opt.step()
+            return float(4.0 - w.data[0])
+
+        # With zero gradient, AdamW still shrinks by exactly lr*wd*w...
+        adamw_shrink = first_step(AdamW, 0.0)
+        assert adamw_shrink == pytest.approx(0.1 * 0.1 * 4.0, rel=1e-3)
+        # ...while L2 Adam normalizes the decay through sqrt(v): the step
+        # is ~lr regardless of the decay magnitude (sign-only).
+        adam_shrink = first_step(Adam, 0.0)
+        assert adam_shrink == pytest.approx(0.1, rel=1e-2)
+
+    def test_decoupled_flag_equivalent(self):
+        wa = Parameter(np.full(2, 3.0, dtype=np.float32))
+        wb = Parameter(np.full(2, 3.0, dtype=np.float32))
+        a = AdamW([wa], lr=0.1, weight_decay=0.05)
+        b = Adam([wb], lr=0.1, weight_decay=0.05, decoupled=True)
+        for w in (wa, wb):
+            w.grad = np.ones(2, dtype=np.float32)
+        a.step()
+        b.step()
+        np.testing.assert_allclose(wa.data, wb.data)
+
+    def test_make_optimizer_names(self):
+        w = [Parameter(np.zeros(1, dtype=np.float32))]
+        assert isinstance(make_optimizer("adamw", w), AdamW)
+        assert isinstance(make_optimizer("sgd_momentum", w), SGD)
+        with pytest.raises(KeyError, match="unknown optimizer"):
+            make_optimizer("lamb", w)
+
 
 class TestClipGradNorm:
     def test_clips_large(self):
@@ -80,6 +130,32 @@ class TestClipGradNorm:
         w.grad = np.full(4, 0.1, dtype=np.float32)
         clip_grad_norm([w], 10.0)
         assert (w.grad == np.float32(0.1)).all()
+
+    def test_nonfinite_norm_leaves_grads_untouched(self):
+        """Regression: an inf gradient used to scale every grad by
+        max_norm/inf = 0, silently zeroing the whole update."""
+        w1 = Parameter(np.zeros(2, dtype=np.float32))
+        w2 = Parameter(np.zeros(2, dtype=np.float32))
+        w1.grad = np.array([np.inf, 1.0], dtype=np.float32)
+        w2.grad = np.full(2, 3.0, dtype=np.float32)
+        norm = clip_grad_norm([w1, w2], 1.0)
+        assert np.isinf(norm)
+        assert (w2.grad == np.float32(3.0)).all()  # not zeroed
+
+    def test_nan_norm_reported(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        w.grad = np.array([np.nan, 1.0], dtype=np.float32)
+        assert np.isnan(clip_grad_norm([w], 1.0))
+        assert w.grad[1] == np.float32(1.0)
+
+    def test_meta_grads_return_nan_without_scaling(self):
+        w = Parameter(np.zeros(3, dtype=np.float32))
+        w.grad = meta_array((3,))
+        assert np.isnan(clip_grad_norm([w], 1.0))
+
+    def test_no_grads_returns_zero(self):
+        w = Parameter(np.zeros(3, dtype=np.float32))
+        assert clip_grad_norm([w], 1.0) == 0.0
 
     def test_training_reduces_loss_end_to_end(self, rng):
         model = nn.Sequential(nn.Linear(4, 16, rng=rng), nn.Tanh(), nn.Linear(16, 1, rng=rng))

@@ -1,0 +1,121 @@
+"""Fine-tuning tenants: stream shares, inference slowdown, job progress."""
+
+import pytest
+
+from repro.serving import (
+    FinetuneJob,
+    TenantSpec,
+    inference_slowdown,
+    make_finetune_jobs,
+    simulate_mixed,
+    total_background_share,
+)
+from repro.serving.finetune import TrainingCostModel, finetune_progress
+from repro.serving.policies import FixedBatchPolicy
+
+
+def affine_tenant(name="t0", base=1e-3, per=1e-4):
+    return TenantSpec(name=name, cost=lambda k: base + per * k,
+                      policy=FixedBatchPolicy(8), slo=50e-3)
+
+
+class TestJobSpecs:
+    def test_share_bounds(self):
+        with pytest.raises(ValueError, match="share"):
+            FinetuneJob(name="j", workload="avmnist", share=0.0)
+        with pytest.raises(ValueError, match="share"):
+            FinetuneJob(name="j", workload="avmnist", share=1.0)
+
+    def test_oversubscription_rejected(self):
+        jobs = [FinetuneJob(name=f"j{i}", workload="avmnist", share=0.5)
+                for i in range(2)]
+        with pytest.raises(ValueError, match="no room for inference"):
+            total_background_share(jobs)
+
+    def test_duplicate_names_rejected(self):
+        jobs = [FinetuneJob(name="j", workload="avmnist", share=0.1)] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            total_background_share(jobs)
+
+    def test_slowdown_is_partition_reciprocal(self):
+        jobs = [FinetuneJob(name="j", workload="avmnist", share=0.25)]
+        assert inference_slowdown(jobs) == pytest.approx(1.0 / 0.75)
+        assert inference_slowdown([]) == 1.0
+
+    def test_make_jobs_split_share(self):
+        jobs = make_finetune_jobs(["avmnist", "mmimdb"], share=0.3)
+        assert [j.share for j in jobs] == [0.15, 0.15]
+        assert jobs[0].name == "avmnist:finetune"
+        assert make_finetune_jobs([]) == []
+
+
+class TestTrainingCostModel:
+    def test_step_time_positive_and_memoized(self):
+        job = FinetuneJob(name="j", workload="avmnist", share=0.2, batch_size=4)
+        cost = TrainingCostModel(job)
+        t = cost.step_time("2080ti")
+        assert t > 0
+        assert cost.step_time("2080ti") == t  # memo
+        # An edge board prices the same traced step slower.
+        assert cost.step_time("nano") > t
+
+
+class TestSimulateMixedWithFinetune:
+    def test_inference_slows_and_jobs_progress(self):
+        tenants = [affine_tenant()]
+        jobs = [FinetuneJob(name="bg", workload="avmnist", share=0.25,
+                            batch_size=4)]
+        clean = simulate_mixed(tenants, devices=("2080ti",), n_requests=400,
+                               scenario="finetune", seed=3)
+        shared = simulate_mixed(tenants, devices=("2080ti",), n_requests=400,
+                                scenario="finetune", finetune=jobs, seed=3)
+        assert shared.inference_slowdown == pytest.approx(1.0 / 0.75)
+        assert shared.makespan > clean.makespan
+        stats = shared.finetune_stats["bg"]
+        assert stats.steps_completed > 0
+        assert stats.samples_processed == pytest.approx(
+            stats.steps_completed * 4)
+        assert stats.makespan == pytest.approx(shared.makespan)
+
+    def test_progress_scales_with_share(self):
+        tenants = [affine_tenant()]
+
+        def run(share):
+            jobs = [FinetuneJob(name="bg", workload="avmnist", share=share,
+                                batch_size=4)]
+            return simulate_mixed(tenants, devices=("2080ti",), n_requests=200,
+                                  finetune=jobs, seed=1).finetune_stats["bg"]
+
+        small, large = run(0.1), run(0.4)
+        # A larger share both trains faster per wall-second and stretches
+        # the inference makespan; steps/second is the clean comparison.
+        assert large.steps_per_second > small.steps_per_second
+
+    def test_pure_inference_report_unchanged(self):
+        report = simulate_mixed([affine_tenant()], devices=("2080ti",),
+                                n_requests=100, seed=0)
+        assert report.finetune_stats == {}
+        assert report.inference_slowdown == 1.0
+
+    def test_progress_spans_all_slots(self):
+        jobs = [FinetuneJob(name="bg", workload="avmnist", share=0.2,
+                            batch_size=2)]
+        report = simulate_mixed([affine_tenant()], devices=("2080ti", "nano"),
+                                n_requests=200, finetune=jobs, seed=0)
+        stats = report.finetune_stats["bg"]
+        assert set(stats.per_slot_steps) == {"2080ti", "nano"}
+        assert stats.per_slot_steps["2080ti"] > stats.per_slot_steps["nano"]
+
+
+class TestFinetuneProgressDirect:
+    def test_partitioned_step_arithmetic(self):
+        job = FinetuneJob(name="j", workload="avmnist", share=0.5, batch_size=4)
+        cost = TrainingCostModel(job)
+        native = cost.step_time("2080ti")
+        out = finetune_progress([job], {"2080ti": "2080ti"}, makespan=1.0)
+        # share 0.5 doubles the step time on the partition.
+        assert out["j"].per_slot_steps["2080ti"] == pytest.approx(
+            1.0 / (native / 0.5))
+
+    def test_empty_jobs(self):
+        assert finetune_progress([], {"2080ti": "2080ti"}, 1.0) == {}

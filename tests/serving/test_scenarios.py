@@ -28,7 +28,8 @@ def interarrivals(requests):
 
 class TestRegistry:
     def test_names(self):
-        assert set(SCENARIO_NAMES) == {"uniform", "heavy-head", "diurnal", "bursty"}
+        assert set(SCENARIO_NAMES) == {"uniform", "heavy-head", "diurnal",
+                                       "bursty", "finetune"}
         for name in SCENARIO_NAMES:
             assert get_scenario(name).name == name
 

@@ -67,6 +67,45 @@ class TestConstruction:
         assert cols.host_meta == {1: {"note": "barrier"}}
 
 
+class TestPassColumns:
+    @pytest.fixture
+    def training_like(self):
+        return Trace(kernels=[
+            k("conv", KernelCategory.CONV, "encoder", "image", seq=0),
+            k("loss", KernelCategory.REDUCE, "head", None, seq=1, pass_="loss"),
+            k("conv_bwd", KernelCategory.CONV, "encoder", "image", seq=2,
+              pass_="backward"),
+            k("adam_update", KernelCategory.ELEWISE, "optimizer", None, seq=3,
+              pass_="optimizer"),
+        ])
+
+    def test_pass_codes_and_first_seen_order(self, training_like):
+        cols = training_like.columns()
+        assert cols.pass_codes.tolist() == [0, 1, 2, 3]
+        assert training_like.passes() == ["forward", "loss", "backward",
+                                          "optimizer"]
+
+    def test_pass_indices(self, training_like):
+        cols = training_like.columns()
+        assert cols.kernel_indices_for_pass("backward").tolist() == [2]
+        assert cols.kernel_indices_for_pass("nonsense").tolist() == []
+        assert [x.name for x in training_like.kernels_in_pass("optimizer")] == \
+            ["adam_update"]
+
+    def test_pass_survives_materialize_scale_and_payload(self, training_like):
+        cols = training_like.columns()
+        assert [e.pass_ for e in cols.materialize_kernels()] == \
+            ["forward", "loss", "backward", "optimizer"]
+        assert cols.scaled(2.0).pass_codes.tolist() == cols.pass_codes.tolist()
+        round_trip = TraceColumns.from_payload(cols.to_payload())
+        assert round_trip.pass_codes.tolist() == cols.pass_codes.tolist()
+        assert round_trip.host_pass_codes.tolist() == cols.host_pass_codes.tolist()
+
+    def test_inference_trace_is_pure_forward(self, trace):
+        assert trace.passes() == ["forward"]
+        assert (trace.columns().pass_codes == 0).all()
+
+
 class TestIndexing:
     def test_stage_indices(self, trace):
         cols = trace.columns()

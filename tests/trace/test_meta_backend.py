@@ -63,6 +63,45 @@ class TestDifferentialIdentity:
                [kernel_tuple(k) for k in eager.kernels]
 
 
+class TestTrainingStepDifferential:
+    """The invariant extended to full training steps: forward, loss,
+    backward and optimizer kernels must be event-for-event identical
+    between the eager and meta backends on every workload."""
+
+    @pytest.mark.parametrize("workload", list_workloads())
+    def test_training_step_event_for_event_identical(self, workload):
+        from repro.profiling.training import trace_training_step
+
+        info = get_workload(workload)
+        eager = trace_training_step(info.build(seed=0), batch_size=2, seed=0,
+                                    backend="eager")
+        meta = trace_training_step(info.build(seed=0), batch_size=2, seed=0,
+                                   backend="meta")
+
+        assert len(meta.kernels) == len(eager.kernels)
+        assert len(meta.host_events) == len(eager.host_events)
+        for a, b in zip(eager.kernels, meta.kernels):
+            assert kernel_tuple(a) == kernel_tuple(b)
+            assert a.pass_ == b.pass_
+        for a, b in zip(eager.host_events, meta.host_events):
+            assert host_tuple(a) == host_tuple(b)
+        assert meta.passes() == eager.passes() == \
+            ["forward", "loss", "backward", "optimizer"]
+
+    def test_meta_training_step_scales_past_memory(self):
+        """A training step at a batch far past physical RAM still traces
+        on the meta backend (shape-only activations *and* gradients)."""
+        from repro.profiling.training import trace_training_step
+
+        info = get_workload("avmnist")
+        big = trace_training_step(info.build(seed=0), batch_size=2**18,
+                                  seed=0, backend="meta")
+        small = trace_training_step(info.build(seed=0), batch_size=1,
+                                    seed=0, backend="meta")
+        assert len(big.kernels) == len(small.kernels)
+        assert big.total_flops > small.total_flops * 10**4
+
+
 class TestPaperScaleBatches:
     def test_meta_traces_batches_beyond_memory(self):
         """A batch far past physical RAM still traces on the meta backend.

@@ -117,6 +117,35 @@ class TestDiskTier:
         with pytest.raises(ValueError, match="schema"):
             trace_from_payload(payload)
 
+    def test_v2_payload_loads_as_all_forward(self):
+        """Back-compat: schema-v2 entries (pre-pass inference captures)
+        decode with every kernel on the forward pass."""
+        store = TraceStore()
+        stored = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        payload = trace_to_payload(stored, store.make_key("avmnist", batch_size=2))
+        payload["schema"] = 2
+        del payload["columns"]["pass_codes"]
+        del payload["columns"]["host_pass_codes"]
+        loaded = trace_from_payload(payload)
+        cols = loaded.trace.columns()
+        assert (cols.pass_codes == 0).all()
+        assert (cols.host_pass_codes == 0).all()
+        assert loaded.trace.passes() == ["forward"]
+
+    def test_training_trace_round_trip_through_disk(self, tmp_path):
+        warm = TraceStore(tmp_path)
+        original = warm.get_or_capture_training("avmnist", batch_size=2,
+                                                backend="meta")
+        cold = TraceStore(tmp_path)
+        loaded = cold.get_or_capture_training("avmnist", batch_size=2,
+                                              backend="meta")
+        assert cold.stats["captures"] == 0 and cold.stats["disk_hits"] == 1
+        assert loaded.trace.passes() == original.trace.passes() == \
+            ["forward", "loss", "backward", "optimizer"]
+        for a, b in zip(original.trace.kernels, loaded.trace.kernels):
+            assert (a.name, a.pass_, a.stage, a.flops) == \
+                   (b.name, b.pass_, b.stage, b.flops)
+
     def test_payload_is_plain_json(self, tmp_path):
         store = TraceStore(tmp_path)
         store.get_or_capture("avmnist", batch_size=2, backend="meta")
