@@ -1,0 +1,151 @@
+"""Benchmark: execution-graph ingest throughput and warm-store re-ingest.
+
+Generates a synthetic ~50k-node execution-graph JSON (a serial chain of
+mixed known/unknown ops with realistic shape payloads, serialized in
+shuffled order so the topological sort does real work), writes it to a
+temp file, and measures:
+
+* **cold ingest** — full parse -> map -> toposort -> trace build,
+  reported in nodes/second;
+* **warm memory hit** — a second ``get_or_ingest`` of the same file
+  against the in-process store tier;
+* **warm disk hit** — a fresh store pointed at the same cache dir,
+  loading the columnar payload instead of re-ingesting.
+
+Run from the repo root::
+
+    python benchmarks/bench_ingest.py [--nodes 50000] [-o FILE]
+
+Emits ``BENCH_ingest.json``::
+
+    {
+      "nodes": 50000,
+      "cold": {"seconds": ..., "nodes_per_s": ...},
+      "warm_memory": {"seconds": ..., "speedup": ...},
+      "warm_disk": {"seconds": ..., "speedup": ...}
+    }
+
+Exits non-zero if cold throughput drops below ``--floor`` nodes/s, if a
+warm memory hit fails to beat a cold ingest by ``--warm-speedup``, or if
+the whole run exceeds ``--budget`` seconds (CI regression gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.ingest import ingest_graph
+from repro.trace.store import TraceStore
+
+KNOWN_OPS = ("conv2d", "matmul", "relu", "batch_norm", "softmax",
+             "max_pool2d", "add", "linear", "layer_norm", "mul")
+UNKNOWN_OPS = ("vendor_fused_op", "mystery_kernel")
+
+
+def synthetic_graph(n_nodes: int, seed: int = 0) -> dict:
+    """A shuffled serial-chain graph of ``n_nodes`` mixed ops."""
+    rng = np.random.default_rng(seed)
+    nodes = []
+    for i in range(1, n_nodes + 1):
+        unknown = rng.random() < 0.05
+        name = str(rng.choice(UNKNOWN_OPS if unknown else KNOWN_OPS))
+        shape = [int(d) for d in rng.integers(1, 65, size=2)]
+        nodes.append({
+            "id": i,
+            "name": name,
+            "parents": [i - 1] if i > 1 else [],
+            "input_shapes": [shape, shape],
+            "input_dtypes": ["float32", "float32"],
+            "output_shapes": [shape],
+            "output_dtypes": ["float32"],
+        })
+    order = rng.permutation(n_nodes)
+    return {"schema": "mmbench-eg/1", "name": "synthetic_50k",
+            "batch_size": 8, "nodes": [nodes[int(i)] for i in order]}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=50_000)
+    parser.add_argument("--floor", type=float, default=5_000.0,
+                        help="minimum cold-ingest throughput (nodes/s)")
+    parser.add_argument("--warm-speedup", type=float, default=5.0,
+                        help="minimum warm-memory-hit speedup over cold ingest")
+    parser.add_argument("--budget", type=float, default=120.0,
+                        help="wall-clock budget for the whole benchmark (s)")
+    parser.add_argument("-o", "--output", default="BENCH_ingest.json")
+    args = parser.parse_args(argv)
+
+    run_start = time.perf_counter()
+    graph = synthetic_graph(args.nodes)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "synthetic.json"
+        path.write_text(json.dumps(graph))
+        size_mb = path.stat().st_size / 1e6
+
+        cold_s, ingested = _timed(lambda: ingest_graph(str(path)))
+        nodes_per_s = args.nodes / cold_s
+        print(f"cold ingest: {args.nodes:,} nodes ({size_mb:.1f} MB) in "
+              f"{cold_s:.2f} s = {nodes_per_s:,.0f} nodes/s "
+              f"(unknown fraction {ingested.report.unknown_fraction:.1%})")
+
+        cache_dir = Path(tmp) / "cache"
+        store = TraceStore(cache_dir)
+        fill_s, _ = _timed(lambda: store.get_or_ingest(str(path)))
+        warm_mem_s, _ = _timed(lambda: store.get_or_ingest(str(path)))
+        print(f"store fill (ingest + disk write): {fill_s:.2f} s; "
+              f"warm memory hit: {warm_mem_s * 1e3:.2f} ms "
+              f"({cold_s / warm_mem_s:,.0f}x over cold)")
+
+        fresh = TraceStore(cache_dir)
+        warm_disk_s, entry = _timed(lambda: fresh.get_or_ingest(str(path)))
+        assert fresh.stats["disk_hits"] == 1, "expected a disk hit"
+        assert entry.extra["ingest"]["n_nodes"] == args.nodes
+        print(f"warm disk hit (fresh process): {warm_disk_s:.2f} s "
+              f"({cold_s / warm_disk_s:.1f}x over cold)")
+
+    total_s = time.perf_counter() - run_start
+    payload = {
+        "bench": "ingest",
+        "nodes": args.nodes,
+        "graph_mb": round(size_mb, 2),
+        "unknown_fraction": round(ingested.report.unknown_fraction, 4),
+        "cold": {"seconds": round(cold_s, 4),
+                 "nodes_per_s": round(nodes_per_s, 1)},
+        "warm_memory": {"seconds": round(warm_mem_s, 6),
+                        "speedup": round(cold_s / warm_mem_s, 1)},
+        "warm_disk": {"seconds": round(warm_disk_s, 4),
+                      "speedup": round(cold_s / warm_disk_s, 1)},
+        "total_seconds": round(total_s, 2),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} (total {total_s:.1f} s)")
+
+    failed = False
+    if nodes_per_s < args.floor:
+        print(f"FAIL: cold ingest below {args.floor:,.0f} nodes/s")
+        failed = True
+    if cold_s / warm_mem_s < args.warm_speedup:
+        print(f"FAIL: warm memory hit under {args.warm_speedup:.0f}x cold")
+        failed = True
+    if total_s > args.budget:
+        print(f"FAIL: benchmark exceeded {args.budget:.0f} s budget")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,3 +30,16 @@ done
 
 # Traced-training breakdown: per-pass/per-stage table + cross-check.
 "${run[@]}" train-analyze --workload avmnist --batch-size 8 --cross-check
+
+# Execution-graph ingest: export a native trace, re-ingest it through the
+# full report/sweep/serve surface, and price an external golden fixture
+# (unknown-op fraction surfaced in the output).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+"${run[@]}" export --workload avmnist --batch-size 8 -o "$tmpdir/avmnist.json"
+"${run[@]}" ingest "$tmpdir/avmnist.json" --report
+"${run[@]}" ingest "$tmpdir/avmnist.json" --sweep 1,8,32 --devices 2080ti,nano
+"${run[@]}" ingest "$tmpdir/avmnist.json" --serve --arrival-rate 500 \
+    --n-requests 1000 --devices 2080ti,nano
+"${run[@]}" ingest tests/fixtures/execution_graphs/transformer_train.json \
+    --report | grep "unknown ops: 1/11"

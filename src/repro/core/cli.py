@@ -418,6 +418,155 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    """Serialize a built-in workload's trace to execution-graph JSON."""
+    try:
+        _validate_common(args)
+        if args.training:
+            from repro.nn.optim import OPTIMIZERS
+
+            if args.optimizer not in OPTIMIZERS:
+                raise KeyError(f"unknown optimizer {args.optimizer!r}; "
+                               f"available: {sorted(OPTIMIZERS)}")
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    store = _configure_store(args)
+    from repro.export.graph import stored_to_graph, write_graph
+
+    if args.training:
+        stored = store.get_or_capture_training(
+            args.workload, fusion=args.fusion, unimodal=args.unimodal,
+            batch_size=args.batch_size, seed=args.seed, backend=args.backend,
+            optimizer=args.optimizer)
+    else:
+        stored = store.get_or_capture(
+            args.workload, fusion=args.fusion, unimodal=args.unimodal,
+            batch_size=args.batch_size, seed=args.seed, backend=args.backend)
+    graph = stored_to_graph(stored, batch_size=args.batch_size)
+    path = write_graph(graph, args.output)
+    print(f"wrote {path} ({len(graph['nodes'])} nodes, "
+          f"batch {args.batch_size}, {stored.model_name})")
+    _print_store_stats()
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    """Price an external execution-graph JSON end-to-end."""
+    from repro.hw.device import get_device
+    from repro.trace.ingest import IngestError, OpMappingRegistry
+
+    try:
+        get_device(args.device)
+        devices = tuple(args.devices.split(",")) if args.devices else (args.device,)
+        for device in devices:
+            get_device(device)
+        sweep_batches = None
+        if args.sweep is not None:
+            try:
+                sweep_batches = tuple(int(b) for b in args.sweep.split(","))
+            except ValueError:
+                raise ValueError(f"--sweep must be comma-separated ints, "
+                                 f"got {args.sweep!r}") from None
+            if any(b <= 0 for b in sweep_batches):
+                raise ValueError(f"--sweep batch sizes must be positive, "
+                                 f"got {args.sweep!r}")
+        if args.batch_size is not None and args.batch_size <= 0:
+            raise ValueError(f"--batch-size must be positive, got {args.batch_size}")
+        if args.n_requests <= 0:
+            raise ValueError(f"--n-requests must be positive, got {args.n_requests}")
+        if args.arrival_rate is not None and args.arrival_rate <= 0:
+            raise ValueError("--arrival-rate must be positive")
+        if args.seed < 0:
+            raise ValueError(f"--seed must be non-negative, got {args.seed}")
+        registry = None
+        if args.op_map:
+            import json as _json
+
+            try:
+                with open(args.op_map) as fh:
+                    mapping = _json.load(fh)
+            except (OSError, ValueError) as exc:
+                raise ValueError(f"cannot read --op-map {args.op_map}: {exc}") from None
+            if not isinstance(mapping, dict):
+                raise ValueError("--op-map must be a JSON object of "
+                                 "{pattern: category}")
+            registry = OpMappingRegistry.from_mapping(mapping)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    store = _configure_store(args)
+    from repro.profiling.profiler import MMBenchProfiler
+    from repro.trace.ingest import IngestReport
+
+    try:
+        stored = store.get_or_ingest(args.graph, registry=registry)
+    except IngestError as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 2
+
+    # Provenance rides in StoredTrace.extra so warm store hits still
+    # surface the unknown-op fraction.
+    report = IngestReport.from_dict(stored.extra["ingest"])
+    base_batch = int(stored.extra.get("batch_size", 1))
+    for line in report.summary_lines():
+        print(line)
+
+    batch_size = args.batch_size or base_batch
+    profiler = MMBenchProfiler(args.device)
+
+    if args.report or not (args.sweep or args.serve):
+        from repro.profiling.report import profile_summary
+
+        result = profiler.profile_stored(stored, batch_size)
+        print()
+        print(profile_summary(result))
+
+    if sweep_batches is not None:
+        from repro.hw.engine import ExecutionEngine
+        from repro.trace.timeline import scale_trace
+
+        specs = [get_device(d) for d in devices]
+        rows = []
+        for b in sweep_batches:
+            factor = b / base_batch
+            trace = (stored.trace if factor == 1.0
+                     else scale_trace(stored.trace, factor))
+            engine = ExecutionEngine(specs[0])
+            reports = engine.run_sweep(
+                trace, specs,
+                model_bytes=stored.parameter_bytes,
+                input_bytes=stored.input_bytes * factor,
+            )
+            for device, priced in zip(devices, reports):
+                rows.append([b, device, f"{priced.total_time * 1e3:.3f} ms",
+                             f"{b / priced.total_time:,.0f}/s",
+                             f"{priced.memory_pressure:.2f}"])
+        print()
+        print(format_table(
+            ["batch", "device", "latency", "throughput", "mem pressure"], rows,
+            title=f"Ingested batch sweep: {stored.model_name}"))
+
+    if args.serve:
+        from repro.serving import TraceCostModel, make_policy, make_router, simulate
+        from repro.serving.report import serving_summary
+
+        cost = TraceCostModel(stored, base_batch_size=base_batch)
+        policy = make_policy(args.policy, batch_size=batch_size, slo=args.slo)
+        serve_report = simulate(
+            cost, policy, devices=devices, n_requests=args.n_requests,
+            arrival_rate=args.arrival_rate, router=make_router(args.router),
+            seed=args.seed,
+        )
+        print()
+        print(f"serving {stored.model_name} devices={','.join(devices)}")
+        print(serving_summary({policy.name: serve_report}, slo=args.slo))
+
+    _print_store_stats()
+    return 0
+
+
 def _add_trace_options(sub_parser) -> None:
     """Backend + cache flags shared by every trace-capturing subcommand."""
     sub_parser.add_argument(
@@ -492,6 +641,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_options(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    export = sub.add_parser(
+        "export", help="serialize a workload trace to execution-graph JSON")
+    export.add_argument("--workload", default="avmnist", choices=list_workloads())
+    export.add_argument("--fusion", default=None)
+    export.add_argument("--unimodal", default=None, metavar="MODALITY")
+    export.add_argument("--batch-size", type=int, default=8)
+    export.add_argument("--training", action="store_true",
+                        help="export a full traced training step "
+                             "(forward+loss+backward+optimizer)")
+    export.add_argument("--optimizer", default="adam",
+                        help="optimizer for --training exports")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("-o", "--output", required=True, metavar="FILE")
+    _add_trace_options(export)
+    export.set_defaults(fn=_cmd_export)
+
+    ingest = sub.add_parser(
+        "ingest", help="price an external execution-graph JSON "
+                       "(PyTorch ET / PARAM / Chakra-style)")
+    ingest.add_argument("graph", metavar="GRAPH.json")
+    ingest.add_argument("--device", default="2080ti")
+    ingest.add_argument("--batch-size", type=int, default=None,
+                        help="price at this batch size (default: the "
+                             "graph's own batch size)")
+    ingest.add_argument("--op-map", default=None, metavar="FILE",
+                        help="JSON object of {op-name-pattern: kernel "
+                             "category} layered over the default mapping")
+    ingest.add_argument("--report", action="store_true",
+                        help="full profile summary (default when neither "
+                             "--sweep nor --serve is given)")
+    ingest.add_argument("--sweep", default=None, metavar="B1,B2,...",
+                        help="batch-size sweep across --devices")
+    ingest.add_argument("--serve", action="store_true",
+                        help="serving simulation driven by the ingested trace")
+    ingest.add_argument("--devices", default=None,
+                        help="comma-separated devices for --sweep/--serve "
+                             "(default: --device)")
+    ingest.add_argument("--arrival-rate", type=float, default=None,
+                        metavar="REQ_PER_S")
+    ingest.add_argument("--n-requests", type=int, default=2_000)
+    ingest.add_argument("--policy", default="adaptive",
+                        choices=["fixed", "timeout", "adaptive"])
+    ingest.add_argument("--slo", type=float, default=50e-3)
+    ingest.add_argument("--router", default="earliest-finish",
+                        choices=["earliest-finish", "round-robin"])
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist ingested traces to DIR "
+                             "(content-addressed on the file digest)")
+    ingest.set_defaults(fn=_cmd_ingest)
 
     analyze = sub.add_parser("analyze", help="run a characterization analysis")
     analyze.add_argument("analysis",

@@ -141,6 +141,28 @@ class BenchmarkSuite:
         return train_model(model, dataset, n_train=n_train, n_test=n_test,
                            epochs=epochs, seed=config.seed)
 
+    # -- external execution graphs -----------------------------------------------
+
+    def ingest(self, path, registry=None, batch_size: int | None = None,
+               store=None) -> ProfileResult:
+        """Ingest an execution-graph JSON file and profile it on this
+        suite's device.
+
+        The graph goes through the shared trace store
+        (:meth:`~repro.trace.store.TraceStore.get_or_ingest`, keyed on the
+        file's content digest), so re-profiling the same file is a warm
+        hit. ``batch_size`` defaults to the batch size recorded in the
+        graph itself.
+        """
+        from repro.trace.store import default_store
+
+        store = store if store is not None else default_store()
+        stored = store.get_or_ingest(path, registry=registry)
+        if batch_size is None:
+            batch_size = int(stored.extra.get("batch_size", 1))
+        profiler = MMBenchProfiler(self.device)
+        return profiler.profile_stored(stored, batch_size)
+
     # -- reporting --------------------------------------------------------------
 
     def summarize(self, result: ProfileResult) -> str:

@@ -1,5 +1,14 @@
-"""Exports for accelerator-simulation frameworks (Timeloop-style)."""
+"""Exports: accelerator-simulation problems and execution-graph JSON."""
 
+from repro.export.graph import (
+    GRAPH_SCHEMA,
+    stored_to_graph,
+    trace_to_graph,
+    write_graph,
+)
 from repro.export.timeloop import export_problems, export_summary, kernel_to_problem
 
-__all__ = ["export_problems", "export_summary", "kernel_to_problem"]
+__all__ = [
+    "GRAPH_SCHEMA", "stored_to_graph", "trace_to_graph", "write_graph",
+    "export_problems", "export_summary", "kernel_to_problem",
+]

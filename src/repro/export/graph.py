@@ -1,0 +1,119 @@
+"""Export native traces to the execution-graph JSON the ingest path reads.
+
+This is the differential-testing half of the ingest story: every built-in
+workload trace can be serialized to the ``mmbench-eg/1`` schema, re-read
+by :func:`repro.trace.ingest.ingest_graph`, and priced — and the result
+must match the native trace to 1e-9 relative (a tier-1 invariant, the
+ingest analogue of the meta==eager check).
+
+To make that equivalence exact rather than approximate, the exporter
+writes **explicit work descriptors** (``flops`` / ``bytes_read`` /
+``bytes_written`` / ``threads`` / ``coalesced_fraction`` /
+``reuse_factor``) and explicit ``category`` / ``stage`` / ``modality`` /
+``pass`` fields on every node; the importer honors explicit values
+verbatim and only falls back to shape/dtype estimation and name
+heuristics when they are absent (i.e. for graphs produced by other
+tools). Events are emitted in global-``seq`` order as a serial dependency
+chain, so the importer's topological sort reproduces the capture order —
+and hence identical columns — deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.ingest import GRAPH_SCHEMA
+from repro.trace.tracer import Trace
+
+
+def _kernel_node(event, node_id: int, parents: list[int]) -> dict:
+    return {
+        "id": node_id,
+        "name": event.name,
+        "parents": parents,
+        "category": event.category.value,
+        "stage": event.stage,
+        "modality": event.modality,
+        "pass": event.pass_,
+        "flops": event.flops,
+        "bytes_read": event.bytes_read,
+        "bytes_written": event.bytes_written,
+        "threads": event.threads,
+        "coalesced_fraction": event.coalesced_fraction,
+        "reuse_factor": event.reuse_factor,
+        "attrs": dict(event.meta),
+    }
+
+
+def _host_node(event, node_id: int, parents: list[int]) -> dict:
+    return {
+        "id": node_id,
+        "name": event.name or f"host_{event.kind.value}",
+        "parents": parents,
+        "host": True,
+        "kind": event.kind.value,
+        "bytes": event.bytes,
+        "stage": event.stage,
+        "modality": event.modality,
+        "pass": event.pass_,
+        "attrs": dict(event.meta),
+    }
+
+
+def trace_to_graph(trace: Trace, name: str = "trace",
+                   batch_size: int = 1, model: dict | None = None) -> dict:
+    """Serialize a native trace to an ``mmbench-eg/1`` graph dict.
+
+    Kernels and host events are merged by global ``seq`` and chained
+    serially (each node's sole parent is its predecessor), which pins the
+    importer's topological order to the capture order.
+    """
+    events = [("kernel", e) for e in trace.kernels]
+    events += [("host", e) for e in trace.host_events]
+    events.sort(key=lambda pair: pair[1].seq)
+
+    nodes = []
+    prev_id = None
+    for i, (kind, event) in enumerate(events):
+        node_id = i + 1
+        parents = [prev_id] if prev_id is not None else []
+        if kind == "kernel":
+            nodes.append(_kernel_node(event, node_id, parents))
+        else:
+            nodes.append(_host_node(event, node_id, parents))
+        prev_id = node_id
+
+    graph = {
+        "schema": GRAPH_SCHEMA,
+        "name": name,
+        "batch_size": int(batch_size),
+        "nodes": nodes,
+    }
+    if model:
+        graph["model"] = model
+    return graph
+
+
+def stored_to_graph(stored, batch_size: int = 1, name: str | None = None) -> dict:
+    """Serialize a :class:`~repro.trace.store.StoredTrace` with its model
+    scalars, so re-ingest recovers parameter/input bytes for pricing."""
+    return trace_to_graph(
+        stored.trace,
+        name=name or stored.model_name,
+        batch_size=batch_size,
+        model={
+            "parameters": stored.parameters,
+            "parameter_bytes": stored.parameter_bytes,
+            "input_bytes": stored.input_bytes,
+            "modalities": list(stored.modalities),
+        },
+    )
+
+
+def write_graph(graph: dict, path) -> Path:
+    """Write a graph dict to ``path`` as pretty-printed JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(graph, indent=1) + "\n", encoding="utf-8")
+    return out

@@ -184,6 +184,16 @@ class MMBenchProfiler:
             workload, fusion=fusion, unimodal=unimodal,
             batch_size=batch_size, seed=seed, backend=backend,
         )
+        return self.profile_stored(stored, batch_size)
+
+    def profile_stored(self, stored: StoredTrace, batch_size: int) -> ProfileResult:
+        """Price a :class:`~repro.trace.store.StoredTrace` on this profiler's
+        device.
+
+        The common tail of :meth:`profile_workload` and the ingest path:
+        any stored entry — captured from a built-in workload or ingested
+        from an external execution graph — prices identically from here.
+        """
         report = self.price(
             None, stored.trace, batch_size,
             model_bytes=stored.parameter_bytes, input_bytes=stored.input_bytes,

@@ -22,6 +22,7 @@ from repro.serving.costmodel import (
     PROFILE_STATS,
     CallableCostModel,
     ProfiledCostModel,
+    TraceCostModel,
     clear_cost_cache,
     throughput_optimal_batch,
 )
@@ -82,7 +83,7 @@ from repro.serving.simulator import (
 
 __all__ = [
     "DEFAULT_ANCHORS", "PROFILE_STATS", "CallableCostModel", "ProfiledCostModel",
-    "clear_cost_cache", "throughput_optimal_batch",
+    "TraceCostModel", "clear_cost_cache", "throughput_optimal_batch",
     "FinetuneJob", "FinetuneStats", "TrainingCostModel", "finetune_progress",
     "inference_slowdown", "make_finetune_jobs", "total_background_share",
     "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",

@@ -210,6 +210,76 @@ class ProfiledCostModel:
         return lambda k: self.latency(device, k)
 
 
+class TraceCostModel:
+    """``latency(device, batch_size)`` for one already-stored trace.
+
+    The serving adapter for ingested execution graphs: policies and the
+    simulator only ever call ``latency``, so any
+    :class:`~repro.trace.store.StoredTrace` — regardless of whether a
+    model object exists for it — can drive a serving run. Anchor latencies
+    are produced by *batch-scaling* the stored trace
+    (:func:`repro.trace.timeline.scale_trace` with factor ``k / base``):
+    per-kernel work scales with the batch while the parameter footprint
+    stays fixed and only the input footprint scales, which is the batch
+    semantics (``price_grid``'s ``scale`` path scales both because it
+    models scaling the *model*, not the batch).
+    """
+
+    def __init__(self, stored, base_batch_size: int = 1,
+                 anchors: tuple[int, ...] = DEFAULT_ANCHORS,
+                 name: str | None = None):
+        anchors = tuple(int(k) for k in anchors)
+        if not anchors or list(anchors) != sorted(set(anchors)) or anchors[0] < 1:
+            raise ValueError(f"anchors must be increasing positive ints, got {anchors}")
+        if base_batch_size < 1:
+            raise ValueError(f"base_batch_size must be positive, got {base_batch_size}")
+        self.stored = stored
+        self.base_batch_size = int(base_batch_size)
+        self.anchors = anchors
+        self.name = name or stored.model_name
+        self._anchor_arr = np.array(anchors, dtype=np.float64)
+        self._anchor_times: dict[str, np.ndarray] = {}  # canonical device -> times
+
+    def _anchor_curve(self, device: str) -> np.ndarray:
+        canonical = get_device(device).name
+        curve = self._anchor_times.get(canonical)
+        if curve is not None:
+            return curve
+        from repro.hw.engine import ExecutionEngine
+        from repro.trace.timeline import scale_trace
+
+        engine = ExecutionEngine(get_device(canonical))
+        times = np.empty(len(self.anchors), dtype=np.float64)
+        for i, k in enumerate(self.anchors):
+            factor = k / self.base_batch_size
+            trace = (self.stored.trace if factor == 1.0
+                     else scale_trace(self.stored.trace, factor))
+            report = engine.run(
+                trace,
+                model_bytes=self.stored.parameter_bytes,
+                input_bytes=self.stored.input_bytes * factor,
+            )
+            PROFILE_STATS["pricings"] += 1
+            # Floor keeps the interpolated curve strictly positive even
+            # for degenerate (e.g. empty) traces.
+            times[i] = max(report.total_time, 1e-12)
+        self._anchor_times[canonical] = times
+        return times
+
+    def latency(self, device: str, batch_size: int) -> float:
+        """Seconds to serve one batch of ``batch_size`` on ``device``."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return _interp_affine(batch_size, self._anchor_arr, self._anchor_curve(device))
+
+    def throughput_optimal_batch(self, device: str, max_batch: int = 512) -> int:
+        return throughput_optimal_batch(self, device, max_batch)
+
+    def batch_time(self, device: str):
+        """A ``batch_time(k)`` closure bound to ``device`` (legacy interface)."""
+        return lambda k: self.latency(device, k)
+
+
 # Keyed by the model *instance* (weakly, so caches die with their model):
 # two models that merely share a name and parameter count must not share
 # latency curves. Values: {(device, seed, anchors): times array}.

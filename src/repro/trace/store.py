@@ -44,8 +44,11 @@ from repro.trace.tracer import Trace, Tracer
 #: host events, for traced training steps. v2 payloads still load: a
 #: missing pass column decodes as all-forward, which is exactly what a
 #: pre-v3 (inference-only) capture was.
-SCHEMA_VERSION = 3
-_READABLE_SCHEMAS = (2, 3)
+#: v4: optional ``extra`` dict on stored entries (ingest provenance —
+#: source digest, unknown-op report, graph batch size). v2/v3 payloads
+#: still load with an empty ``extra``.
+SCHEMA_VERSION = 4
+_READABLE_SCHEMAS = (2, 3, 4)
 
 _FINGERPRINT: str | None = None
 
@@ -64,6 +67,7 @@ def code_fingerprint() -> str:
         import repro.nn.layers
         import repro.trace.columns
         import repro.trace.events
+        import repro.trace.ingest
         import repro.trace.tracer
         import repro.workloads
 
@@ -83,6 +87,10 @@ def code_fingerprint() -> str:
             pkg_dir / "core" / "train.py",
             Path(repro.trace.columns.__file__),
             Path(repro.trace.events.__file__),
+            # Ingest + graph export determine the event stream of ingested
+            # entries exactly as the op library does for captured ones.
+            Path(repro.trace.ingest.__file__),
+            pkg_dir / "export" / "graph.py",
             Path(repro.trace.tracer.__file__),
             Path(repro.data.synthetic.__file__),
             *sorted(Path(repro.nn.layers.__file__).parent.glob("*.py")),
@@ -124,7 +132,14 @@ class TraceKey:
 
 @dataclass
 class StoredTrace:
-    """A cached trace plus the model scalars pricing needs."""
+    """A cached trace plus the model scalars pricing needs.
+
+    ``extra`` carries entry provenance that is not needed for pricing but
+    must survive warm cache hits — the ingest path stores its
+    :class:`~repro.trace.ingest.IngestReport` (unknown-op bucket, pass
+    counts) and the graph's native batch size here, so a re-run against a
+    warm store can still surface the unknown-op fraction.
+    """
 
     trace: Trace
     model_name: str
@@ -132,6 +147,7 @@ class StoredTrace:
     parameter_bytes: int
     input_bytes: int
     modalities: list[str] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
 
 
 # -- (de)serialization --------------------------------------------------------
@@ -146,6 +162,7 @@ def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
         "parameter_bytes": stored.parameter_bytes,
         "input_bytes": stored.input_bytes,
         "modalities": list(stored.modalities),
+        "extra": stored.extra,
         "columns": stored.trace.columns().to_payload(),
     }
 
@@ -163,6 +180,7 @@ def trace_from_payload(payload: dict) -> StoredTrace:
         parameter_bytes=payload["parameter_bytes"],
         input_bytes=payload["input_bytes"],
         modalities=list(payload["modalities"]),
+        extra=dict(payload.get("extra") or {}),
     )
 
 
@@ -372,6 +390,59 @@ class TraceStore:
             parameter_bytes=model.parameter_bytes(),
             input_bytes=model.input_bytes(key.batch_size),
             modalities=list(model.modality_names),
+        )
+        self.stats["captures"] += 1
+        self.put(key, entry)
+        return entry
+
+    def get_or_ingest(self, path, registry=None) -> StoredTrace:
+        """Return the cached trace for an external graph file, ingesting on
+        a miss.
+
+        The key is content-addressed on the *source file digest* plus the
+        op-mapping registry digest (a registry override changes the mapped
+        event stream, so it must change the key) plus the usual code
+        fingerprint. The graph's native batch size and the full
+        :class:`~repro.trace.ingest.IngestReport` ride along in
+        ``StoredTrace.extra`` so warm hits still report the unknown-op
+        fraction.
+        """
+        from pathlib import Path as _Path
+
+        from repro.trace.ingest import (
+            default_registry,
+            ingest_graph,
+            source_digest,
+        )
+
+        registry = registry if registry is not None else default_registry()
+        src_digest = source_digest(path)
+        key = TraceKey(
+            workload=f"graph:{_Path(str(path)).stem}",
+            fusion=None,
+            unimodal=None,
+            batch_size=1,
+            seed=0,
+            backend="ingest",
+            code_version=code_fingerprint(),
+            mode=f"ingest:{src_digest}:{registry.digest()}",
+        )
+        entry = self.get(key)
+        if entry is not None:
+            return entry
+
+        ingested = ingest_graph(path, registry=registry)
+        entry = StoredTrace(
+            trace=ingested.trace,
+            model_name=ingested.name,
+            parameters=ingested.parameters,
+            parameter_bytes=ingested.parameter_bytes,
+            input_bytes=ingested.input_bytes,
+            modalities=list(ingested.modalities),
+            extra={
+                "ingest": ingested.report.to_dict(),
+                "batch_size": ingested.batch_size,
+            },
         )
         self.stats["captures"] += 1
         self.put(key, entry)

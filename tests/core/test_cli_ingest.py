@@ -1,0 +1,136 @@
+"""CLI tests for ``mmbench export`` and ``mmbench ingest``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.suite import BenchmarkSuite
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "execution_graphs"
+
+
+@pytest.fixture
+def exported(tmp_path):
+    path = tmp_path / "avmnist.json"
+    assert main(["export", "--workload", "avmnist", "--batch-size", "2",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestExport:
+    def test_export_writes_schema_graph(self, exported):
+        graph = json.loads(exported.read_text())
+        assert graph["schema"] == "mmbench-eg/1"
+        assert graph["batch_size"] == 2
+        assert graph["nodes"]
+        assert graph["model"]["parameter_bytes"] > 0
+
+    def test_export_training_includes_all_passes(self, tmp_path, capsys):
+        path = tmp_path / "train.json"
+        assert main(["export", "--workload", "avmnist", "--training",
+                     "--batch-size", "2", "-o", str(path)]) == 0
+        passes = {n.get("pass") for n in json.loads(path.read_text())["nodes"]}
+        assert passes == {"forward", "loss", "backward", "optimizer"}
+
+    def test_export_rejects_bad_workload_and_optimizer(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["export", "--workload", "nope", "-o", str(tmp_path / "x.json")])
+        assert main(["export", "--workload", "avmnist", "--training",
+                     "--optimizer", "nope", "-o", str(tmp_path / "x.json")]) == 2
+        assert "unknown optimizer" in capsys.readouterr().err
+
+
+class TestIngest:
+    def test_report_surfaces_unknown_fraction(self, capsys):
+        assert main(["ingest", str(FIXTURES / "unknown_ops.json")]) == 0
+        out = capsys.readouterr().out
+        assert "unknown ops: 2/4 kernels (50.0%)" in out
+        assert "my_custom_op" in out
+        assert "MMBench profile" in out  # default --report output
+
+    def test_roundtrip_report(self, exported, capsys):
+        assert main(["ingest", str(exported), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "41 nodes -> 32 kernels + 9 host events" in out
+        assert "unknown ops: 0/32 kernels (0.0%)" in out
+        assert "MMBench profile" in out
+
+    def test_sweep(self, exported, capsys):
+        assert main(["ingest", str(exported), "--sweep", "1,8",
+                     "--devices", "2080ti,nano"]) == 0
+        out = capsys.readouterr().out
+        assert "Ingested batch sweep" in out
+        assert "nano" in out
+
+    def test_serve(self, exported, capsys):
+        assert main(["ingest", str(exported), "--serve",
+                     "--n-requests", "200", "--arrival-rate", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving policies" in out
+        assert "adaptive" in out
+
+    def test_fixture_serves_end_to_end(self, capsys):
+        assert main(["ingest", str(FIXTURES / "transformer_train.json"),
+                     "--serve", "--n-requests", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown ops: 1/11" in out
+        assert "Serving policies" in out
+
+    def test_op_map_override(self, tmp_path, capsys):
+        op_map = tmp_path / "map.json"
+        op_map.write_text(json.dumps({"my_custom": "Gemm", "magic": "Gemm"}))
+        assert main(["ingest", str(FIXTURES / "unknown_ops.json"),
+                     "--op-map", str(op_map)]) == 0
+        assert "unknown ops: 0/4 kernels (0.0%)" in capsys.readouterr().out
+
+    def test_warm_cache_still_reports_unknowns(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["ingest", str(FIXTURES / "unknown_ops.json"),
+                         "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        # Second run is a disk hit yet still surfaces the unknown bucket.
+        assert out.count("unknown ops: 2/4 kernels (50.0%)") == 2
+        assert "1 hits (1 disk)" in out
+
+
+class TestIngestErrors:
+    @pytest.mark.parametrize("fixture,fragment", [
+        ("cyclic.json", "cycle"),
+        ("missing_parent.json", "unknown parent"),
+    ])
+    def test_malformed_graphs_exit_2(self, fixture, fragment, capsys):
+        assert main(["ingest", str(FIXTURES / fixture)]) == 2
+        err = capsys.readouterr().err
+        assert "ingest failed" in err and fragment in err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["ingest", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_flags_exit_2(self, capsys, exported):
+        assert main(["ingest", str(exported), "--sweep", "1,x"]) == 2
+        assert main(["ingest", str(exported), "--batch-size", "0"]) == 2
+        assert main(["ingest", str(exported), "--op-map", "/nope.json"]) == 2
+
+    def test_bad_device_exits_2(self, capsys, exported):
+        assert main(["ingest", str(exported), "--device", "tpu9000"]) == 2
+
+
+class TestSuiteIngest:
+    def test_suite_ingest_profiles_fixture(self):
+        suite = BenchmarkSuite("2080ti")
+        result = suite.ingest(str(FIXTURES / "cnn_forward.json"))
+        assert result.model_name == "cnn_forward"
+        assert result.flops == 16896
+        assert result.total_time > 0
+        assert result.batch_size == 1  # the graph's own batch size
+
+    def test_suite_ingest_batch_override(self):
+        suite = BenchmarkSuite("2080ti")
+        result = suite.ingest(str(FIXTURES / "cnn_forward.json"), batch_size=4)
+        assert result.batch_size == 4

@@ -1,0 +1,106 @@
+"""Differential round-trip: export -> ingest must price identically.
+
+The ingest analogue of the meta==eager tier-1 invariant: every built-in
+workload trace, serialized to execution-graph JSON through an actual file
+(so float repr round-tripping is exercised) and re-ingested, must price
+within 1e-9 relative of the native trace on the execution engine — and
+the rebuilt columns must be equal, not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.export.graph import stored_to_graph, write_graph
+from repro.hw.device import get_device
+from repro.hw.engine import ExecutionEngine
+from repro.trace.ingest import ingest_graph
+from repro.trace.store import TraceStore
+from repro.workloads.registry import list_workloads
+
+RTOL = 1e-9
+BATCH = 2
+
+_COMPARED_COLUMNS = (
+    "flops", "bytes_read", "bytes_written", "threads",
+    "coalesced_fraction", "reuse_factor",
+    "category_codes", "pass_codes", "seq",
+    "host_bytes", "host_kind_codes", "host_pass_codes", "host_seq",
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TraceStore()
+
+
+def roundtrip(stored, tmp_path, name):
+    graph = stored_to_graph(stored, batch_size=BATCH, name=name)
+    path = write_graph(graph, tmp_path / f"{name}.json")
+    return ingest_graph(str(path))
+
+
+def assert_equivalent(stored, ingested):
+    native, rebuilt = stored.trace, ingested.trace
+    assert rebuilt.total_flops == pytest.approx(native.total_flops, rel=RTOL)
+    assert rebuilt.total_bytes == pytest.approx(native.total_bytes, rel=RTOL)
+
+    c1, c2 = native.columns(), rebuilt.columns()
+    for column in _COMPARED_COLUMNS:
+        assert np.array_equal(getattr(c1, column), getattr(c2, column)), column
+    # Interned tables are rebuilt in the same first-seen order, so label
+    # lookups agree too.
+    assert c1.stage_table == c2.stage_table
+    assert c1.modality_table == c2.modality_table
+
+    engine = ExecutionEngine(get_device("2080ti"))
+    r1 = engine.run(native, model_bytes=stored.parameter_bytes,
+                    input_bytes=stored.input_bytes)
+    r2 = engine.run(rebuilt, model_bytes=ingested.parameter_bytes,
+                    input_bytes=ingested.input_bytes)
+    for metric in ("total_time", "gpu_time", "host_time", "launch_time",
+                   "transfer_time", "sync_time"):
+        a, b = getattr(r1, metric), getattr(r2, metric)
+        assert b == pytest.approx(a, rel=RTOL, abs=1e-30), metric
+
+
+@pytest.mark.parametrize("workload", list_workloads())
+def test_all_nine_workloads_roundtrip(workload, store, tmp_path):
+    stored = store.get_or_capture(workload, batch_size=BATCH, backend="meta")
+    ingested = roundtrip(stored, tmp_path, workload)
+    assert_equivalent(stored, ingested)
+    assert ingested.report.unknown_count == 0  # native vocab fully mapped
+    assert ingested.batch_size == BATCH
+
+
+def test_training_trace_roundtrips_with_pass_fidelity(store, tmp_path):
+    stored = store.get_or_capture_training(
+        "avmnist", batch_size=BATCH, backend="meta", optimizer="adam")
+    ingested = roundtrip(stored, tmp_path, "avmnist_train")
+    assert_equivalent(stored, ingested)
+    assert ingested.trace.passes() == ["forward", "loss", "backward", "optimizer"]
+
+
+def test_store_ingest_path_prices_identically(store, tmp_path):
+    """get_or_ingest -> profile_stored matches the native pricing too."""
+    from repro.profiling.profiler import MMBenchProfiler
+
+    stored = store.get_or_capture("avmnist", batch_size=BATCH, backend="meta")
+    graph = stored_to_graph(stored, batch_size=BATCH, name="avmnist")
+    path = write_graph(graph, tmp_path / "avmnist.json")
+
+    entry = store.get_or_ingest(str(path))
+    assert entry.extra["batch_size"] == BATCH
+    assert entry.extra["ingest"]["unknown_ops"] == {}
+
+    profiler = MMBenchProfiler("2080ti")
+    native = profiler.profile_stored(stored, BATCH)
+    external = profiler.profile_stored(entry, BATCH)
+    assert external.total_time == pytest.approx(native.total_time, rel=RTOL)
+    assert external.flops == pytest.approx(native.flops, rel=RTOL)
+    # Content addressing: the same file is a warm hit, not a re-ingest.
+    captures = store.stats["captures"]
+    again = store.get_or_ingest(str(path))
+    assert store.stats["captures"] == captures
+    assert again is entry

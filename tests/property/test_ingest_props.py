@@ -1,0 +1,98 @@
+"""Property-based ingest tests over seeded random DAGs.
+
+Each case generates a random graph whose edges only point backward in a
+random node permutation (guaranteeing acyclicity), serializes it in
+*shuffled* order, and checks the invariants the loader promises: node
+count preserved, topological order respected, work descriptors never
+negative, and the unknown-op fraction exactly accounted for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.ingest import default_registry, ingest_graph
+
+KNOWN_OPS = ("conv2d", "matmul", "relu", "batch_norm", "softmax",
+             "max_pool2d", "add", "mul", "linear")
+UNKNOWN_OPS = ("mystery_op", "vendor_special", "fused_magic_kernel")
+DTYPES = ("float32", "float16", "int64", "int8")
+
+
+def random_dag(rng: np.random.Generator, n_nodes: int) -> dict:
+    """A random acyclic graph serialized in shuffled (non-topo) order."""
+    order = rng.permutation(n_nodes)  # position -> rank in a topo order
+    rank_to_id = {int(rank): int(rank) + 1 for rank in range(n_nodes)}
+    nodes = []
+    for rank in range(n_nodes):
+        n_parents = int(rng.integers(0, min(rank, 3) + 1))
+        parents = sorted(
+            rank_to_id[int(p)]
+            for p in rng.choice(rank, size=n_parents, replace=False)
+        ) if rank else []
+        unknown = rng.random() < 0.3
+        name = str(rng.choice(UNKNOWN_OPS if unknown else KNOWN_OPS))
+        shape = [int(d) for d in rng.integers(1, 9, size=2)]
+        nodes.append({
+            "id": rank_to_id[rank],
+            "name": name,
+            "parents": parents,
+            "input_shapes": [shape, shape],
+            "input_dtypes": [str(rng.choice(DTYPES))] * 2,
+            "output_shapes": [shape],
+            "output_dtypes": [str(rng.choice(DTYPES))],
+        })
+    shuffled = [nodes[int(i)] for i in order]
+    return {"schema": "mmbench-eg/1", "name": "random_dag", "nodes": shuffled}
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_dag_invariants(seed):
+    rng = np.random.default_rng(seed)
+    n_nodes = int(rng.integers(1, 40))
+    graph = random_dag(rng, n_nodes)
+    g = ingest_graph(graph)
+
+    # Node count preserved: nothing dropped, nothing invented.
+    assert g.report.n_nodes == n_nodes
+    assert g.report.n_kernels + g.report.n_host_events == n_nodes
+    assert len(g.topo_order) == n_nodes
+    assert sorted(g.topo_order) == sorted(n["id"] for n in graph["nodes"])
+
+    # Topological order respected: every parent precedes its child.
+    position = {node_id: i for i, node_id in enumerate(g.topo_order)}
+    for node in graph["nodes"]:
+        for parent in node["parents"]:
+            assert position[parent] < position[node["id"]], (parent, node["id"])
+
+    # Emission follows the topo order, with dense sequential seq.
+    assert [k.seq for k in g.trace.kernels] == list(range(n_nodes))
+
+    # Work descriptors are always finite and non-negative.
+    columns = g.trace.columns()
+    for name in ("flops", "bytes_read", "bytes_written"):
+        values = getattr(columns, name)
+        assert np.all(values >= 0.0), name
+        assert np.all(np.isfinite(values)), name
+    assert np.all(columns.threads >= 1)
+
+    # Unknown-op accounting is exact.
+    registry = default_registry()
+    expected_unknown = sum(
+        1 for node in graph["nodes"] if registry.resolve(node["name"]) is None)
+    assert g.report.unknown_count == expected_unknown
+    assert g.report.unknown_fraction == pytest.approx(
+        expected_unknown / n_nodes)
+    assert set(g.report.unknown_ops) <= set(UNKNOWN_OPS)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_ingest_is_deterministic(seed):
+    rng = np.random.default_rng(100 + seed)
+    graph = random_dag(rng, int(rng.integers(2, 30)))
+    a = ingest_graph(graph)
+    b = ingest_graph(graph)
+    assert a.topo_order == b.topo_order
+    assert np.array_equal(a.trace.columns().flops, b.trace.columns().flops)
+    assert a.report.to_dict() == b.report.to_dict()
