@@ -43,3 +43,26 @@ trap 'rm -rf "$tmpdir"' EXIT
     --n-requests 1000 --devices 2080ti,nano
 "${run[@]}" ingest tests/fixtures/execution_graphs/transformer_train.json \
     --report | grep "unknown ops: 1/11"
+
+# Store migration: seed a legacy gzip-JSON (schema v4) cache, migrate it
+# to the v5 binary format, and prove the migrated entry warm-hits.
+cachedir="$tmpdir/cache"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$cachedir" <<'EOF'
+import sys
+from pathlib import Path
+from repro.trace.store import TraceStore, trace_to_payload, write_legacy_json
+
+cache = Path(sys.argv[1])
+store = TraceStore(cache)
+key = store.make_key("avmnist", batch_size=2, backend="meta")
+entry = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+for binary in cache.glob("*.mmt"):
+    binary.unlink()
+write_legacy_json(cache / f"{key.digest()}.json.gz",
+                  trace_to_payload(entry, key))
+EOF
+"${run[@]}" store ls --cache-dir "$cachedir" | grep json
+"${run[@]}" store migrate --cache-dir "$cachedir" | grep "1 legacy"
+"${run[@]}" store stats --cache-dir "$cachedir" | grep "1 v5"
+"${run[@]}" run --workload avmnist --batch-size 2 --backend meta \
+    --cache-dir "$cachedir" | grep "0 captures"

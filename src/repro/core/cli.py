@@ -567,6 +567,84 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Corpus operations on the on-disk trace store (schema v5 binary tier)."""
+    import os
+
+    from repro.trace.store import TraceStore
+
+    cache_dir = args.cache_dir or os.environ.get("MMBENCH_CACHE_DIR")
+    if not cache_dir:
+        print("mmbench store needs --cache-dir (or $MMBENCH_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    store = TraceStore(cache_dir)
+
+    if args.action == "ls":
+        rows = []
+        for info in store.entries():
+            key = info["key"] or {}
+            what = (key.get("workload", "?") if info["status"] == "ok" else "?")
+            mode = key.get("mode", "?")
+            if isinstance(mode, str) and mode.startswith("ingest:"):
+                mode = "ingest"
+            rows.append([
+                info["digest"][:12], info["format"],
+                info["schema"] if info["schema"] is not None else "-",
+                what, mode, key.get("batch_size", "-"),
+                key.get("backend", "-"), info["n"],
+                f"{info['bytes'] / 1024:.1f} KiB",
+                ("corrupt" if info["status"] == "corrupt"
+                 else "stale" if info["stale"] else "ok"),
+            ])
+        if not rows:
+            print(f"trace store [{cache_dir}]: empty")
+            return 0
+        print(format_table(
+            ["digest", "format", "schema", "workload", "mode", "batch",
+             "backend", "kernels", "size", "status"],
+            rows, title=f"trace store [{cache_dir}]"))
+        return 0
+
+    if args.action == "stats":
+        infos = store.entries()
+        by_format: dict[str, int] = {}
+        total_bytes = 0
+        kernels = 0
+        stale = corrupt = 0
+        for info in infos:
+            by_format[info["format"]] = by_format.get(info["format"], 0) + 1
+            total_bytes += info["bytes"]
+            kernels += info["n"]
+            stale += bool(info["stale"])
+            corrupt += info["status"] == "corrupt"
+        interned = len(store._interner) if store._interner is not None else 0
+        print(f"trace store [{cache_dir}]: {len(infos)} entries "
+              f"({', '.join(f'{n} {f}' for f, n in sorted(by_format.items())) or 'none'})")
+        print(f"  {total_bytes / 1e6:.2f} MB on disk, {kernels:,} kernels, "
+              f"{interned} interned strings")
+        print(f"  {stale} stale (old code fingerprint), {corrupt} corrupt")
+        return 0
+
+    if args.action == "gc":
+        removed = store.gc(stale=not args.keep_stale)
+        print(f"gc [{cache_dir}]: removed "
+              f"{removed['stale']} stale, {removed['corrupt']} quarantined, "
+              f"{removed['unreadable']} unreadable, {removed['tmp']} torn tmp")
+        return 0
+
+    if args.action == "migrate":
+        migrated = store.migrate()
+        print(f"migrate [{cache_dir}]: {migrated} legacy gzip-JSON entries "
+              f"rewritten as v5 binary")
+        if store.stats["corrupt"]:
+            print(f"  {store.stats['corrupt']} unreadable entries quarantined")
+        return 0
+
+    print(f"unknown store action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _add_trace_options(sub_parser) -> None:
     """Backend + cache flags shared by every trace-capturing subcommand."""
     sub_parser.add_argument(
@@ -692,6 +770,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist ingested traces to DIR "
                              "(content-addressed on the file digest)")
     ingest.set_defaults(fn=_cmd_ingest)
+
+    store_p = sub.add_parser(
+        "store", help="corpus operations on the on-disk trace cache "
+                      "(ls / stats / gc / migrate)")
+    store_sub = store_p.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("ls", "list every disk entry (format, schema, key, size, status)"),
+        ("stats", "aggregate corpus statistics"),
+        ("gc", "remove stale, quarantined and torn-write files"),
+        ("migrate", "rewrite legacy gzip-JSON entries as v5 binary files"),
+    ):
+        action_p = store_sub.add_parser(action, help=help_text)
+        action_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="store directory (also $MMBENCH_CACHE_DIR)")
+        if action == "gc":
+            action_p.add_argument("--keep-stale", action="store_true",
+                                  help="only remove corrupt/torn files, keep "
+                                       "entries with old code fingerprints")
+        action_p.set_defaults(fn=_cmd_store)
 
     analyze = sub.add_parser("analyze", help="run a characterization analysis")
     analyze.add_argument("analysis",

@@ -43,6 +43,26 @@ PASS_CODES: dict[str, int] = {p: i for i, p in enumerate(PASS_ORDER)}
 #: Modality code for "no modality" (``KernelEvent.modality is None``).
 NO_MODALITY = -1
 
+#: The stable on-disk column schema (name, little-endian dtype), in file
+#: order. The binary store (:mod:`repro.trace.binfmt`) writes exactly these
+#: blocks and :meth:`TraceColumns.from_buffers` validates against them, so
+#: adding/reordering a column is a schema change, not a silent drift.
+KERNEL_COLUMN_SPEC: tuple[tuple[str, str], ...] = (
+    ("flops", "<f8"), ("bytes_read", "<f8"), ("bytes_written", "<f8"),
+    ("threads", "<i8"), ("coalesced_fraction", "<f8"), ("reuse_factor", "<f8"),
+    ("category_codes", "<i8"), ("stage_codes", "<i8"),
+    ("modality_codes", "<i8"), ("pass_codes", "<i8"),
+    ("name_codes", "<i8"), ("seq", "<i8"),
+)
+HOST_COLUMN_SPEC: tuple[tuple[str, str], ...] = (
+    ("host_kind_codes", "<i8"), ("host_bytes", "<f8"),
+    ("host_stage_codes", "<i8"), ("host_modality_codes", "<i8"),
+    ("host_pass_codes", "<i8"), ("host_name_codes", "<i8"),
+    ("host_seq", "<i8"),
+)
+#: Interned string tables, in header order.
+TABLE_NAMES = ("stage_table", "modality_table", "name_table", "host_name_table")
+
 
 class _Interner:
     """First-seen-order string interning: name -> small int code."""
@@ -203,6 +223,73 @@ class TraceColumns:
             stage_table=stages.table(), modality_table=modalities.table(),
             name_table=names.table(), host_name_table=host_names.table(),
             meta=meta, host_meta=host_meta,
+        )
+
+    @classmethod
+    def from_buffers(
+        cls,
+        n: int,
+        host_n: int,
+        arrays: dict,
+        tables: dict,
+        meta: dict | None = None,
+        host_meta: dict | None = None,
+    ) -> "TraceColumns":
+        """Wrap pre-built (possibly memory-mapped, read-only) column arrays.
+
+        This is the zero-copy entry point the binary store loads through:
+        arrays are adopted as-is, never copied. Dtypes, lengths and code
+        ranges are validated against the column schema so a truncated or
+        bit-rotted file fails loudly here instead of producing garbage
+        prices downstream.
+        """
+        def _check(spec, length, kind):
+            for name, dtype in spec:
+                arr = arrays.get(name)
+                if arr is None:
+                    raise ValueError(f"missing {kind} column {name!r}")
+                if arr.ndim != 1 or arr.dtype != np.dtype(dtype):
+                    raise ValueError(
+                        f"{kind} column {name!r}: expected 1-d {dtype}, got "
+                        f"{arr.ndim}-d {arr.dtype.str}")
+                if arr.size != length:
+                    raise ValueError(
+                        f"{kind} column {name!r}: expected {length} entries, "
+                        f"got {arr.size}")
+
+        _check(KERNEL_COLUMN_SPEC, n, "kernel")
+        _check(HOST_COLUMN_SPEC, host_n, "host")
+        for tname in TABLE_NAMES:
+            if not isinstance(tables.get(tname), tuple):
+                raise ValueError(f"missing interned table {tname!r}")
+
+        def _bounds(name, lo, hi):
+            arr = arrays[name]
+            if arr.size and (int(arr.min()) < lo or int(arr.max()) >= hi):
+                raise ValueError(
+                    f"column {name!r} has codes outside [{lo}, {hi})")
+
+        _bounds("category_codes", 0, len(CATEGORY_ORDER))
+        _bounds("pass_codes", 0, len(PASS_ORDER))
+        _bounds("stage_codes", 0, max(1, len(tables["stage_table"])))
+        _bounds("modality_codes", NO_MODALITY,
+                max(1, len(tables["modality_table"])))
+        _bounds("name_codes", 0, max(1, len(tables["name_table"])))
+        _bounds("host_kind_codes", 0, len(HOST_KIND_ORDER))
+        _bounds("host_pass_codes", 0, len(PASS_ORDER))
+        _bounds("host_stage_codes", 0, max(1, len(tables["stage_table"])))
+        _bounds("host_modality_codes", NO_MODALITY,
+                max(1, len(tables["modality_table"])))
+        _bounds("host_name_codes", 0, max(1, len(tables["host_name_table"])))
+
+        return cls(
+            n=n,
+            host_n=host_n,
+            **{name: arrays[name]
+               for name, _ in KERNEL_COLUMN_SPEC + HOST_COLUMN_SPEC},
+            **{tname: tables[tname] for tname in TABLE_NAMES},
+            meta=dict(meta or {}),
+            host_meta=dict(host_meta or {}),
         )
 
     # -- materialization (API-compatibility escape hatch) ----------------------

@@ -11,11 +11,19 @@ re-captures). :class:`TraceStore` is the single cache they all share now:
   emitted event stream, so editing an op's FLOP accounting invalidates
   stale traces automatically instead of silently serving them.
 * **Two tiers**: an in-process dict for hot lookups, plus an optional
-  on-disk tier (gzipped JSON, one file per digest) that survives across
-  processes — point ``cache_dir`` (or ``$MMBENCH_CACHE_DIR``) at a
-  directory and batch sweeps warm-start from earlier runs.
-* **Observable**: ``stats`` counts hits / misses / captures / disk hits,
-  surfaced by the CLI's cache-stats line and asserted by tests.
+  on-disk tier that survives across processes — point ``cache_dir`` (or
+  ``$MMBENCH_CACHE_DIR``) at a directory and batch sweeps warm-start from
+  earlier runs. Since schema v5 the disk form is **binary columnar**
+  (:mod:`repro.trace.binfmt`): one ``.mmt`` file per digest whose column
+  blocks memory-map straight into read-only
+  :class:`~repro.trace.columns.TraceColumns` views — no JSON parse, no
+  event materialization. Legacy v2–v4 gzip-JSON entries still load, and
+  :meth:`TraceStore.migrate` (``mmbench store migrate``) upgrades them
+  in place.
+* **Observable**: ``stats`` counts hits / misses / captures / disk hits /
+  corrupt files, surfaced by the CLI's cache-stats line and asserted by
+  tests. Corrupt or truncated files are quarantined (renamed to
+  ``*.corrupt``), never silently re-served.
 
 A stored entry carries the trace plus the model-derived scalars the
 pricing path needs (parameter count/bytes, input bytes, modalities), so
@@ -27,13 +35,17 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.trace import binfmt
 from repro.trace.columns import TraceColumns
 from repro.trace.tracer import Trace, Tracer
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the serialized payload layout changes.
 #: v2: columnar structure-of-arrays payload (one array per work
@@ -47,8 +59,19 @@ from repro.trace.tracer import Trace, Tracer
 #: v4: optional ``extra`` dict on stored entries (ingest provenance —
 #: source digest, unknown-op report, graph batch size). v2/v3 payloads
 #: still load with an empty ``extra``.
-SCHEMA_VERSION = 4
-_READABLE_SCHEMAS = (2, 3, 4)
+#: v5: binary columnar ``.mmt`` files (repro.trace.binfmt) replacing
+#: gzip-JSON on disk — raw little-endian column blocks that memory-map
+#: zero-copy into TraceColumns, with string tables interned corpus-wide
+#: in an ``interning.jsonl`` sidecar. v2–v4 gzip-JSON entries still load.
+SCHEMA_VERSION = 5
+#: Legacy gzip-JSON payload schemas that still load.
+_JSON_SCHEMAS = (2, 3, 4)
+#: Schema stamped into legacy-format payloads written today (fixtures,
+#: migration round-trip tests, the bench's JSON baseline).
+_JSON_SCHEMA_CURRENT = 4
+
+#: Errors that mean "this cache file is corrupt", as opposed to missing.
+_CORRUPT_ERRORS = (OSError, EOFError, ValueError, KeyError, TypeError)
 
 _FINGERPRINT: str | None = None
 
@@ -153,9 +176,14 @@ class StoredTrace:
 # -- (de)serialization --------------------------------------------------------
 
 
-def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
+def trace_to_payload(stored: StoredTrace, key: TraceKey,
+                     schema: int = _JSON_SCHEMA_CURRENT) -> dict:
+    """Legacy gzip-JSON payload form (v2–v4). The live disk format is the
+    binary one (:mod:`repro.trace.binfmt`); this writer remains for
+    back-compat fixtures, migration tests and the store benchmark's JSON
+    baseline."""
     return {
-        "schema": SCHEMA_VERSION,
+        "schema": schema,
         "key": asdict(key),
         "model_name": stored.model_name,
         "parameters": stored.parameters,
@@ -168,7 +196,7 @@ def trace_to_payload(stored: StoredTrace, key: TraceKey) -> dict:
 
 
 def trace_from_payload(payload: dict) -> StoredTrace:
-    if payload.get("schema") not in _READABLE_SCHEMAS:
+    if payload.get("schema") not in _JSON_SCHEMAS:
         raise ValueError(f"unsupported trace payload schema {payload.get('schema')!r}")
     columns = TraceColumns.from_payload(payload["columns"])
     return StoredTrace(
@@ -184,19 +212,50 @@ def trace_from_payload(payload: dict) -> StoredTrace:
     )
 
 
+def write_legacy_json(path: str | os.PathLike, payload: dict) -> Path:
+    """Atomically write a legacy gzip-JSON entry (fixtures / baselines)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                                    suffix=".tmp")
+    try:
+        with gzip.open(os.fdopen(fd, "wb"), "wt", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_legacy_json(path: str | os.PathLike) -> dict:
+    """Parse a legacy gzip-JSON entry back to its payload dict."""
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 # -- the store ----------------------------------------------------------------
 
 
 class TraceStore:
     """Two-tier (memory + optional disk) content-addressed trace cache."""
 
+    #: Sidecar file holding the corpus-wide interned string table.
+    INTERNING_SIDECAR = "interning.jsonl"
+
     def __init__(self, cache_dir: str | os.PathLike | None = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._interner: binfmt.StringInterner | None = None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._interner = binfmt.StringInterner(
+                self.cache_dir / self.INTERNING_SIDECAR)
         self._memory: dict[str, StoredTrace] = {}
         self._models: dict[tuple, object] = {}
-        self.stats = {"hits": 0, "misses": 0, "captures": 0, "disk_hits": 0}
+        self.stats = {"hits": 0, "misses": 0, "captures": 0, "disk_hits": 0,
+                      "corrupt": 0}
 
     # -- keys -----------------------------------------------------------------
 
@@ -255,7 +314,49 @@ class TraceStore:
     def _path_for(self, key: TraceKey) -> Path | None:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{key.digest()}.json.gz"
+        return self._binary_path(key.digest())
+
+    def _binary_path(self, digest: str) -> Path:
+        return self.cache_dir / f"{digest}{binfmt.SUFFIX}"
+
+    def _legacy_path(self, digest: str) -> Path:
+        return self.cache_dir / f"{digest}.json.gz"
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """A cache file failed to decode: it is corrupt, not missing.
+
+        Rename it aside (``*.corrupt``) so the bytes survive for a
+        postmortem but can never poison another warm run, count it, and
+        log — a truncated write must fail loudly exactly once.
+        """
+        self.stats["corrupt"] += 1
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+            where = f"quarantined as {quarantined.name}"
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            where = "removed"
+        logger.warning("corrupt trace cache file %s (%s: %s); %s",
+                       path.name, type(exc).__name__, exc, where)
+
+    def _load_disk_file(self, path: Path) -> StoredTrace | None:
+        """Decode one disk-tier file (binary or legacy), quarantining on
+        failure. Returns None if the file is missing or corrupt."""
+        try:
+            if path.suffix == binfmt.SUFFIX:
+                _, entry = binfmt.read_entry(path, interner=self._interner)
+            else:
+                entry = trace_from_payload(read_legacy_json(path))
+        except FileNotFoundError:
+            return None
+        except _CORRUPT_ERRORS as exc:
+            self._quarantine(path, exc)
+            return None
+        return entry
 
     def get(self, key: TraceKey) -> StoredTrace | None:
         """Cached entry for ``key``, or None (counts a hit or a miss)."""
@@ -264,20 +365,13 @@ class TraceStore:
         if entry is not None:
             self.stats["hits"] += 1
             return entry
-        path = self._path_for(key)
-        if path is not None and path.exists():
-            try:
-                with gzip.open(path, "rt", encoding="utf-8") as fh:
-                    entry = trace_from_payload(json.load(fh))
-            except (OSError, EOFError, ValueError, KeyError, TypeError):
-                # Corrupt, truncated or old-schema entry: drop it and
-                # fall through to a recapture rather than crashing every
-                # command pointed at this cache dir.
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            else:
+        if self.cache_dir is not None:
+            for path in (self._binary_path(digest), self._legacy_path(digest)):
+                if not path.exists():
+                    continue
+                entry = self._load_disk_file(path)
+                if entry is None:  # corrupt (quarantined); try next format
+                    continue
                 self._memory[digest] = entry
                 self.stats["hits"] += 1
                 self.stats["disk_hits"] += 1
@@ -286,24 +380,150 @@ class TraceStore:
         return None
 
     def put(self, key: TraceKey, stored: StoredTrace) -> None:
-        self._memory[key.digest()] = stored
-        path = self._path_for(key)
-        if path is not None:
-            # Write to a per-writer temp file, then atomically publish:
-            # concurrent sweeps may race on the same key, but each writes
-            # its own file and the final rename is all-or-nothing.
-            fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir,
-                                            prefix=path.name, suffix=".tmp")
+        digest = key.digest()
+        self._memory[digest] = stored
+        if self.cache_dir is None:
+            return
+        # binfmt.write_entry publishes via temp file + atomic rename:
+        # concurrent sweeps may race on the same key, but each writes its
+        # own file and the final rename is all-or-nothing.
+        binfmt.write_entry(self._binary_path(digest), asdict(key), stored,
+                           interner=self._interner)
+        # A freshly-written binary entry supersedes any legacy twin.
+        try:
+            self._legacy_path(digest).unlink()
+        except OSError:
+            pass
+
+    # -- corpus operations ------------------------------------------------------
+
+    def _disk_files(self) -> list[Path]:
+        """Disk-tier entries, binary first (the authoritative format)."""
+        if self.cache_dir is None:
+            return []
+        return (sorted(self.cache_dir.glob(f"*{binfmt.SUFFIX}"))
+                + sorted(self.cache_dir.glob("*.json.gz")))
+
+    def prefetch(self, keys=None) -> int:
+        """Map a corpus into the memory tier in one pass.
+
+        With ``keys``, loads exactly those entries (missing ones are
+        counted as misses, like :meth:`get`). Without, maps **every**
+        readable disk entry — for the binary tier this is one header parse
+        plus an mmap per file, so thousand-trace corpora load in
+        milliseconds. Returns the number of entries now resident.
+        """
+        if keys is not None:
+            return sum(1 for key in keys if self.get(key) is not None)
+        loaded = 0
+        for path in self._disk_files():
+            digest = path.name.split(".", 1)[0]
+            if digest in self._memory:
+                loaded += 1
+                continue
+            entry = self._load_disk_file(path)
+            if entry is None:
+                continue
+            self._memory[digest] = entry
+            self.stats["disk_hits"] += 1
+            loaded += 1
+        return loaded
+
+    def entries(self) -> list[dict]:
+        """One info dict per disk entry (cheap: headers only, no columns)."""
+        current = code_fingerprint()
+        infos = []
+        for path in self._disk_files():
+            digest = path.name.split(".", 1)[0]
+            info = {
+                "digest": digest,
+                "format": "v5" if path.suffix == binfmt.SUFFIX else "json",
+                "bytes": path.stat().st_size,
+                "path": path,
+            }
             try:
-                with gzip.open(os.fdopen(fd, "wb"), "wt", encoding="utf-8") as fh:
-                    json.dump(trace_to_payload(stored, key), fh)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+                if path.suffix == binfmt.SUFFIX:
+                    header = binfmt.read_header(path)
+                else:
+                    header = read_legacy_json(path)
+            except _CORRUPT_ERRORS:
+                info.update(status="corrupt", key=None, n=0, host_n=0,
+                            schema=None, stale=False)
+                infos.append(info)
+                continue
+            key = header.get("key") or {}
+            if path.suffix == binfmt.SUFFIX:
+                n, host_n = int(header["n"]), int(header["host_n"])
+            else:
+                cols = header.get("columns") or {}
+                n, host_n = int(cols.get("n", 0)), int(cols.get("host_n", 0))
+            info.update(
+                status="ok", key=key, schema=header.get("schema"),
+                n=n, host_n=host_n,
+                stale=key.get("code_version") not in (None, current),
+            )
+            infos.append(info)
+        return infos
+
+    def migrate(self) -> int:
+        """Upgrade every legacy gzip-JSON entry to a v5 binary file.
+
+        The digest (file stem) is preserved, so entries written under the
+        current code fingerprint keep warm-hitting after the upgrade.
+        Unreadable legacy files are quarantined. Returns the number of
+        entries migrated.
+        """
+        migrated = 0
+        if self.cache_dir is None:
+            return migrated
+        for path in sorted(self.cache_dir.glob("*.json.gz")):
+            digest = path.name.split(".", 1)[0]
+            try:
+                payload = read_legacy_json(path)
+                entry = trace_from_payload(payload)
+            except _CORRUPT_ERRORS as exc:
+                self._quarantine(path, exc)
+                continue
+            binfmt.write_entry(self._binary_path(digest), payload.get("key"),
+                               entry, interner=self._interner)
+            path.unlink()
+            migrated += 1
+        return migrated
+
+    def gc(self, stale: bool = True) -> dict:
+        """Remove quarantined, torn-write and (optionally) stale entries.
+
+        ``stale`` entries are ones whose key carries a code fingerprint
+        other than the current one — no future lookup can ever hit them.
+        Schema-aware: covers both binary and legacy formats. The interning
+        sidecar is dropped once no binary entry references it. Returns
+        removal counts by reason.
+        """
+        removed = {"corrupt": 0, "tmp": 0, "stale": 0, "unreadable": 0}
+        if self.cache_dir is None:
+            return removed
+        for path in sorted(self.cache_dir.glob("*.corrupt")):
+            path.unlink()
+            removed["corrupt"] += 1
+        for path in sorted(self.cache_dir.glob("*.tmp")):
+            path.unlink()
+            removed["tmp"] += 1
+        for info in self.entries():
+            if info["status"] == "corrupt":
+                info["path"].unlink()
+                removed["unreadable"] += 1
+            elif stale and info["stale"]:
+                info["path"].unlink()
+                removed["stale"] += 1
+        if (self._interner is not None
+                and not list(self.cache_dir.glob(f"*{binfmt.SUFFIX}"))):
+            try:
+                self._interner.path.unlink()
+            except OSError:
+                pass
+            self._interner = binfmt.StringInterner(
+                self.cache_dir / self.INTERNING_SIDECAR)
+        return removed
 
     # -- the main entry point -----------------------------------------------------
 
@@ -451,12 +671,24 @@ class TraceStore:
     # -- maintenance ----------------------------------------------------------------
 
     def clear(self, disk: bool = False) -> None:
-        """Drop memoized traces and models (and optionally the disk tier)."""
+        """Drop memoized traces and models (and optionally the disk tier).
+
+        ``disk=True`` is schema-aware: it removes binary v5 files, legacy
+        gzip-JSON entries, quarantined/torn-write leftovers and the
+        interning sidecar — not just one hardcoded extension.
+        """
         self._memory.clear()
         self._models.clear()
         if disk and self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.json.gz"):
-                path.unlink()
+            for pattern in (f"*{binfmt.SUFFIX}", "*.json.gz", "*.corrupt",
+                            "*.tmp", self.INTERNING_SIDECAR):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            self._interner = binfmt.StringInterner(
+                self.cache_dir / self.INTERNING_SIDECAR)
 
     def reset_stats(self) -> None:
         for k in self.stats:
@@ -468,10 +700,13 @@ class TraceStore:
     def stats_line(self) -> str:
         s = self.stats
         where = str(self.cache_dir) if self.cache_dir else "memory-only"
-        return (
+        line = (
             f"trace store [{where}]: {s['hits']} hits ({s['disk_hits']} disk), "
             f"{s['misses']} misses, {s['captures']} captures"
         )
+        if s["corrupt"]:
+            line += f", {s['corrupt']} corrupt"
+        return line
 
 
 # -- process-wide default store ------------------------------------------------

@@ -1,0 +1,90 @@
+"""``mmbench store`` corpus subcommands: ls, stats, gc, migrate."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core.cli import main
+from repro.trace.store import (
+    TraceStore,
+    set_default_store,
+    trace_to_payload,
+    write_legacy_json,
+)
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "trace_store"
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_store():
+    prev = set_default_store(None)
+    yield
+    set_default_store(prev)
+
+
+@pytest.fixture
+def seeded(tmp_path):
+    """A cache dir with one binary entry and one legacy gzip-JSON entry."""
+    store = TraceStore(tmp_path)
+    entry = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+    legacy_key = store.make_key("avmnist", batch_size=4, backend="meta")
+    write_legacy_json(tmp_path / f"{legacy_key.digest()}.json.gz",
+                      trace_to_payload(entry, legacy_key))
+    return tmp_path
+
+
+def test_store_requires_cache_dir(monkeypatch, capsys):
+    monkeypatch.delenv("MMBENCH_CACHE_DIR", raising=False)
+    assert main(["store", "ls"]) == 2
+    assert "--cache-dir" in capsys.readouterr().err
+
+
+def test_store_honors_env_cache_dir(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("MMBENCH_CACHE_DIR", str(tmp_path))
+    assert main(["store", "ls"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_store_ls_lists_both_formats(seeded, capsys):
+    assert main(["store", "ls", "--cache-dir", str(seeded)]) == 0
+    out = capsys.readouterr().out
+    assert "v5" in out and "json" in out and "avmnist" in out
+
+
+def test_store_stats_aggregates(seeded, capsys):
+    assert main(["store", "stats", "--cache-dir", str(seeded)]) == 0
+    out = capsys.readouterr().out
+    assert "2 entries" in out and "1 json" in out and "1 v5" in out
+    assert "interned strings" in out
+
+
+def test_store_migrate_upgrades_legacy(seeded, capsys):
+    assert main(["store", "migrate", "--cache-dir", str(seeded)]) == 0
+    assert "1 legacy" in capsys.readouterr().out
+    assert not list(seeded.glob("*.json.gz"))
+    assert len(list(seeded.glob("*.mmt"))) == 2
+    # Migrated entries warm-hit: the batch-4 key loads with zero captures.
+    cold = TraceStore(seeded)
+    cold.get_or_capture("avmnist", batch_size=4, backend="meta")
+    assert cold.stats["captures"] == 0 and cold.stats["disk_hits"] == 1
+
+
+def test_store_gc_removes_stale_and_corrupt(seeded, capsys):
+    shutil.copy(FIXTURES / "store_v4.json.gz", seeded / ("a" * 64 + ".json.gz"))
+    (seeded / "torn.tmp").write_bytes(b"x")
+    assert main(["store", "gc", "--cache-dir", str(seeded)]) == 0
+    out = capsys.readouterr().out
+    assert "1 stale" in out and "1 torn tmp" in out
+    # The live entries survive.
+    assert main(["store", "ls", "--cache-dir", str(seeded)]) == 0
+    assert "avmnist" in capsys.readouterr().out
+
+
+def test_store_gc_keep_stale(seeded, capsys):
+    shutil.copy(FIXTURES / "store_v4.json.gz", seeded / ("a" * 64 + ".json.gz"))
+    assert main(["store", "gc", "--keep-stale", "--cache-dir", str(seeded)]) == 0
+    assert "0 stale" in capsys.readouterr().out
+    assert (seeded / ("a" * 64 + ".json.gz")).exists()

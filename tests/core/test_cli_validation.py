@@ -89,7 +89,7 @@ class TestTraceOptions:
         assert main(["run", "--workload", "avmnist", "--batch-size", "2",
                      "--cache-dir", str(cache)]) == 0
         capsys.readouterr()
-        assert list(cache.glob("*.json.gz"))
+        assert list(cache.glob("*.mmt"))
         # A second CLI invocation warm-starts from disk: zero captures.
         set_default_store(None)
         assert main(["run", "--workload", "avmnist", "--batch-size", "2",

@@ -1,0 +1,99 @@
+"""Regenerate the committed v2/v3/v4 gzip-JSON trace-store fixtures.
+
+These files pin the legacy disk formats the binary (v5) store must keep
+loading forever: a schema-v2 payload (pre-pass inference capture), a v3
+payload (pass columns) and a v4 payload (``extra`` provenance dict). The
+payloads are hand-rolled — deliberately independent of the live capture
+path — so a behavior change in the tracer can never silently rewrite
+what "a v2 file" means.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/trace_store/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+#: One tiny but fully-populated trace: 3 kernels across two stages and two
+#: modalities (one kernel unattributed), 2 host events, sparse meta.
+_COLUMNS = {
+    "n": 3,
+    "flops": [1024.0, 2048.0, 512.0],
+    "bytes_read": [4096.0, 8192.0, 1024.0],
+    "bytes_written": [2048.0, 1024.0, 512.0],
+    "threads": [256, 1024, 64],
+    "coalesced_fraction": [1.0, 0.5, 1.0],
+    "reuse_factor": [1.0, 4.0, 1.0],
+    "category_codes": [0, 5, 7],          # Conv, Gemm, Other
+    "stage_codes": [0, 0, 1],
+    "modality_codes": [0, -1, 1],
+    "name_codes": [0, 1, 1],
+    "seq": [0, 1, 2],
+    "host_n": 2,
+    "host_kind_codes": [0, 3],            # h2d, sync
+    "host_bytes": [4096.0, 0.0],
+    "host_stage_codes": [0, 1],
+    "host_modality_codes": [0, -1],
+    "host_pass_codes": [0, 0],
+    "host_name_codes": [0, 0],
+    "host_seq": [0, 1],
+    "stage_table": ["encoder", "head"],
+    "modality_table": ["image", "audio"],
+    "name_table": ["conv2d", "relu"],
+    "host_name_table": ["h2d_copy"],
+    "meta": {"1": {"note": "fixture"}},
+    "host_meta": {},
+}
+
+
+def _payload(schema: int) -> dict:
+    columns = {k: (list(v) if isinstance(v, list) else v)
+               for k, v in _COLUMNS.items()}
+    if schema >= 3:
+        columns["pass_codes"] = [0, 0, 2]  # forward, forward, backward
+    else:
+        del columns["host_pass_codes"]  # v2 predates passes entirely
+    payload = {
+        "schema": schema,
+        "key": {
+            "workload": "fixture",
+            "fusion": "concat",
+            "unimodal": None,
+            "batch_size": 4,
+            "seed": 0,
+            "backend": "meta",
+            # A fingerprint no live checkout will ever produce: these
+            # entries are permanently stale, which is exactly what a cache
+            # written by an old build looks like.
+            "code_version": "fix7ure000000",
+            "mode": "inference",
+        },
+        "model_name": "fixture_model",
+        "parameters": 10,
+        "parameter_bytes": 40,
+        "input_bytes": 64,
+        "modalities": ["image", "audio"],
+        "columns": columns,
+    }
+    if schema >= 4:
+        payload["extra"] = {"origin": f"fixture-v{schema}"}
+    return payload
+
+
+def main() -> None:
+    for schema in (2, 3, 4):
+        path = HERE / f"store_v{schema}.json.gz"
+        # mtime=0 keeps the bytes reproducible run-to-run.
+        with gzip.GzipFile(path, "wb", mtime=0) as fh:
+            fh.write(json.dumps(_payload(schema), sort_keys=True).encode())
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

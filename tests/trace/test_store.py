@@ -1,8 +1,5 @@
 """The content-addressed trace store: keys, tiers, stats, persistence."""
 
-import gzip
-import json
-
 import pytest
 
 from repro.serving import PROFILE_STATS, ProfiledCostModel, clear_cost_cache
@@ -92,7 +89,7 @@ class TestDiskTier:
     def test_round_trip_through_disk(self, tmp_path):
         warm = TraceStore(tmp_path)
         original = warm.get_or_capture("avmnist", batch_size=4, backend="meta")
-        assert len(list(tmp_path.glob("*.json.gz"))) == 1
+        assert len(list(tmp_path.glob("*.mmt"))) == 1
 
         cold = TraceStore(tmp_path)  # fresh process-equivalent
         loaded = cold.get_or_capture("avmnist", batch_size=4, backend="meta")
@@ -146,25 +143,31 @@ class TestDiskTier:
             assert (a.name, a.pass_, a.stage, a.flops) == \
                    (b.name, b.pass_, b.stage, b.flops)
 
-    def test_payload_is_plain_json(self, tmp_path):
+    def test_binary_header_carries_key(self, tmp_path):
+        from repro.trace.binfmt import read_header
+
         store = TraceStore(tmp_path)
         store.get_or_capture("avmnist", batch_size=2, backend="meta")
-        path = next(tmp_path.glob("*.json.gz"))
-        with gzip.open(path, "rt") as fh:
-            payload = json.load(fh)
-        assert payload["key"]["workload"] == "avmnist"
-        assert payload["key"]["code_version"] == code_fingerprint()
+        path = next(tmp_path.glob("*.mmt"))
+        header = read_header(path)
+        assert header["schema"] == 5
+        assert header["key"]["workload"] == "avmnist"
+        assert header["key"]["code_version"] == code_fingerprint()
 
     def test_corrupt_disk_entry_recaptured_not_fatal(self, tmp_path):
         seeded = TraceStore(tmp_path)
         seeded.get_or_capture("avmnist", batch_size=2, backend="meta")
-        path = next(tmp_path.glob("*.json.gz"))
-        path.write_bytes(b"definitely not gzip")
+        path = next(tmp_path.glob("*.mmt"))
+        path.write_bytes(b"definitely not a trace file")
 
         cold = TraceStore(tmp_path)
         out = cold.get_or_capture("avmnist", batch_size=2, backend="meta")
         assert cold.stats["captures"] == 1  # recaptured, no crash
+        assert cold.stats["corrupt"] == 1  # counted, distinct from a miss
+        assert "1 corrupt" in cold.stats_line()
         assert out.trace.total_flops > 0
+        # The bad bytes were quarantined aside, not silently vaporized.
+        assert list(tmp_path.glob("*.corrupt"))
         # The bad file was replaced with a good one: next process disk-hits.
         fresh = TraceStore(tmp_path)
         fresh.get_or_capture("avmnist", batch_size=2, backend="meta")
@@ -174,9 +177,11 @@ class TestDiskTier:
         store = TraceStore(tmp_path)
         store.get_or_capture("avmnist", batch_size=2, backend="meta")
         store.clear()
-        assert len(store) == 0 and list(tmp_path.glob("*.json.gz"))
+        assert len(store) == 0 and list(tmp_path.glob("*.mmt"))
         store.clear(disk=True)
-        assert not list(tmp_path.glob("*.json.gz"))
+        # Schema-aware: binary files AND the interning sidecar are gone.
+        assert not list(tmp_path.glob("*.mmt"))
+        assert not (tmp_path / TraceStore.INTERNING_SIDECAR).exists()
 
 
 class TestCostModelShims:

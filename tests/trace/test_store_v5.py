@@ -1,0 +1,432 @@
+"""The binary columnar (schema v5) disk tier: zero-copy loads, round
+trips, back-compat, interning, corpus ops, concurrent writers."""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.hw.device import get_device
+from repro.hw.engine import ExecutionEngine
+from repro.trace import binfmt
+from repro.trace.columns import (
+    HOST_COLUMN_SPEC,
+    KERNEL_COLUMN_SPEC,
+    TABLE_NAMES,
+    TraceColumns,
+)
+from repro.trace.events import (
+    PASSES,
+    HostEvent,
+    HostOpKind,
+    KernelCategory,
+    KernelEvent,
+)
+from repro.trace.store import (
+    StoredTrace,
+    TraceStore,
+    read_legacy_json,
+    set_default_store,
+    trace_from_payload,
+    trace_to_payload,
+    write_legacy_json,
+)
+from repro.trace.tracer import Trace
+from repro.workloads.registry import list_workloads
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "trace_store"
+
+ALL_COLUMNS = [name for name, _ in KERNEL_COLUMN_SPEC + HOST_COLUMN_SPEC]
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_store():
+    prev = set_default_store(None)
+    yield
+    set_default_store(prev)
+
+
+def random_stored_trace(rng: np.random.Generator, n: int = 40,
+                        host_n: int = 7) -> StoredTrace:
+    """A synthetic trace with every categorical dimension exercised."""
+    stages = ("preprocess", "encoder", "fusion", "head", "optimizer")
+    modalities = ("image", "audio", "text", None)
+    categories = list(KernelCategory)
+    kinds = list(HostOpKind)
+    kernels = [
+        KernelEvent(
+            name=f"op_{rng.integers(0, 12)}",
+            category=categories[rng.integers(0, len(categories))],
+            flops=float(rng.uniform(0, 1e9)),
+            bytes_read=float(rng.uniform(0, 1e7)),
+            bytes_written=float(rng.uniform(0, 1e6)),
+            threads=int(rng.integers(1, 1 << 20)),
+            stage=stages[rng.integers(0, len(stages))],
+            modality=modalities[rng.integers(0, len(modalities))],
+            pass_=PASSES[rng.integers(0, len(PASSES))],
+            seq=int(i),
+            coalesced_fraction=float(rng.uniform(0.1, 1.0)),
+            reuse_factor=float(rng.uniform(1.0, 16.0)),
+            meta={"shape": [int(rng.integers(1, 64))]} if rng.random() < 0.3 else {},
+        )
+        for i in range(n)
+    ]
+    host_events = [
+        HostEvent(
+            kind=kinds[rng.integers(0, len(kinds))],
+            bytes=float(rng.uniform(0, 1e6)),
+            stage=stages[rng.integers(0, len(stages))],
+            modality=modalities[rng.integers(0, len(modalities))],
+            pass_=PASSES[rng.integers(0, len(PASSES))],
+            seq=int(i),
+            name=f"host_{rng.integers(0, 4)}",
+        )
+        for i in range(host_n)
+    ]
+    return StoredTrace(
+        trace=Trace(kernels, host_events),
+        model_name=f"random_{rng.integers(0, 1 << 30)}",
+        parameters=int(rng.integers(1, 1 << 24)),
+        parameter_bytes=int(rng.integers(1, 1 << 26)),
+        input_bytes=int(rng.integers(1, 1 << 22)),
+        modalities=["image", "audio"],
+        extra={"seed": int(rng.integers(0, 1 << 16))},
+    )
+
+
+def assert_columns_equal(a: TraceColumns, b: TraceColumns) -> None:
+    assert (a.n, a.host_n) == (b.n, b.host_n)
+    for name in ALL_COLUMNS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    for tname in TABLE_NAMES:
+        assert getattr(a, tname) == getattr(b, tname), tname
+    assert a.meta == b.meta and a.host_meta == b.host_meta
+
+
+def engine_total(stored: StoredTrace, device: str = "2080ti") -> float:
+    engine = ExecutionEngine(get_device(device))
+    return engine.run(stored.trace, model_bytes=stored.parameter_bytes,
+                      input_bytes=stored.input_bytes).total_time
+
+
+class TestRoundTripProperties:
+    """Random traces -> v5 write -> mmap load must be lossless."""
+
+    def test_random_traces_round_trip_exactly(self, tmp_path):
+        rng = np.random.default_rng(7)
+        for trial in range(8):
+            stored = random_stored_trace(
+                rng, n=int(rng.integers(1, 200)), host_n=int(rng.integers(0, 20)))
+            path = tmp_path / f"t{trial}.mmt"
+            binfmt.write_entry(path, {"trial": trial}, stored)
+            header, loaded = binfmt.read_entry(path)
+            assert header["key"] == {"trial": trial}
+            assert_columns_equal(stored.trace.columns(), loaded.trace.columns())
+            assert loaded.model_name == stored.model_name
+            assert loaded.parameters == stored.parameters
+            assert loaded.parameter_bytes == stored.parameter_bytes
+            assert loaded.input_bytes == stored.input_bytes
+            assert loaded.modalities == stored.modalities
+            assert loaded.extra == stored.extra
+
+    def test_random_traces_price_identically(self, tmp_path):
+        rng = np.random.default_rng(11)
+        for trial in range(4):
+            stored = random_stored_trace(rng, n=64)
+            path = tmp_path / f"p{trial}.mmt"
+            binfmt.write_entry(path, None, stored)
+            _, loaded = binfmt.read_entry(path)
+            t0, t1 = engine_total(stored), engine_total(loaded)
+            assert t1 == pytest.approx(t0, rel=1e-9)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        stored = StoredTrace(trace=Trace([], []), model_name="empty",
+                             parameters=0, parameter_bytes=0, input_bytes=0)
+        path = tmp_path / "empty.mmt"
+        binfmt.write_entry(path, None, stored)
+        _, loaded = binfmt.read_entry(path)
+        assert loaded.trace.columns().n == 0
+        assert loaded.trace.columns().host_n == 0
+
+
+class TestZeroCopy:
+    def test_loaded_columns_are_readonly_mmap_views(self, tmp_path):
+        warm = TraceStore(tmp_path)
+        warm.get_or_capture("avmnist", batch_size=4, backend="meta")
+        cold = TraceStore(tmp_path)
+        cols = cold.get_or_capture("avmnist", batch_size=4,
+                                   backend="meta").trace.columns()
+        assert cold.stats["disk_hits"] == 1
+        for name in ALL_COLUMNS:
+            arr = getattr(cols, name)
+            assert not arr.flags["OWNDATA"], name   # a view, not a copy
+            assert arr.base is not None, name       # ... over the file mmap
+            assert not arr.flags["WRITEABLE"], name  # and strictly read-only
+
+    def test_inflight_mmap_survives_concurrent_replace(self, tmp_path):
+        """os.replace over a mapped file must not tear the open view."""
+        store = TraceStore(tmp_path)
+        original = store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        key = store.make_key("avmnist", batch_size=4, backend="meta")
+
+        cold = TraceStore(tmp_path)
+        loaded = cold.get_or_capture("avmnist", batch_size=4, backend="meta")
+        snapshot = loaded.trace.columns().flops.copy()
+
+        # Re-publish the same digest (a concurrent writer finishing late).
+        store.put(key, original)
+        # The already-mapped view still reads the old inode, intact.
+        assert np.array_equal(loaded.trace.columns().flops, snapshot)
+        # And a fresh mapping of the new file agrees too.
+        fresh = TraceStore(tmp_path)
+        again = fresh.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert np.array_equal(again.trace.columns().flops, snapshot)
+
+
+class TestJsonBinaryEquivalence:
+    """The v5 path must be numerically invisible vs the JSON path."""
+
+    @pytest.mark.parametrize("workload", list_workloads())
+    def test_workload_columns_and_metrics_match_json_path(self, tmp_path, workload):
+        store = TraceStore(tmp_path)
+        stored = store.get_or_capture(workload, batch_size=4, backend="meta")
+        key = store.make_key(workload, batch_size=4, backend="meta")
+
+        json_path = tmp_path / "baseline.json.gz"
+        write_legacy_json(json_path, trace_to_payload(stored, key))
+        via_json = trace_from_payload(read_legacy_json(json_path))
+        _, via_binary = binfmt.read_entry(tmp_path / f"{key.digest()}.mmt",
+                                          interner=store._interner)
+
+        assert_columns_equal(via_json.trace.columns(),
+                             via_binary.trace.columns())
+        assert engine_total(via_binary) == pytest.approx(
+            engine_total(via_json), rel=1e-9)
+
+    def test_training_step_matches_json_path(self, tmp_path):
+        store = TraceStore(tmp_path)
+        stored = store.get_or_capture_training("avmnist", batch_size=2,
+                                               backend="meta")
+        key = store.make_key("avmnist", batch_size=2, backend="meta",
+                             mode="train:adam")
+        json_path = tmp_path / "train.json.gz"
+        write_legacy_json(json_path, trace_to_payload(stored, key))
+        via_json = trace_from_payload(read_legacy_json(json_path))
+        _, via_binary = binfmt.read_entry(tmp_path / f"{key.digest()}.mmt",
+                                          interner=store._interner)
+        assert_columns_equal(via_json.trace.columns(),
+                             via_binary.trace.columns())
+        assert via_binary.trace.passes() == \
+            ["forward", "loss", "backward", "optimizer"]
+        assert engine_total(via_binary) == pytest.approx(
+            engine_total(via_json), rel=1e-9)
+
+
+class TestBackCompatFixtures:
+    """Committed v2/v3/v4 gzip-JSON files must load forever, and re-save
+    as v5."""
+
+    @pytest.mark.parametrize("schema", [2, 3, 4])
+    def test_fixture_loads(self, schema):
+        payload = read_legacy_json(FIXTURES / f"store_v{schema}.json.gz")
+        assert payload["schema"] == schema
+        stored = trace_from_payload(payload)
+        cols = stored.trace.columns()
+        assert cols.n == 3 and cols.host_n == 2
+        assert cols.stage_table == ("encoder", "head")
+        assert stored.model_name == "fixture_model"
+        if schema == 2:
+            # Pre-pass payloads decode as all-forward.
+            assert (cols.pass_codes == 0).all()
+            assert (cols.host_pass_codes == 0).all()
+        else:
+            assert list(cols.pass_codes) == [0, 0, 2]
+        if schema >= 4:
+            assert stored.extra == {"origin": f"fixture-v{schema}"}
+        else:
+            assert stored.extra == {}
+
+    @pytest.mark.parametrize("schema", [2, 3, 4])
+    def test_fixture_migrates_to_v5(self, tmp_path, schema):
+        src = FIXTURES / f"store_v{schema}.json.gz"
+        digest = "f" * 64
+        shutil.copy(src, tmp_path / f"{digest}.json.gz")
+        store = TraceStore(tmp_path)
+        before = trace_from_payload(read_legacy_json(src))
+
+        assert store.migrate() == 1
+        assert not list(tmp_path.glob("*.json.gz"))
+        binary = tmp_path / f"{digest}.mmt"
+        assert binary.exists()
+        header, after = binfmt.read_entry(binary, interner=store._interner)
+        assert header["key"]["code_version"] == "fix7ure000000"
+        assert_columns_equal(before.trace.columns(), after.trace.columns())
+
+    def test_legacy_entry_loads_through_get_then_upgrades_on_put(self, tmp_path):
+        """A v4 file warm-hits without migration; a re-put supersedes it."""
+        seeder = TraceStore(tmp_path)
+        entry = seeder.get_or_capture("avmnist", batch_size=2, backend="meta")
+        key = seeder.make_key("avmnist", batch_size=2, backend="meta")
+        # Rewind the disk tier to the legacy format.
+        (tmp_path / f"{key.digest()}.mmt").unlink()
+        write_legacy_json(tmp_path / f"{key.digest()}.json.gz",
+                          trace_to_payload(entry, key))
+
+        cold = TraceStore(tmp_path)
+        loaded = cold.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert cold.stats["disk_hits"] == 1 and cold.stats["captures"] == 0
+        assert_columns_equal(entry.trace.columns(), loaded.trace.columns())
+
+        cold.put(key, loaded)
+        assert (tmp_path / f"{key.digest()}.mmt").exists()
+        assert not (tmp_path / f"{key.digest()}.json.gz").exists()
+
+
+class TestInterning:
+    def test_sidecar_shared_across_traces(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        sidecar = tmp_path / TraceStore.INTERNING_SIDECAR
+        size_after_one = sidecar.stat().st_size
+        # Same workload at another batch: same op/stage/modality names, so
+        # the sidecar should not grow at all.
+        store.get_or_capture("avmnist", batch_size=4, backend="meta")
+        assert sidecar.stat().st_size == size_after_one
+
+    def test_sidecar_ids_are_content_addressed(self):
+        assert binfmt.string_id("conv2d") == binfmt.string_id("conv2d")
+        assert binfmt.string_id("conv2d") != binfmt.string_id("relu")
+        assert 0 <= binfmt.string_id("conv2d") < 1 << 63
+
+    def test_torn_sidecar_tail_is_skipped_and_rewritten(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        sidecar = tmp_path / TraceStore.INTERNING_SIDECAR
+        with open(sidecar, "ab") as fh:
+            fh.write(b'{"id": 123, "s": "trun')  # crash mid-append
+        cold = TraceStore(tmp_path)
+        loaded = cold.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert cold.stats["disk_hits"] == 1
+        assert loaded.trace.total_flops > 0
+
+    def test_missing_sidecar_quarantines_instead_of_crashing(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        (tmp_path / TraceStore.INTERNING_SIDECAR).unlink()
+        cold = TraceStore(tmp_path)
+        out = cold.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert cold.stats["corrupt"] == 1 and cold.stats["captures"] == 1
+        assert out.trace.total_flops > 0
+
+
+class TestCorpusOps:
+    def test_prefetch_maps_whole_corpus_in_one_pass(self, tmp_path):
+        seeder = TraceStore(tmp_path)
+        for workload in ("avmnist", "mmimdb"):
+            seeder.get_or_capture(workload, batch_size=2, backend="meta")
+
+        cold = TraceStore(tmp_path)
+        assert cold.prefetch() == 2
+        assert len(cold) == 2
+        # Everything is already resident: the get is a pure memory hit.
+        cold.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert cold.stats["captures"] == 0 and cold.stats["misses"] == 0
+
+    def test_prefetch_with_explicit_keys(self, tmp_path):
+        seeder = TraceStore(tmp_path)
+        seeder.get_or_capture("avmnist", batch_size=2, backend="meta")
+        cold = TraceStore(tmp_path)
+        keys = [cold.make_key("avmnist", batch_size=2, backend="meta"),
+                cold.make_key("avmnist", batch_size=64, backend="meta")]
+        assert cold.prefetch(keys) == 1  # the batch-64 trace was never stored
+        assert cold.stats["misses"] == 1
+
+    def test_entries_lists_both_formats(self, tmp_path):
+        store = TraceStore(tmp_path)
+        entry = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        key = store.make_key("avmnist", batch_size=4, backend="meta")
+        write_legacy_json(tmp_path / f"{key.digest()}.json.gz",
+                          trace_to_payload(entry, key))
+        infos = store.entries()
+        assert sorted(i["format"] for i in infos) == ["json", "v5"]
+        assert all(i["status"] == "ok" and not i["stale"] for i in infos)
+        assert all(i["n"] > 0 for i in infos)
+
+    def test_gc_removes_stale_corrupt_and_torn(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        # A stale legacy entry (fixture fingerprint is not the live one).
+        shutil.copy(FIXTURES / "store_v4.json.gz",
+                    tmp_path / ("a" * 64 + ".json.gz"))
+        (tmp_path / "leftover.tmp").write_bytes(b"torn write")
+        (tmp_path / ("b" * 64 + ".mmt")).write_bytes(b"garbage")
+
+        removed = store.gc()
+        assert removed == {"corrupt": 0, "tmp": 1, "stale": 1, "unreadable": 1}
+        # The live entry survives and still warm-hits.
+        fresh = TraceStore(tmp_path)
+        fresh.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert fresh.stats["disk_hits"] == 1 and fresh.stats["captures"] == 0
+
+    def test_gc_keep_stale(self, tmp_path):
+        store = TraceStore(tmp_path)
+        shutil.copy(FIXTURES / "store_v4.json.gz",
+                    tmp_path / ("a" * 64 + ".json.gz"))
+        removed = store.gc(stale=False)
+        assert removed["stale"] == 0
+        assert list(tmp_path.glob("*.json.gz"))
+
+    def test_gc_drops_sidecar_when_no_binary_entries_remain(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        next(tmp_path.glob("*.mmt")).write_bytes(b"garbage")
+        store.gc()
+        assert not (tmp_path / TraceStore.INTERNING_SIDECAR).exists()
+        # And the store still works from scratch afterwards.
+        store.clear()
+        out = store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        assert out.trace.total_flops > 0
+
+
+def _hammer_puts(cache_dir: str, n_iters: int) -> None:
+    store = TraceStore(cache_dir)
+    entry = store.get_or_capture("avmnist", batch_size=3, backend="meta")
+    key = store.make_key("avmnist", batch_size=3, backend="meta")
+    for _ in range(n_iters):
+        store.put(key, entry)
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_never_produce_torn_reads(self, tmp_path):
+        """Two processes publish the same digest while a reader maps it."""
+        reference = TraceStore(tmp_path).get_or_capture(
+            "avmnist", batch_size=3, backend="meta")
+        expected = reference.trace.columns().flops.copy()
+
+        ctx = multiprocessing.get_context("spawn")
+        writers = [ctx.Process(target=_hammer_puts, args=(str(tmp_path), 25))
+                   for _ in range(2)]
+        for w in writers:
+            w.start()
+        corrupt_seen = 0
+        try:
+            for _ in range(30):
+                fresh = TraceStore(tmp_path)
+                loaded = fresh.get_or_capture("avmnist", batch_size=3,
+                                              backend="meta")
+                assert np.array_equal(loaded.trace.columns().flops, expected)
+                corrupt_seen += fresh.stats["corrupt"]
+        finally:
+            for w in writers:
+                w.join(timeout=60)
+        assert all(w.exitcode == 0 for w in writers)
+        assert corrupt_seen == 0
+        # Final state is a clean, loadable corpus.
+        final = TraceStore(tmp_path)
+        out = final.get_or_capture("avmnist", batch_size=3, backend="meta")
+        assert final.stats["disk_hits"] == 1 and final.stats["corrupt"] == 0
+        assert np.array_equal(out.trace.columns().flops, expected)
