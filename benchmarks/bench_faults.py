@@ -1,0 +1,132 @@
+"""Benchmark: million-request chaos scenarios vs fault-free serving.
+
+Measures what the fault-injection subsystem costs on the event-loop hot
+path: the same nine-tenant, four-device mixed-serving run as
+``bench_serving_mix.py`` is simulated fault-free, then under the
+``single-failure`` and ``thermal-brownout`` chaos scenarios (with retry
+accounting and the conservation invariant checked at every event). The
+gate fails if either faulted run takes more than ``--overhead`` (default
+25%) longer than the fault-free baseline — the fault branches must stay
+off the fast path when nothing is failing and cheap when something is.
+
+Run from the repo root::
+
+    python benchmarks/bench_faults.py [--n-requests 1000000] [-o FILE]
+
+Emits ``BENCH_faults.json``::
+
+    {
+      "n_requests": 1000000,
+      "baseline_wall_s": ...,
+      "scenarios": {
+        "single-failure": {"wall_s": ..., "overhead": ..., "shed": ...},
+        "thermal-brownout": {...}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.serving import (
+    AdaptiveSLOPolicy,
+    RetryPolicy,
+    chaos_plan,
+    make_tenants,
+    scenario_requests,
+    simulate_mixed,
+)
+from repro.workloads.registry import list_workloads
+
+DEVICES = ("2080ti", "2080ti", "orin", "nano")
+SLO = 50e-3
+SCENARIOS = ("single-failure", "thermal-brownout")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-requests", type=int, default=1_000_000)
+    parser.add_argument("--arrival-rate", type=float, default=100_000.0)
+    parser.add_argument("--scenario", default="heavy-head",
+                        help="traffic scenario the chaos plans run against")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--overhead", type=float, default=0.25,
+                        help="maximum acceptable faulted wall-time overhead "
+                             "over the fault-free baseline (CI gate)")
+    parser.add_argument("-o", "--output", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    tenants = make_tenants(
+        list_workloads(),
+        policy_factory=lambda _w: AdaptiveSLOPolicy(SLO),
+        slo=SLO, seed=args.seed,
+    )
+    for spec in tenants:  # warm anchor curves out of the timed section
+        for device in set(DEVICES):
+            spec.cost.latency(device, 1)
+    requests = scenario_requests(args.scenario, tenants, args.n_requests,
+                                 arrival_rate=args.arrival_rate,
+                                 seed=args.seed)
+    horizon = args.n_requests / args.arrival_rate
+
+    t0 = time.perf_counter()
+    base = simulate_mixed(tenants, devices=DEVICES, requests=requests,
+                          arrival_rate=args.arrival_rate, seed=args.seed)
+    baseline_s = time.perf_counter() - t0
+    print(f"fault-free baseline: {base.n_requests:,} requests in "
+          f"{baseline_s:.2f}s ({base.n_requests / baseline_s:,.0f} req/s)")
+
+    failed = False
+    per_scenario = {}
+    for name in SCENARIOS:
+        plan = chaos_plan(name, DEVICES, horizon, seed=args.seed)
+        t0 = time.perf_counter()
+        report = simulate_mixed(tenants, devices=DEVICES, requests=requests,
+                                arrival_rate=args.arrival_rate,
+                                seed=args.seed, faults=plan,
+                                retry=RetryPolicy())
+        wall_s = time.perf_counter() - t0
+        fs = report.fault_stats
+        overhead = wall_s / baseline_s - 1.0
+        per_scenario[name] = {
+            "wall_s": round(wall_s, 3),
+            "overhead": round(overhead, 4),
+            "plan_events": fs.plan_events,
+            "completed": fs.completed,
+            "shed": fs.shed,
+            "retries": fs.retries,
+            "total_downtime_s": round(fs.total_downtime, 4),
+        }
+        print(f"{name}: {wall_s:.2f}s ({overhead:+.1%} vs baseline), "
+              f"{fs.retries:,} retries, {fs.shed:,} shed, "
+              f"{fs.total_downtime:.2f}s downtime")
+        if fs.completed + fs.shed != fs.issued:
+            print(f"FAIL: {name} lost requests "
+                  f"({fs.completed} + {fs.shed} != {fs.issued})")
+            failed = True
+        if overhead > args.overhead:
+            print(f"FAIL: {name} overhead {overhead:.1%} exceeds "
+                  f"{args.overhead:.0%} gate")
+            failed = True
+
+    payload = {
+        "bench": "faults",
+        "n_requests": base.n_requests,
+        "traffic_scenario": args.scenario,
+        "arrival_rate": args.arrival_rate,
+        "devices": list(DEVICES),
+        "baseline_wall_s": round(baseline_s, 3),
+        "overhead_gate": args.overhead,
+        "scenarios": per_scenario,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

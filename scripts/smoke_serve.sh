@@ -28,6 +28,29 @@ done
     --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
     --finetune-share 0.25 --policy adaptive
 
+# Chaos scenarios: every named fault plan against the same mix, plus a
+# JSON plan from disk; each run must print the conservation line
+# ("completed + shed = issued") and the per-device fault windows.
+for chaos in single-failure rolling-restart thermal-brownout flaky-device; do
+    "${run[@]}" serve --mix heavy-head --faults "$chaos" \
+        --arrival-rate 2000 --n-requests 2000 \
+        --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
+        --policy adaptive | grep "issued (conserved)"
+done
+plandir="$(mktemp -d)"
+cat > "$plandir/plan.json" <<'EOF'
+{"events": [
+  {"kind": "down", "device": "nano", "time": 0.05},
+  {"kind": "recover", "device": "nano", "time": 0.3},
+  {"kind": "throttle", "device": "orin", "time": 0.1, "until": 0.5, "factor": 2.0}
+]}
+EOF
+"${run[@]}" serve --mix heavy-head --faults "$plandir/plan.json" \
+    --arrival-rate 2000 --n-requests 2000 --request-deadline 0.5 \
+    --workloads avmnist,mmimdb,transfuser --devices 2080ti,orin,nano \
+    --policy adaptive | grep "Per-device fault windows"
+rm -rf "$plandir"
+
 # Traced-training breakdown: per-pass/per-stage table + cross-check.
 "${run[@]}" train-analyze --workload avmnist --batch-size 8 --cross-check
 

@@ -37,6 +37,13 @@ class RobustnessReport:
         delta = self.dropped_modality_metric[modality] - self.clean_metric
         return delta if self.higher_is_better else -delta
 
+    def worst_modality(self) -> str:
+        """Modality whose drop costs the most task metric — the one a
+        degraded serving mode should *not* shed lightly."""
+        if not self.dropped_modality_metric:
+            raise ValueError("no dropped-modality metrics recorded")
+        return min(self.dropped_modality_metric, key=self.degradation)
+
 
 def _zero_modality(batch: dict[str, np.ndarray], modality: str) -> dict[str, np.ndarray]:
     out = dict(batch)
@@ -94,3 +101,17 @@ def robustness_analysis(
         report.noise_sweep[sigma] = metric
 
     return report
+
+
+def degraded_mode_cost(workload: str, modality: str, **kwargs) -> float:
+    """Accuracy cost of serving ``workload`` with ``modality`` shed.
+
+    The bridge between the serving stack's graceful degradation
+    (:class:`repro.serving.faults.DegradedMode`) and this algorithm-level
+    analysis: runs :func:`robustness_analysis` (``kwargs`` forwarded, e.g.
+    ``epochs=2`` for a quick quote) and returns the signed metric change
+    of dropping the modality — the number a degraded-mode SLO decision
+    should weigh against the latency relief.
+    """
+    report = robustness_analysis(workload, **kwargs)
+    return report.degradation(modality)

@@ -125,6 +125,61 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _parse_devices(spec: str) -> tuple[str, ...]:
+    """Split a ``--devices`` list, rejecting empty components up front."""
+    devices = tuple(d.strip() for d in spec.split(","))
+    if not spec.strip() or any(not d for d in devices):
+        raise ValueError(f"--devices must be a comma-separated list of device "
+                         f"names, got {spec!r}")
+    return devices
+
+
+def _build_fault_inputs(args, devices):
+    """Resolve the serve fault flags into a validated ``(plan, retry)`` pair.
+
+    Raises :class:`~repro.serving.faults.FaultPlanError` (a ``ValueError``)
+    on any malformed input, so the serve commands' up-front validation
+    turns it into a clean exit-2 line instead of a traceback mid-run.
+    """
+    import os
+
+    from repro.serving import (RetryPolicy, chaos_plan, load_fault_plan,
+                               validate_fault_plan)
+    from repro.serving.faults import CHAOS_SCENARIO_NAMES, FaultPlanError
+
+    if args.retry_max < 0:
+        raise ValueError(f"--retry-max must be non-negative, got {args.retry_max}")
+    if args.retry_backoff <= 0:
+        raise ValueError(f"--retry-backoff must be positive, "
+                         f"got {args.retry_backoff}")
+    if args.request_deadline is not None and args.request_deadline <= 0:
+        raise ValueError(f"--request-deadline must be positive, "
+                         f"got {args.request_deadline}")
+    plan = None
+    if args.faults is not None:
+        if args.faults in CHAOS_SCENARIO_NAMES:
+            if args.arrival_rate is None:
+                raise ValueError(
+                    f"--faults {args.faults} needs --arrival-rate to size its "
+                    "horizon (n_requests / rate)")
+            horizon = args.n_requests / args.arrival_rate
+            plan = chaos_plan(args.faults, devices, horizon, seed=args.seed)
+        elif os.path.exists(args.faults):
+            plan = load_fault_plan(args.faults)
+        else:
+            raise FaultPlanError(
+                f"--faults must name a chaos scenario "
+                f"({', '.join(CHAOS_SCENARIO_NAMES)}) or an existing plan "
+                f"JSON file, got {args.faults!r}")
+        validate_fault_plan(plan, devices)
+    retry = None
+    if plan is not None or args.request_deadline is not None:
+        retry = RetryPolicy(max_retries=args.retry_max,
+                            backoff_base=args.retry_backoff,
+                            deadline=args.request_deadline)
+    return plan, retry
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import ProfiledCostModel, make_policy, make_router, simulate
     from repro.serving.report import serving_summary
@@ -142,13 +197,16 @@ def _cmd_serve(args) -> int:
         if args.workloads is not None:
             raise ValueError("--workloads only applies with --mix; for one "
                              "workload use --workload")
+        if args.degrade_after is not None:
+            raise ValueError("--degrade-after applies to --mix runs "
+                             "(degraded modes are per-tenant)")
         policies = {
             name: make_policy(name, batch_size=args.batch_size,
                               timeout=args.timeout, slo=args.slo,
                               max_batch=args.max_batch)
             for name in args.policy.split(",")
         }
-        devices = tuple(args.devices.split(","))
+        devices = _parse_devices(args.devices)
         for device in devices:
             get_device(device)
         info = get_workload(args.workload)
@@ -161,6 +219,7 @@ def _cmd_serve(args) -> int:
             raise ValueError("--arrival-rate must be positive")
         if args.seed < 0:
             raise ValueError(f"--seed must be non-negative, got {args.seed}")
+        fault_plan, retry = _build_fault_inputs(args, devices)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
@@ -174,7 +233,7 @@ def _cmd_serve(args) -> int:
         policy.name: simulate(
             cost, policy, devices=devices, n_requests=args.n_requests,
             arrival_rate=args.arrival_rate, router=make_router(args.router),
-            seed=args.seed,
+            seed=args.seed, faults=fault_plan, retry=retry,
         )
         for policy in policies.values()
     }
@@ -220,7 +279,7 @@ def _cmd_serve_mix(args) -> int:
                              f"{','.join(workloads)}")
         for workload in workloads:
             get_workload(workload)
-        devices = tuple(args.devices.split(","))
+        devices = _parse_devices(args.devices)
         for device in devices:
             get_device(device)
         if args.n_requests <= 0:
@@ -248,6 +307,15 @@ def _cmd_serve_mix(args) -> int:
                                  f"{','.join(finetune_workloads)}")
             for workload in finetune_workloads:
                 get_workload(workload)
+        fault_plan, retry = _build_fault_inputs(args, devices)
+        if args.degrade_after is not None and args.degrade_after <= 0:
+            raise ValueError(f"--degrade-after must be positive, "
+                             f"got {args.degrade_after}")
+        # Fault runs degrade by default: sustained pressure past 4x the SLO
+        # flips multi-modal tenants to their shed-encoder serving mode.
+        degrade_after = args.degrade_after
+        if degrade_after is None and fault_plan is not None:
+            degrade_after = 4.0 * args.slo
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
@@ -264,10 +332,20 @@ def _cmd_serve_mix(args) -> int:
         tenants = make_tenants(workloads, policy_factory=policy_factory(name),
                                slo=args.slo, seed=args.seed,
                                backend=args.backend)
+        if degrade_after is not None:
+            from repro.serving import degraded_mode_for
+
+            for spec in tenants:
+                # Single-modality tenants have no encoder to shed.
+                if len(get_workload(spec.name).modalities) > 1:
+                    spec.degraded = degraded_mode_for(
+                        spec.name, enter_wait=degrade_after,
+                        seed=args.seed, backend=args.backend or "meta")
         report = simulate_mixed(
             tenants, devices=devices, n_requests=args.n_requests,
             arrival_rate=args.arrival_rate, scenario=args.mix,
             router=make_router(args.router), finetune=finetune, seed=args.seed,
+            faults=fault_plan, retry=retry,
         )
         print(f"mix={args.mix} policy={name} "
               f"workloads={','.join(workloads)} devices={','.join(devices)}")
@@ -303,7 +381,7 @@ def _cmd_train_analyze(args) -> int:
             if any(b <= 0 for b in sweep_batches):
                 raise ValueError(f"--sweep batch sizes must be positive, "
                                  f"got {args.sweep!r}")
-            for device in args.devices.split(","):
+            for device in _parse_devices(args.devices):
                 get_device(device)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
@@ -458,7 +536,7 @@ def _cmd_ingest(args) -> int:
 
     try:
         get_device(args.device)
-        devices = tuple(args.devices.split(",")) if args.devices else (args.device,)
+        devices = _parse_devices(args.devices) if args.devices else (args.device,)
         for device in devices:
             get_device(device)
         sweep_batches = None
@@ -716,6 +794,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated device models to route across")
     serve.add_argument("--router", default="earliest-finish",
                        choices=["earliest-finish", "round-robin"])
+    serve.add_argument("--faults", default=None, metavar="SCENARIO|PLAN.json",
+                       help="inject a fault plan: a named chaos scenario "
+                            "(single-failure, rolling-restart, "
+                            "thermal-brownout, flaky-device) or a plan JSON "
+                            "file (see docs/serving.md)")
+    serve.add_argument("--retry-max", type=int, default=3,
+                       help="aborted-request retry budget before shedding")
+    serve.add_argument("--retry-backoff", type=float, default=2e-3,
+                       help="base retry backoff (seconds; doubles per attempt)")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shed any request in the system longer than this "
+                            "(activates shedding even without --faults)")
+    serve.add_argument("--degrade-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="--mix only: tenants shed their costliest modality "
+                            "encoder (degraded mode) once their oldest queued "
+                            "request waits this long")
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_options(serve)
     serve.set_defaults(fn=_cmd_serve)

@@ -141,6 +141,45 @@ class BenchmarkSuite:
         return train_model(model, dataset, n_train=n_train, n_test=n_test,
                            epochs=epochs, seed=config.seed)
 
+    # -- serving under faults ------------------------------------------------------
+
+    def chaos_serve(self, scenario: str = "single-failure",
+                    workloads=None, mix: str = "uniform",
+                    n_requests: int = 2_000, arrival_rate: float = 1_000.0,
+                    slo: float = 50e-3, devices=None, seed: int = 0,
+                    backend: str = "meta", retry=None):
+        """Serve a tenant mix under a named chaos scenario; returns the report.
+
+        The programmatic twin of ``mmbench serve --mix ... --faults``:
+        builds profiled tenants for ``workloads`` (default: the full
+        registry), sizes the fault plan's horizon from
+        ``n_requests / arrival_rate``, and runs :func:`simulate_mixed`
+        with the scenario's fault plan plus a default retry policy.
+        The returned report's ``fault_stats`` carries the per-device
+        downtime, retry and shedding accounting.
+        """
+        from repro.serving import (
+            RetryPolicy,
+            chaos_plan,
+            make_tenants,
+            simulate_mixed,
+        )
+
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+        # Chaos plans must leave at least one device up, so the default
+        # pool pairs the suite's device with an edge box (the CLI default).
+        devices = tuple(devices) if devices else (self.device, "nano")
+        workloads = tuple(workloads) if workloads else tuple(list_workloads())
+        tenants = make_tenants(workloads, slo=slo, seed=seed, backend=backend)
+        plan = chaos_plan(scenario, devices, n_requests / arrival_rate,
+                          seed=seed)
+        return simulate_mixed(
+            tenants, devices=devices, n_requests=n_requests,
+            arrival_rate=arrival_rate, scenario=mix, seed=seed,
+            faults=plan, retry=retry if retry is not None else RetryPolicy(),
+        )
+
     # -- external execution graphs -----------------------------------------------
 
     def ingest(self, path, registry=None, batch_size: int | None = None,

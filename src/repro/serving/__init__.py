@@ -12,6 +12,9 @@ with a discrete-event simulator driven by memoized profiler cost models:
 * :mod:`repro.serving.scenarios` — named multi-tenant traffic mixes
 * :mod:`repro.serving.finetune` — background fine-tuning jobs sharing
   devices with inference traffic through stream resource shares
+* :mod:`repro.serving.faults` — declarative fault plans (device loss,
+  thermal throttling, stalls), retry/shed accounting, graceful
+  degradation, and the named chaos scenarios
 * :mod:`repro.serving.simulator` — the event loop (single- and
   multi-tenant) and its report
 * :mod:`repro.serving.report` — formatted throughput–tail-latency tables
@@ -25,6 +28,24 @@ from repro.serving.costmodel import (
     TraceCostModel,
     clear_cost_cache,
     throughput_optimal_batch,
+)
+from repro.serving.faults import (
+    CHAOS_SCENARIO_NAMES,
+    CHAOS_SCENARIOS,
+    DegradedMode,
+    DeviceDown,
+    DeviceFaultStats,
+    DeviceRecover,
+    FaultPlan,
+    FaultPlanError,
+    FaultStats,
+    RetryPolicy,
+    TenantFaultStats,
+    ThermalThrottle,
+    TransientStall,
+    chaos_plan,
+    degraded_mode_for,
+    load_fault_plan,
 )
 from repro.serving.finetune import (
     FinetuneJob,
@@ -45,6 +66,7 @@ from repro.serving.policies import (
 )
 from repro.serving.report import (
     format_device_breakdown,
+    format_fault_stats,
     format_finetune_breakdown,
     format_policy_comparison,
     format_tenant_breakdown,
@@ -79,17 +101,23 @@ from repro.serving.simulator import (
     TenantStats,
     simulate,
     simulate_mixed,
+    slot_labels,
+    validate_fault_plan,
 )
 
 __all__ = [
     "DEFAULT_ANCHORS", "PROFILE_STATS", "CallableCostModel", "ProfiledCostModel",
     "TraceCostModel", "clear_cost_cache", "throughput_optimal_batch",
+    "CHAOS_SCENARIO_NAMES", "CHAOS_SCENARIOS", "DegradedMode", "DeviceDown",
+    "DeviceFaultStats", "DeviceRecover", "FaultPlan", "FaultPlanError",
+    "FaultStats", "RetryPolicy", "TenantFaultStats", "ThermalThrottle",
+    "TransientStall", "chaos_plan", "degraded_mode_for", "load_fault_plan",
     "FinetuneJob", "FinetuneStats", "TrainingCostModel", "finetune_progress",
     "inference_slowdown", "make_finetune_jobs", "total_background_share",
     "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",
     "TimeoutBatchPolicy", "make_policy",
-    "format_device_breakdown", "format_finetune_breakdown",
-    "format_policy_comparison",
+    "format_device_breakdown", "format_fault_stats",
+    "format_finetune_breakdown", "format_policy_comparison",
     "format_tenant_breakdown", "mixed_serving_summary", "serving_summary",
     "Request", "closed_arrivals", "make_mixed_requests", "make_requests",
     "poisson_arrivals",
@@ -97,5 +125,5 @@ __all__ = [
     "SCENARIO_NAMES", "SCENARIOS", "Scenario", "get_scenario", "make_tenants",
     "scenario_requests",
     "DeviceStats", "ServingReport", "TenantSpec", "TenantStats",
-    "simulate", "simulate_mixed",
+    "simulate", "simulate_mixed", "slot_labels", "validate_fault_plan",
 ]

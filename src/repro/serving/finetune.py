@@ -47,6 +47,10 @@ class FinetuneJob:
     fusion: str | None = None
     seed: int = 0
     backend: str = "meta"
+    # Checkpoint every N steps: when a device failure interrupts the job,
+    # progress on that slot resumes from the last completed multiple of
+    # this interval (steps past it are lost and counted).
+    checkpoint_interval: int = 100
 
     def __post_init__(self):
         if not 0.0 < self.share < 1.0:
@@ -55,6 +59,9 @@ class FinetuneJob:
         if self.batch_size <= 0:
             raise ValueError(
                 f"finetune batch_size must be positive, got {self.batch_size}")
+        if self.checkpoint_interval <= 0:
+            raise ValueError(f"checkpoint_interval must be positive, "
+                             f"got {self.checkpoint_interval}")
 
 
 def total_background_share(jobs: Sequence[FinetuneJob]) -> float:
@@ -119,10 +126,37 @@ class FinetuneStats:
     samples_processed: float
     step_times: dict[str, float] = field(default_factory=dict)  # slot -> native s
     per_slot_steps: dict[str, float] = field(default_factory=dict)
+    # Checkpoint/restart accounting under fault injection: device
+    # failures roll each interrupted slot back to its last checkpoint.
+    lost_steps: float = 0.0  # steps re-done after rollbacks
+    restarts: int = 0  # checkpoint restores (one per interrupting down window)
+    downtime: float = 0.0  # total slot-seconds the job could not train
 
     @property
     def steps_per_second(self) -> float:
         return self.steps_completed / self.makespan if self.makespan > 0 else 0.0
+
+
+def _up_windows(makespan: float,
+                down: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Invert a slot's down windows over ``[0, makespan]``.
+
+    Returns the up windows, each tagged with whether it ended because of
+    a failure: ``(length, interrupted)`` pairs in time order.
+    """
+    windows: list[tuple[float, bool]] = []
+    cursor = 0.0
+    for start, end in sorted(down):
+        if start >= makespan:  # failed after serving ended: no restart
+            continue
+        start = max(0.0, min(start, makespan))
+        end = max(0.0, min(end, makespan))
+        if start > cursor:
+            windows.append((start - cursor, True))
+        cursor = max(cursor, end)
+    if makespan > cursor:
+        windows.append((makespan - cursor, False))
+    return windows
 
 
 def finetune_progress(
@@ -130,6 +164,7 @@ def finetune_progress(
     slots: Mapping[str, str],
     makespan: float,
     store=None,
+    down_windows: Mapping[str, Sequence[tuple[float, float]]] | None = None,
 ) -> dict[str, FinetuneStats]:
     """Steps each background job completed while the traffic was served.
 
@@ -138,15 +173,27 @@ def finetune_progress(
     partitioned step time is ``step_time / share``
     (:class:`~repro.hw.streams.StreamLoad` semantics), so it completes
     ``makespan * share / step_time`` steps there.
+
+    ``down_windows`` (slot label -> ``(start, end)`` fault windows from
+    the serving run) gives jobs checkpoint/restart semantics: a job
+    trains only through a slot's up windows, and every down window rolls
+    the slot's progress back to the last completed multiple of the job's
+    ``checkpoint_interval`` — the steps past it are lost (re-done after
+    recovery) and each rollback counts as a restart.
     """
     if not jobs:
         return {}
     total_background_share(jobs)  # validates
+    down_windows = down_windows or {}
     out: dict[str, FinetuneStats] = {}
     for job in jobs:
         cost = TrainingCostModel(job, store=store)
         step_times: dict[str, float] = {}
         per_slot: dict[str, float] = {}
+        lost_steps = 0.0
+        restarts = 0
+        downtime = 0.0
+        interval = float(job.checkpoint_interval)
         for label, device in slots.items():
             native = cost.step_time(device)
             # The stream-share scaling rule, spelled out through the
@@ -154,8 +201,29 @@ def finetune_progress(
             load = StreamLoad(name=job.name, durations=np.array([native]),
                               share=job.share)
             partitioned = float(load.durations[0] / load.share)
+            down = down_windows.get(label, ())
+            if partitioned <= 0:
+                per_slot[label] = 0.0
+            elif not down:
+                per_slot[label] = makespan / partitioned
+            else:
+                downtime += sum(min(e, makespan) - max(s, 0.0)
+                                for s, e in down if e > 0 and s < makespan)
+                # Progress is checkpoint-aligned after every failure:
+                # within each up window the job advances continuously,
+                # then a failure rolls it back to the last checkpoint.
+                progress = 0.0
+                for length, interrupted in _up_windows(makespan, down):
+                    reached = progress + length / partitioned
+                    if interrupted:
+                        checkpointed = (reached // interval) * interval
+                        lost_steps += reached - checkpointed
+                        restarts += 1
+                        progress = checkpointed
+                    else:
+                        progress = reached
+                per_slot[label] = progress
             step_times[label] = native
-            per_slot[label] = makespan / partitioned if partitioned > 0 else 0.0
         steps = float(sum(per_slot.values()))
         out[job.name] = FinetuneStats(
             name=job.name,
@@ -168,6 +236,9 @@ def finetune_progress(
             samples_processed=steps * job.batch_size,
             step_times=step_times,
             per_slot_steps=per_slot,
+            lost_steps=float(lost_steps),
+            restarts=restarts,
+            downtime=float(downtime),
         )
     return out
 

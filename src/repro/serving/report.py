@@ -82,6 +82,63 @@ def format_finetune_breakdown(report: ServingReport) -> str:
         rows, title="Background fine-tuning jobs (stream shares)")
 
 
+def format_fault_stats(report: ServingReport) -> str:
+    """Fault-injection breakdown: per-device windows, retries, degradation."""
+    stats = report.fault_stats
+    if stats is None:
+        return "no fault plan was active"
+    lines = [
+        f"faults: {stats.plan_events} plan events; "
+        f"{stats.completed:,} completed + {stats.shed:,} shed "
+        f"= {stats.issued:,} issued (conserved)",
+        f"retries {stats.retries:,}"
+        + (f" (per-request histogram {stats.retry_histogram})"
+           if stats.retry_histogram else "")
+        + (f", recovery p50 {format_seconds(stats.recovery_p50)} / "
+           f"p99 {format_seconds(stats.recovery_p99)}"
+           if stats.recovery_p50 > 0 else ""),
+    ]
+    if stats.devices:
+        rows = [
+            [
+                d.slot,
+                format_seconds(d.downtime) if d.downtime else "-",
+                str(len(d.down_windows)) if d.down_windows else "-",
+                format_seconds(d.throttle_time) if d.throttle_time else "-",
+                format_seconds(d.stall_time) if d.stall_time else "-",
+                d.aborted_batches or "-",
+                d.aborted_requests or "-",
+            ]
+            for d in stats.devices.values()
+        ]
+        lines += ["", format_table(
+            ["device", "downtime", "outages", "throttled", "stalled",
+             "aborted batches", "aborted requests"],
+            rows, title="Per-device fault windows")]
+    degraded = {name: t for name, t in stats.tenants.items()
+                if t.degraded_requests or t.shed or t.degraded_available}
+    if degraded:
+        rows = [
+            [
+                name,
+                t.shed or "-",
+                t.degraded_requests or "-",
+                ("-" if t.degraded_slo_attainment is None
+                 else f"{t.degraded_slo_attainment:.1%}"),
+                format_seconds(t.degraded_time) if t.degraded_time else "-",
+                t.degraded_activations or "-",
+                ("-" if t.accuracy_cost is None
+                 else f"{t.accuracy_cost:+.4f}"),
+            ]
+            for name, t in degraded.items()
+        ]
+        lines += ["", format_table(
+            ["tenant", "shed", "degraded reqs", "degraded SLO", "degraded time",
+             "activations", "accuracy cost"],
+            rows, title="Per-tenant shedding / degraded mode")]
+    return "\n".join(lines)
+
+
 def mixed_serving_summary(report: ServingReport) -> str:
     """Full ``mmbench serve --mix`` report: tenant + device breakdowns."""
     rate = ("closed batch (all at t=0)" if report.arrival_rate is None
@@ -103,6 +160,17 @@ def mixed_serving_summary(report: ServingReport) -> str:
             "training shares",
             format_finetune_breakdown(report),
         ]
+        faulted = [s for s in report.finetune_stats.values()
+                   if s.restarts or s.lost_steps]
+        if faulted:
+            lines += [
+                "checkpoint/restart: " + "; ".join(
+                    f"{s.name}: {s.restarts} restarts, "
+                    f"{s.lost_steps:,.0f} steps lost"
+                    for s in faulted),
+            ]
+    if report.fault_stats is not None:
+        lines += ["", format_fault_stats(report)]
     return "\n".join(lines)
 
 
@@ -133,4 +201,7 @@ def serving_summary(reports: dict[str, ServingReport], slo: float | None = None)
         "",
         format_device_breakdown(reports),
     ]
+    for label, report in reports.items():
+        if report.fault_stats is not None:
+            lines += ["", f"[{label}] " + format_fault_stats(report)]
     return "\n".join(lines)

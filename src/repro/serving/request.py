@@ -38,6 +38,9 @@ class Request:
     device: str = ""
     batch_size: int = 0  # size of the batch this request rode in
     formation_wait: float = 0.0  # policy-induced wait while a device was idle
+    retries: int = 0  # times this request was aborted by a device failure
+    shed: bool = False  # dropped (retries/deadline exhausted), never completed
+    degraded: bool = False  # served in the tenant's degraded mode
 
     @property
     def queue_time(self) -> float:

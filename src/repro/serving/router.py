@@ -24,7 +24,42 @@ class Router:
         raise NotImplementedError
 
     def note_dispatch(self, slot: str) -> None:
-        """Called after a batch lands on ``slot``; stateful routers advance here."""
+        """Called after a batch lands on ``slot``; stateful routers advance here.
+
+        Subclasses overriding this must call ``super().note_dispatch(slot)``
+        first: dispatching onto a slot the router was told is down is a
+        simulator bug, and the base class turns it into a loud error
+        instead of silently corrupting routing state.
+        """
+        if slot in getattr(self, "_down_slots", ()):
+            raise RuntimeError(
+                f"dispatch recorded on down slot {slot!r}; "
+                "the event loop must exclude down slots before ranking")
+
+    # -- fault awareness (driven by the fault runtime) --------------------------
+
+    def note_down(self, slot: str) -> None:
+        """``slot`` left the pool; it must never be ranked until it recovers."""
+        down = getattr(self, "_down_slots", None)
+        if down is None:
+            down = self._down_slots = set()
+        down.add(slot)
+
+    def note_recover(self, slot: str) -> None:
+        """``slot`` rejoined the pool; ranking may consider it again."""
+        getattr(self, "_down_slots", set()).discard(slot)
+
+    @property
+    def down_slots(self) -> frozenset[str]:
+        """Slots the router currently believes are down."""
+        return frozenset(getattr(self, "_down_slots", ()))
+
+    def _exclude_down(self, idle: list[str]) -> list[str]:
+        """Defensively drop down slots from a candidate list."""
+        down = getattr(self, "_down_slots", None)
+        if down:
+            return [s for s in idle if s not in down]
+        return idle
 
 
 class EarliestFinishRouter(Router):
@@ -41,6 +76,7 @@ class EarliestFinishRouter(Router):
         self.probe_cap = probe_cap
 
     def rank(self, idle, queue_len, cost):
+        idle = self._exclude_down(idle)
         probe = max(1, min(queue_len, self.probe_cap))
         return sorted(idle, key=lambda s: (cost.latency(s, probe) / probe, s))
 
@@ -59,13 +95,14 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def rank(self, idle, queue_len, cost):
-        ordered = sorted(idle)
+        ordered = sorted(self._exclude_down(idle))
         if not ordered:
             return ordered
         pivot = self._next % len(ordered)
         return ordered[pivot:] + ordered[:pivot]
 
     def note_dispatch(self, slot):
+        super().note_dispatch(slot)
         self._next += 1
 
 

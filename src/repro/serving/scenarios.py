@@ -21,6 +21,24 @@ Every generator is vectorized (a million-request mix costs milliseconds)
 and deterministic in ``seed``. ``arrival_rate=None`` degrades ``uniform``
 and ``heavy-head`` to the paper's closed setting (all requests at t=0);
 the time-varying scenarios require a rate.
+
+Orthogonal to the traffic mixes, this module also re-exports the named
+**chaos scenarios** from :mod:`repro.serving.faults` — device-fault
+timelines that compose with any traffic mix via
+``simulate_mixed(faults=chaos_plan(name, devices, horizon))``:
+
+==================  =========================================================
+chaos scenario      fault shape
+==================  =========================================================
+``single-failure``  the first (fastest) slot dies at 25% of the run,
+                    recovers at 60%
+``rolling-restart``  every slot restarts once, staggered so the pool never
+                    fully drains
+``thermal-brownout``  every device throttles 2.5x through the middle half
+                    of the run
+``flaky-device``    the last slot flaps down/up eight times with jittered
+                    transient stalls between
+==================  =========================================================
 """
 
 from __future__ import annotations
@@ -30,6 +48,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.serving.faults import CHAOS_SCENARIO_NAMES, CHAOS_SCENARIOS, chaos_plan
 from repro.serving.request import Request, make_mixed_requests
 from repro.serving.simulator import TenantSpec
 

@@ -39,6 +39,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.serving.costmodel import CallableCostModel
+from repro.serving.faults import (DegradedMode, FaultPlan, FaultRuntime,
+                                  FaultStats, RetryPolicy)
 from repro.serving.policies import BatchingPolicy
 from repro.serving.request import Request, closed_arrivals, make_requests, poisson_arrivals
 from repro.serving.router import EarliestFinishRouter, Router
@@ -98,16 +100,26 @@ class ServingReport:
     # (see repro.serving.finetune); empty for pure-inference simulations.
     finetune_stats: dict = field(default_factory=dict)
     inference_slowdown: float = 1.0  # batch-latency multiplier the jobs imposed
+    # What the fault plan did to the run (see repro.serving.faults);
+    # None when the run had no fault injection at all.
+    fault_stats: FaultStats | None = None
 
     def slo_attainment(self, slo: float) -> float:
-        """Fraction of requests whose end-to-end latency met ``slo``.
+        """Fraction of completed requests whose end-to-end latency met ``slo``.
 
-        An empty simulation misses nothing: attainment is vacuously 1.
+        Shed requests never complete and count as misses; an empty
+        simulation misses nothing (attainment is vacuously 1).
         """
         if not self.requests:
             return 1.0
-        met = sum(1 for r in self.requests if r.latency <= slo)
+        met = sum(1 for r in self.requests if not r.shed and r.latency <= slo)
         return met / len(self.requests)
+
+    @property
+    def completed(self) -> int:
+        """Requests that actually finished (``n_requests`` minus sheds)."""
+        shed = self.fault_stats.shed if self.fault_stats is not None else 0
+        return self.n_requests - shed
 
     def batch_sizes_used(self) -> dict[str, list[int]]:
         """Distinct dispatched batch sizes per device slot (sorted)."""
@@ -138,6 +150,10 @@ class TenantSpec:
     policy: BatchingPolicy
     slo: float | None = None
     weight: float = 1.0
+    # Optional graceful-degradation mode (repro.serving.faults.DegradedMode):
+    # under sustained queue pressure the tenant serves with a shed modality
+    # encoder at a reduced latency factor, trading quoted accuracy for drain.
+    degraded: DegradedMode | None = None
 
     def __post_init__(self):
         if callable(self.cost) and not hasattr(self.cost, "latency"):
@@ -146,6 +162,9 @@ class TenantSpec:
             raise ValueError(f"tenant weight must be positive, got {self.weight}")
         if self.slo is not None and self.slo <= 0:
             raise ValueError(f"tenant slo must be positive, got {self.slo}")
+        if self.degraded is not None and not isinstance(self.degraded, DegradedMode):
+            raise TypeError(f"degraded must be a DegradedMode, "
+                            f"got {type(self.degraded).__name__}")
 
 
 class _SlotCost:
@@ -164,14 +183,28 @@ class _SlotCost:
     runs with different scales.
     """
 
-    def __init__(self, cost, slot_device: dict[str, str], scale: float = 1.0):
+    def __init__(self, cost, slot_device: dict[str, str], scale: float = 1.0,
+                 faults: FaultRuntime | None = None):
         self.underlying = cost
         self._slot_device = slot_device
         self._scale = scale
+        # Fault-injection hooks, both uniform multipliers so the drain
+        # memo stays valid: live per-slot thermal-throttle factors
+        # (faults.scale) and the tenant's degraded-mode factor.
+        self._faults = faults
+        self.extra_scale = 1.0
 
     def latency(self, slot: str, batch_size: int) -> float:
         base = self.underlying.latency(self._slot_device.get(slot, slot), batch_size)
-        return base * self._scale if self._scale != 1.0 else base
+        if self._scale != 1.0:
+            base *= self._scale
+        if self._faults is not None:
+            throttle = self._faults.scale.get(slot)
+            if throttle is not None:
+                base *= throttle
+            if self.extra_scale != 1.0:
+                base *= self.extra_scale
+        return base
 
     def device_name(self, slot: str) -> str:
         """Device model name behind a slot label (identity for plain names)."""
@@ -182,7 +215,7 @@ class _Slot:
     """One device execution slot."""
 
     __slots__ = ("label", "device", "free_at", "busy_time", "batches",
-                 "requests", "histogram")
+                 "requests", "histogram", "down", "stalled_until", "inflight")
 
     def __init__(self, label: str, device: str):
         self.label = label
@@ -192,18 +225,28 @@ class _Slot:
         self.batches = 0
         self.requests = 0
         self.histogram: dict[int, int] = {}
+        # Fault-injection state (only consulted when a plan is active):
+        # down slots accept no work, stalled slots resume at stalled_until,
+        # and inflight tracks the running batch as (finish, [requests]) so
+        # a device failure can abort it.
+        self.down = False
+        self.stalled_until = 0.0
+        self.inflight: tuple[float, list[Request]] | None = None
 
 
 class _Tenant:
     """Run-time state of one tenant: its FIFO queue and slot-aware cost."""
 
-    __slots__ = ("name", "policy", "queue", "slot_cost")
+    __slots__ = ("name", "policy", "queue", "slot_cost", "mode", "degraded")
 
-    def __init__(self, name: str, policy: BatchingPolicy, slot_cost: _SlotCost):
+    def __init__(self, name: str, policy: BatchingPolicy, slot_cost: _SlotCost,
+                 mode: DegradedMode | None = None):
         self.name = name
         self.policy = policy
         self.queue: deque[Request] = deque()
         self.slot_cost = slot_cost
+        self.mode = mode  # graceful-degradation config, if declared
+        self.degraded = False  # currently serving in degraded mode
 
 
 def _make_slots(devices: tuple[str, ...]) -> tuple[list[_Slot], dict[str, _Slot], dict[str, str]]:
@@ -223,42 +266,102 @@ def _make_slots(devices: tuple[str, ...]) -> tuple[list[_Slot], dict[str, _Slot]
     return slots, by_label, slot_device
 
 
+def slot_labels(devices: tuple[str, ...]) -> list[str]:
+    """Slot labels a device tuple expands to (``name#i`` for repeats).
+
+    Chaos-scenario builders use this to target individual slots of a
+    pool without running a simulation.
+    """
+    slots, _, _ = _make_slots(devices)
+    return [s.label for s in slots]
+
+
+def validate_fault_plan(plan: FaultPlan, devices: tuple[str, ...]) -> None:
+    """Validate ``plan`` against a device pool without running anything.
+
+    Raises :class:`~repro.serving.faults.FaultPlanError` exactly as the
+    simulation entry points would — lets a CLI fail fast on a malformed
+    plan before any profiling happens.
+    """
+    slots, _, slot_device = _make_slots(devices)
+    plan.resolve([s.label for s in slots], slot_device)
+
+
 def _run_event_loop(
     requests: list[Request],
     tenants: dict[str, _Tenant],
     slots: list[_Slot],
     by_label: dict[str, _Slot],
     router: Router,
+    faults: FaultRuntime | None = None,
 ) -> float:
-    """Drive the heap until every request is dispatched; returns makespan."""
+    """Drive the heap until every request is dispatched; returns makespan.
+
+    With a fault runtime attached the loop additionally processes fault
+    happenings (device down/recover, throttle edges, stalls) and retry
+    wake-ups, tracks in-flight batches so failures can abort them, and
+    runs until every request either completed or was shed — checking the
+    request-conservation invariant at every event. Without one, the
+    fault branches are skipped entirely and the schedule is bit-identical
+    to the pre-fault simulator.
+    """
     n_requests = len(requests)
-    heap: list[tuple[float, int, str]] = []
-    tick = itertools.count()  # tie-break so heap never compares strings
+    heap: list[tuple[float, int, str, object]] = []
+    tick = itertools.count()  # tie-break so heap never compares payloads
     next_arrival = 0
     scheduled_arrival = -1  # highest arrival index with an event in the heap
     pending_wakeup: float | None = None  # earliest wakeup event in the heap
 
-    def push(time: float, tag: str) -> None:
-        heapq.heappush(heap, (time, next(tick), tag))
+    def push(time: float, tag: str, payload: object = None) -> None:
+        heapq.heappush(heap, (time, next(tick), tag, payload))
 
     push(requests[0].arrival, "arrival")
     scheduled_arrival = 0
     dispatched = 0
     makespan = 0.0
 
-    while dispatched < n_requests:
-        now, _, tag = heapq.heappop(heap)
+    if faults is not None:
+        for when, _seq, kind, slot_label, arg in faults.happenings:
+            push(when, "fault", (kind, slot_label, arg))
+
+    def finished() -> bool:
+        if faults is None:
+            # Dispatch finalizes timing, so dispatched == done.
+            return dispatched >= n_requests
+        # Failures can abort dispatched batches; only completion or
+        # shedding retires a request.
+        return faults.completed + faults.shed >= n_requests
+
+    while not finished():
+        now, _, tag, payload = heapq.heappop(heap)
         if tag == "wakeup" and pending_wakeup is not None and now >= pending_wakeup:
             pending_wakeup = None
+        elif faults is not None:
+            if tag == "fault":
+                bump = faults.apply(payload, now, by_label, router, push)
+                if bump is not None:
+                    makespan = max(makespan, bump)
+            elif tag == "retry":
+                faults.absorb_retry(payload, now, tenants)
+            elif tag == "free":
+                faults.complete(payload, now, by_label)
 
         # Absorb every arrival due by `now`; schedule the next one exactly once.
         while next_arrival < n_requests and requests[next_arrival].arrival <= now:
             req = requests[next_arrival]
             tenants[req.tenant].queue.append(req)
             next_arrival += 1
+            if faults is not None:
+                faults.queued += 1
         if next_arrival < n_requests and scheduled_arrival < next_arrival:
             push(requests[next_arrival].arrival, "arrival")
             scheduled_arrival = next_arrival
+
+        if faults is not None:
+            # No request is ever silently lost: everything issued so far
+            # is queued, on a device, awaiting retry, completed or shed.
+            faults.shed_expired(tenants, now)
+            faults.check_conservation(next_arrival)
 
         # Offer queued work to idle devices until every policy holds or
         # work/devices run out.
@@ -266,7 +369,12 @@ def _run_event_loop(
             active = [t for t in tenants.values() if t.queue]
             if not active:
                 break
-            idle = [s.label for s in slots if s.free_at <= now]
+            if faults is None:
+                idle = [s.label for s in slots if s.free_at <= now]
+            else:
+                idle = [s.label for s in slots
+                        if s.free_at <= now and not s.down
+                        and s.stalled_until <= now]
             if not idle:
                 break
             if len(active) > 1:
@@ -280,6 +388,8 @@ def _run_event_loop(
             size = None
             for tenant in active:
                 queue = tenant.queue
+                if faults is not None:
+                    faults.update_degraded(tenant, now)
                 # Ranking a single idle slot is a no-op; skipping it also
                 # keeps legacy callable cost models (defined only up to
                 # their batch cap) away from the router's larger probes.
@@ -313,13 +423,33 @@ def _run_event_loop(
                 raise ValueError("batch_time must return a positive duration")
             idle_since = slot.free_at
             finish = now + duration
-            for _ in range(size):
-                req = queue.popleft()
-                req.dispatch = now
-                req.finish = finish
-                req.device = slot.label
-                req.batch_size = size
-                req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
+            if faults is None:
+                for _ in range(size):
+                    req = queue.popleft()
+                    req.dispatch = now
+                    req.finish = finish
+                    req.device = slot.label
+                    req.batch_size = size
+                    req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
+            else:
+                degraded = tenant.degraded
+                batch: list[Request] = []
+                for _ in range(size):
+                    req = queue.popleft()
+                    req.dispatch = now
+                    req.finish = finish
+                    req.device = slot.label
+                    req.batch_size = size
+                    req.formation_wait = max(0.0, now - max(req.arrival, idle_since))
+                    req.degraded = degraded
+                    batch.append(req)
+                if slot.inflight is not None:
+                    # The slot's free event is still in the heap (tie at
+                    # `now`); absorb the finished batch before overwriting
+                    # so it isn't lost. The pending event goes stale.
+                    faults.complete(slot.label, now, by_label)
+                slot.inflight = (finish, batch)
+                faults.note_dispatch(size, degraded, tenant.name)
             slot.free_at = finish
             slot.busy_time += duration
             slot.batches += 1
@@ -328,7 +458,7 @@ def _run_event_loop(
             router.note_dispatch(slot.label)
             dispatched += size
             makespan = max(makespan, finish)
-            push(finish, "free")
+            push(finish, "free", slot.label)
     return makespan
 
 
@@ -387,6 +517,7 @@ def _summarize(
     tenants: Sequence[TenantSpec] | None = None,
     finetune_stats: dict | None = None,
     inference_slowdown: float = 1.0,
+    fault_stats: FaultStats | None = None,
 ) -> ServingReport:
     """Collapse finished requests + slot accounting into a report.
 
@@ -394,13 +525,22 @@ def _summarize(
     queue / service decompositions and all three percentiles fall out of
     array arithmetic instead of per-request property walks. Handles the
     empty stream (``n_requests=0``) with an all-zero, well-formed report.
+
+    Shed requests (fault runs only) have no completion timing: latency
+    statistics cover completed requests, ``n_requests`` stays the issued
+    total, and throughput counts only completed requests.
     """
     n_requests = len(requests)
-    if n_requests:
-        arrival_col = _column(requests, "arrival")
-        dispatch_col = _column(requests, "dispatch")
-        finish_col = _column(requests, "finish")
-        formation_col = _column(requests, "formation_wait")
+    completed_requests = requests
+    if fault_stats is not None and fault_stats.shed:
+        completed_requests = [r for r in requests if not r.shed]
+    n_completed = len(completed_requests)
+    if n_completed:
+        requests_stats = completed_requests
+        arrival_col = _column(requests_stats, "arrival")
+        dispatch_col = _column(requests_stats, "dispatch")
+        finish_col = _column(requests_stats, "finish")
+        formation_col = _column(requests_stats, "formation_wait")
         latencies = finish_col - arrival_col
         queue_times = dispatch_col - arrival_col
         service_times = finish_col - dispatch_col
@@ -427,7 +567,8 @@ def _summarize(
         for s in slots
     }
     tenant_stats = (
-        _tenant_breakdown(requests, latencies, queue_times, makespan, tenants)
+        _tenant_breakdown(completed_requests, latencies, queue_times, makespan,
+                          tenants)
         if tenants is not None else {}
     )
     return ServingReport(
@@ -436,7 +577,7 @@ def _summarize(
         n_requests=n_requests,
         arrival_rate=arrival_rate,
         makespan=makespan,
-        throughput=n_requests / makespan if makespan > 0 else 0.0,
+        throughput=n_completed / makespan if makespan > 0 else 0.0,
         mean_latency=mean_latency,
         p50_latency=float(p50),
         p95_latency=float(p95),
@@ -449,7 +590,30 @@ def _summarize(
         tenant_stats=tenant_stats,
         finetune_stats=finetune_stats or {},
         inference_slowdown=inference_slowdown,
+        fault_stats=fault_stats,
     )
+
+
+def _make_fault_runtime(
+    faults: FaultPlan | None,
+    retry: RetryPolicy | None,
+    tenants: Sequence[TenantSpec] | None,
+    slots: list[_Slot],
+    slot_device: dict[str, str],
+) -> FaultRuntime | None:
+    """Build the per-run fault runtime, or ``None`` for a fault-free run.
+
+    Any fault input — a plan (even an empty one), a retry policy (its
+    deadline sheds without device failures), or a tenant with a declared
+    degraded mode — activates the fault path; plan validation happens
+    here, before the event loop, so a malformed plan raises
+    :class:`~repro.serving.faults.FaultPlanError` instead of deadlocking.
+    """
+    degraded = any(spec.degraded is not None for spec in tenants or ())
+    if faults is None and retry is None and not degraded:
+        return None
+    return FaultRuntime(faults or FaultPlan(), retry or RetryPolicy(),
+                        [s.label for s in slots], slot_device)
 
 
 def simulate(
@@ -460,6 +624,8 @@ def simulate(
     arrival_rate: float | None = None,
     router: Router | None = None,
     seed: int = 0,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ServingReport:
     """Run one open-loop serving simulation.
 
@@ -480,6 +646,11 @@ def simulate(
         paper's closed-batch setting).
     router:
         Placement strategy across idle devices; default earliest-finish.
+    faults:
+        Declarative fault plan (:class:`~repro.serving.faults.FaultPlan`)
+        injected into the run; an empty plan reproduces the fault-free
+        schedule bit-identically. ``retry`` governs how aborted requests
+        are retried or shed (default :class:`RetryPolicy`).
     """
     if not devices:
         raise ValueError("need at least one device")
@@ -494,13 +665,20 @@ def simulate(
     requests = make_requests(arrivals)
 
     slots, by_label, slot_device = _make_slots(devices)
-    tenant = _Tenant("", policy, _SlotCost(cost, slot_device))
+    fault_runtime = _make_fault_runtime(faults, retry, None, slots, slot_device)
+    tenant = _Tenant("", policy, _SlotCost(cost, slot_device,
+                                           faults=fault_runtime))
     makespan = (
-        _run_event_loop(requests, {"": tenant}, slots, by_label, router)
+        _run_event_loop(requests, {"": tenant}, slots, by_label, router,
+                        faults=fault_runtime)
         if requests else 0.0
     )
+    fault_stats = None
+    if fault_runtime is not None:
+        fault_stats = fault_runtime.build_stats(makespan, requests,
+                                                {"": (None, None)})
     return _summarize(requests, slots, makespan, policy.name, router.name,
-                      arrival_rate)
+                      arrival_rate, fault_stats=fault_stats)
 
 
 def simulate_mixed(
@@ -513,6 +691,8 @@ def simulate_mixed(
     router: Router | None = None,
     finetune: Sequence | None = None,
     seed: int = 0,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ServingReport:
     """Serve a mix of tenants concurrently on a shared device pool.
 
@@ -532,6 +712,15 @@ def simulate_mixed(
     share of every device, inference batches slow down by
     ``1 / (1 - sum(shares))``, and the report's ``finetune_stats`` records
     the training steps each job completed during the run's makespan.
+
+    ``faults`` injects a declarative fault plan
+    (:class:`~repro.serving.faults.FaultPlan`) — device failures abort
+    in-flight batches (re-queued under ``retry``, shed past its bounds),
+    throttle windows slow devices, and tenants with a declared
+    ``degraded`` mode shed an encoder under pressure. The report's
+    ``fault_stats`` accounts for all of it; background fine-tuning jobs
+    additionally checkpoint/restart around each slot's down windows. An
+    empty plan reproduces the fault-free schedule bit-identically.
     """
     if not tenants:
         raise ValueError("need at least one tenant")
@@ -566,22 +755,39 @@ def simulate_mixed(
             requests.sort(key=lambda r: r.arrival)
 
     slots, by_label, slot_device = _make_slots(devices)
+    fault_runtime = _make_fault_runtime(faults, retry, tenants, slots,
+                                        slot_device)
     states = {
         spec.name: _Tenant(spec.name, spec.policy,
-                           _SlotCost(spec.cost, slot_device, scale=slowdown))
+                           _SlotCost(spec.cost, slot_device, scale=slowdown,
+                                     faults=fault_runtime),
+                           mode=spec.degraded)
         for spec in tenants
     }
     makespan = (
-        _run_event_loop(requests, states, slots, by_label, router)
+        _run_event_loop(requests, states, slots, by_label, router,
+                        faults=fault_runtime)
         if requests else 0.0
     )
+    fault_stats = None
+    if fault_runtime is not None:
+        fault_stats = fault_runtime.build_stats(
+            makespan, requests,
+            {spec.name: (spec.degraded, spec.slo) for spec in tenants})
     finetune_stats = None
     if finetune:
         from repro.serving.finetune import finetune_progress
 
-        finetune_stats = finetune_progress(finetune, slot_device, makespan)
+        down_windows = None
+        if fault_stats is not None:
+            down_windows = {label: stats.down_windows
+                            for label, stats in fault_stats.devices.items()
+                            if stats.down_windows}
+        finetune_stats = finetune_progress(finetune, slot_device, makespan,
+                                           down_windows=down_windows)
     return _summarize(requests, slots, makespan,
                       f"mixed({len(tenants)} tenants)", router.name,
                       arrival_rate, tenants=tenants,
                       finetune_stats=finetune_stats,
-                      inference_slowdown=slowdown)
+                      inference_slowdown=slowdown,
+                      fault_stats=fault_stats)

@@ -1,5 +1,7 @@
 """The ``mmbench serve`` subcommand."""
 
+import json
+
 from repro.core.cli import main
 
 
@@ -107,3 +109,96 @@ class TestServeMixCommand:
                      "--policy", "fixed", "--slo", "-1"])
         assert code == 2
         assert "--slo must be positive" in capsys.readouterr().err
+
+
+class TestServeFaults:
+    def test_chaos_scenario_end_to_end(self, capsys):
+        code = main([
+            "serve", "--mix", "heavy-head", "--workloads", "avmnist,mmimdb",
+            "--faults", "single-failure", "--arrival-rate", "2000",
+            "--n-requests", "600", "--policy", "adaptive",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "issued (conserved)" in out
+        assert "Per-device fault windows" in out
+        assert "Per-tenant shedding / degraded mode" in out
+
+    def test_single_workload_path_takes_faults(self, capsys):
+        code = main([
+            "serve", "--workload", "avmnist", "--faults", "thermal-brownout",
+            "--arrival-rate", "2000", "--n-requests", "400",
+            "--policy", "fixed", "--devices", "2080ti,nano",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "issued (conserved)" in out
+        assert "throttled" in out
+
+    def test_plan_json_file(self, capsys, tmp_path):
+        plan = {"events": [
+            {"kind": "down", "device": "nano", "time": 0.01},
+            {"kind": "recover", "device": "nano", "time": 0.05},
+        ]}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        code = main([
+            "serve", "--workload", "avmnist", "--faults", str(path),
+            "--arrival-rate", "2000", "--n-requests", "400",
+            "--policy", "fixed", "--devices", "2080ti,nano",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "issued (conserved)" in out
+
+    def test_bogus_faults_value_fails_cleanly(self, capsys):
+        code = main(["serve", "--faults", "bogus", "--arrival-rate", "100"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "single-failure" in err and "'bogus'" in err
+
+    def test_chaos_scenario_requires_rate(self, capsys):
+        code = main(["serve", "--faults", "single-failure",
+                     "--n-requests", "100"])
+        assert code == 2
+        assert "--arrival-rate" in capsys.readouterr().err
+
+    def test_plan_naming_unknown_device_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"events": [
+            {"kind": "down", "device": "xeon", "time": 0.01}]}))
+        code = main(["serve", "--faults", str(path),
+                     "--arrival-rate", "100", "--devices", "2080ti,nano"])
+        assert code == 2
+        assert "unknown device 'xeon'" in capsys.readouterr().err
+
+    def test_request_deadline_sheds(self, capsys):
+        code = main([
+            "serve", "--workload", "avmnist", "--request-deadline", "0.004",
+            "--arrival-rate", "20000", "--n-requests", "600",
+            "--policy", "fixed", "--devices", "nano",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "issued (conserved)" in out
+
+    def test_bad_retry_flags_fail_cleanly(self, capsys):
+        code = main(["serve", "--retry-max", "-1", "--arrival-rate", "100"])
+        assert code == 2
+        assert "--retry-max" in capsys.readouterr().err
+        code = main(["serve", "--request-deadline", "0",
+                     "--arrival-rate", "100"])
+        assert code == 2
+        assert "--request-deadline" in capsys.readouterr().err
+
+    def test_degrade_after_rejected_on_single_path(self, capsys):
+        code = main(["serve", "--workload", "avmnist", "--degrade-after",
+                     "0.1", "--arrival-rate", "100"])
+        assert code == 2
+        assert "--degrade-after" in capsys.readouterr().err
+
+    def test_empty_devices_component_fails_cleanly(self, capsys):
+        code = main(["serve", "--devices", "2080ti,,nano",
+                     "--arrival-rate", "100"])
+        assert code == 2
+        assert "--devices" in capsys.readouterr().err
