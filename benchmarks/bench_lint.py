@@ -1,0 +1,118 @@
+"""Benchmark: static lint throughput over traces and the fixture corpus.
+
+Lint rules are pure array math, so they must stay effectively free next
+to capture/ingest/pricing. This benchmark measures:
+
+* **50k-kernel trace lint** — every trace rule over a synthetic ingested
+  trace (the hot pre-run hook path), gated in low milliseconds;
+* **full corpus lint** — every execution-graph fixture under
+  ``tests/fixtures/execution_graphs/`` plus a captured trace for each of
+  the nine built-in workloads, gated under ``--corpus-budget`` (250 ms
+  default — the CI regression gate).
+
+Captures and ingests happen *outside* the timed regions; only the lint
+itself is on the clock.
+
+Run from the repo root::
+
+    python benchmarks/bench_lint.py [--nodes 50000] [-o FILE]
+
+Emits ``BENCH_lint.json``::
+
+    {
+      "trace": {"kernels": 50000, "ms": ..., "kernels_per_s": ...},
+      "corpus": {"artifacts": ..., "diagnostics": ..., "ms": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from bench_ingest import synthetic_graph
+
+from repro.lint import lint_path, lint_trace
+from repro.trace.ingest import ingest_graph
+from repro.trace.store import TraceStore
+from repro.workloads.registry import list_workloads
+
+FIXTURES = Path(__file__).parent.parent / "tests" / "fixtures" / \
+    "execution_graphs"
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=50_000)
+    parser.add_argument("--trace-budget-ms", type=float, default=50.0,
+                        help="budget for linting the 50k-kernel trace (ms)")
+    parser.add_argument("--corpus-budget-ms", type=float, default=250.0,
+                        help="budget for linting the full corpus (ms)")
+    parser.add_argument("-o", "--output", default="BENCH_lint.json")
+    args = parser.parse_args(argv)
+
+    # -- 50k-kernel trace: the pre-run hook path ------------------------------
+    graph = synthetic_graph(args.nodes)
+    ingested = ingest_graph(graph)
+    lint_trace(ingested)  # warm the numpy/jit caches off the clock
+    trace_s, report = _timed(lambda: lint_trace(ingested, source="synthetic"))
+    trace_ms = trace_s * 1e3
+    print(f"trace lint: {args.nodes:,} kernels in {trace_ms:.2f} ms "
+          f"= {args.nodes / trace_s:,.0f} kernels/s "
+          f"({len(report)} diagnostic(s))")
+
+    # -- full corpus: fixtures + the nine workloads ----------------------------
+    fixture_paths = sorted(FIXTURES.glob("*.json"))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        captured = [store.get_or_capture(w, batch_size=8, backend="meta")
+                    for w in sorted(list_workloads())]
+
+        def lint_corpus():
+            n_diags = 0
+            for path in fixture_paths:
+                n_diags += len(lint_path(path))
+            for stored in captured:
+                n_diags += len(lint_trace(stored,
+                                          source=stored.model_name))
+            return n_diags
+
+        lint_corpus()  # warm
+        corpus_s, n_diags = _timed(lint_corpus)
+    corpus_ms = corpus_s * 1e3
+    n_artifacts = len(fixture_paths) + len(captured)
+    print(f"corpus lint: {n_artifacts} artifacts in {corpus_ms:.2f} ms "
+          f"({n_diags} diagnostic(s))")
+
+    payload = {
+        "bench": "lint",
+        "trace": {"kernels": args.nodes, "ms": round(trace_ms, 3),
+                  "kernels_per_s": round(args.nodes / trace_s, 1)},
+        "corpus": {"artifacts": n_artifacts, "diagnostics": n_diags,
+                   "ms": round(corpus_ms, 3)},
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if trace_ms > args.trace_budget_ms:
+        print(f"FAIL: 50k-kernel trace lint over "
+              f"{args.trace_budget_ms:.0f} ms budget")
+        failed = True
+    if corpus_ms > args.corpus_budget_ms:
+        print(f"FAIL: corpus lint over {args.corpus_budget_ms:.0f} ms budget")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

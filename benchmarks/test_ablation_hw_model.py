@@ -18,7 +18,6 @@ import pytest
 
 from benchmarks.conftest import print_table
 from repro.data.synthetic import random_batch
-from repro.hw.engine import ExecutionEngine
 from repro.hw.device import get_device
 from repro.hw.latency import kernel_latency
 from repro.profiling.profiler import MMBenchProfiler
@@ -61,7 +60,9 @@ def test_ablation_cache_reuse(benchmark, avmnist_capture):
         return with_cache, no_cache
 
     with_cache, no_cache = benchmark(run)
-    memory_bound = lambda r: sum(1 for kx in r.kernels if kx.latency.bound == "memory")
+    def memory_bound(r):
+        return sum(1 for kx in r.kernels if kx.latency.bound == "memory")
+
     print_table("Ablation: cache-reuse filtering",
                 ["config", "GPU time", "memory-bound kernels"],
                 [["with reuse", f"{with_cache.gpu_time*1e6:.1f} us", memory_bound(with_cache)],

@@ -89,3 +89,16 @@ EOF
 "${run[@]}" store stats --cache-dir "$cachedir" | grep "1 v5"
 "${run[@]}" run --workload avmnist --batch-size 2 --backend meta \
     --cache-dir "$cachedir" | grep "0 captures"
+
+# Static lint: the exported graph and the whole migrated store lint clean
+# under --strict; a counterexample fixture keeps failing (exit 1) and a
+# baseline written from its findings suppresses them.
+"${run[@]}" lint --strict "$tmpdir/avmnist.json"
+"${run[@]}" store lint --strict --cache-dir "$cachedir"
+if "${run[@]}" lint tests/fixtures/execution_graphs/cyclic.json; then
+    echo "lint missed the cyclic fixture" >&2; exit 1
+fi
+"${run[@]}" lint --strict tests/fixtures/execution_graphs/unknown_ops.json \
+    --write-baseline "$tmpdir/baseline.json" || true
+"${run[@]}" lint --strict tests/fixtures/execution_graphs/unknown_ops.json \
+    --baseline "$tmpdir/baseline.json" | grep "1 suppressed"

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.suite import BenchmarkSuite, RunConfig
 from repro.profiling.report import format_table
@@ -645,6 +646,61 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _finish_lint(report, args) -> int:
+    """Shared tail of `mmbench lint` and `mmbench store lint`: baseline,
+    rendering, exit code."""
+    from repro.lint import load_baseline, write_baseline
+
+    if getattr(args, "write_baseline", None):
+        count = write_baseline(args.write_baseline, report)
+        print(f"wrote {count} suppression(s) to {args.write_baseline}",
+              file=sys.stderr)
+    if getattr(args, "baseline", None):
+        report = report.apply_baseline(load_baseline(args.baseline))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_lint(args) -> int:
+    """Statically analyze traces, graphs, fault plans and store entries."""
+    import os
+
+    from repro.lint import LintReport, lint_path, lint_trace
+
+    store = _configure_store(args)
+    options = {"unknown_threshold": args.unknown_threshold}
+    merged = LintReport()
+    for target in args.targets:
+        if Path(target).exists():
+            try:
+                merged.extend(lint_path(target, **options))
+            except (ValueError, KeyError) as exc:
+                print(f"lint: {target}: {exc}", file=sys.stderr)
+                return 2
+            continue
+        if target in WORKLOADS:
+            stored = store.get_or_capture(
+                target, batch_size=args.batch_size, backend=args.backend)
+            merged.extend(lint_trace(stored, source=f"workload:{target}",
+                                     **options))
+            continue
+        # Neither a file nor a workload: try a store digest prefix.
+        cache_dir = args.cache_dir or os.environ.get("MMBENCH_CACHE_DIR")
+        try:
+            stored = store.load_digest(target)
+        except KeyError as exc:
+            hint = ("" if cache_dir
+                    else " (store keys need --cache-dir or $MMBENCH_CACHE_DIR)")
+            print(f"lint: {target}: not a file, workload or store key: "
+                  f"{exc.args[0]}{hint}", file=sys.stderr)
+            return 2
+        merged.extend(lint_trace(stored, source=f"store:{target}", **options))
+    return _finish_lint(merged, args)
+
+
 def _cmd_store(args) -> int:
     """Corpus operations on the on-disk trace store (schema v5 binary tier)."""
     import os
@@ -719,8 +775,48 @@ def _cmd_store(args) -> int:
             print(f"  {store.stats['corrupt']} unreadable entries quarantined")
         return 0
 
+    if args.action == "lint":
+        from repro.lint import LintReport, lint_trace
+
+        merged = LintReport()
+        skipped = 0
+        for info in store.entries():
+            if info["status"] != "ok":
+                skipped += 1
+                continue
+            try:
+                entry = store.load_digest(info["digest"])
+            except KeyError:
+                skipped += 1
+                continue
+            key = info["key"] or {}
+            merged.extend(lint_trace(
+                entry,
+                source=f"store:{info['digest'][:12]} "
+                       f"({key.get('workload', '?')})"))
+        if skipped:
+            print(f"lint [{cache_dir}]: skipped {skipped} unreadable "
+                  f"entr{'y' if skipped == 1 else 'ies'}", file=sys.stderr)
+        return _finish_lint(merged, args)
+
     print(f"unknown store action {args.action!r}", file=sys.stderr)
     return 2
+
+
+def _add_lint_options(sub_parser) -> None:
+    """Severity gating + output flags shared by `lint` and `store lint`."""
+    sub_parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the exit code (errors always do)")
+    sub_parser.add_argument(
+        "--format", default="human", choices=["human", "json"],
+        help="render diagnostics for people or for machines")
+    sub_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress diagnostics listed in FILE (codes or fingerprints)")
+    sub_parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="adopt every current diagnostic into FILE, then ratchet")
 
 
 def _add_trace_options(sub_parser) -> None:
@@ -867,15 +963,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "(content-addressed on the file digest)")
     ingest.set_defaults(fn=_cmd_ingest)
 
+    lint_p = sub.add_parser(
+        "lint", help="statically analyze traces, execution graphs, fault "
+                     "plans and store entries (no execution)")
+    lint_p.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="what to lint: an execution-graph or fault-plan JSON file, a "
+             "workload name (lints its captured trace), or a store digest "
+             "prefix from `mmbench store ls`")
+    _add_lint_options(lint_p)
+    lint_p.add_argument("--unknown-threshold", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="MMB202 fires when more than FRAC of kernels "
+                             "sit in the unknown-op bucket (default 0.25)")
+    lint_p.add_argument("--batch-size", type=int, default=8,
+                        help="batch size for workload-name targets")
+    _add_trace_options(lint_p)
+    lint_p.set_defaults(fn=_cmd_lint)
+
     store_p = sub.add_parser(
         "store", help="corpus operations on the on-disk trace cache "
-                      "(ls / stats / gc / migrate)")
+                      "(ls / stats / gc / migrate / lint)")
     store_sub = store_p.add_subparsers(dest="action", required=True)
     for action, help_text in (
         ("ls", "list every disk entry (format, schema, key, size, status)"),
         ("stats", "aggregate corpus statistics"),
         ("gc", "remove stale, quarantined and torn-write files"),
         ("migrate", "rewrite legacy gzip-JSON entries as v5 binary files"),
+        ("lint", "lint every readable entry in the store"),
     ):
         action_p = store_sub.add_parser(action, help=help_text)
         action_p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -884,6 +999,8 @@ def build_parser() -> argparse.ArgumentParser:
             action_p.add_argument("--keep-stale", action="store_true",
                                   help="only remove corrupt/torn files, keep "
                                        "entries with old code fingerprints")
+        if action == "lint":
+            _add_lint_options(action_p)
         action_p.set_defaults(fn=_cmd_store)
 
     analyze = sub.add_parser("analyze", help="run a characterization analysis")

@@ -8,13 +8,13 @@ characterization analyses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.train import loss_fn_for, train_model
 from repro.data.generators import LatentMultimodalDataset
-from repro.data.synthetic import batch_bytes, random_batch, random_targets
+from repro.data.synthetic import random_batch, random_targets
 from repro.profiling.profiler import MMBenchProfiler, ProfileResult
 from repro.profiling.report import profile_summary
 from repro.workloads.registry import WorkloadInfo, get_workload, list_workloads
@@ -201,6 +201,28 @@ class BenchmarkSuite:
             batch_size = int(stored.extra.get("batch_size", 1))
         profiler = MMBenchProfiler(self.device)
         return profiler.profile_stored(stored, batch_size)
+
+    # -- static analysis ----------------------------------------------------------
+
+    def lint(self, artifact, source: str | None = None, **options):
+        """Statically lint a benchmark artifact; returns a ``LintReport``.
+
+        The programmatic twin of ``mmbench lint``: ``artifact`` can be a
+        path to an execution-graph or fault-plan JSON, a workload name, a
+        ``Trace``/``TraceColumns``/``StoredTrace``, a ``StreamSchedule``,
+        a ``ServingReport``, a ``FaultPlan``, a tenant list or an
+        op-mapping registry — the rule set is picked by type. Nothing is
+        executed; every rule is array math over the artifact.
+        """
+        from repro.lint import lint_artifact, lint_trace
+
+        if isinstance(artifact, str) and artifact in set(list_workloads()):
+            from repro.trace.store import default_store
+
+            stored = default_store().get_or_capture(artifact)
+            return lint_trace(stored, source=source or f"workload:{artifact}",
+                              **options)
+        return lint_artifact(artifact, source=source, **options)
 
     # -- reporting --------------------------------------------------------------
 

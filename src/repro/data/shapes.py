@@ -17,7 +17,7 @@ straggler/imbalance findings (Figure 10).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

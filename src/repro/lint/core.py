@@ -1,0 +1,325 @@
+"""Diagnostics, the rule registry and lint reports.
+
+The lint layer statically certifies benchmark artifacts — traces, stream
+schedules, fault plans, serving reports, tenant sets and op-mapping
+registries — *before* an expensive run, the way the paper certifies its
+measured roofline decomposition before reading numbers off it. Every
+rule is pure array math (or a cheap walk over a small declarative
+object); nothing executes a model or a simulation.
+
+Rule codes are stable and banded by artifact family:
+
+* ``MMB1xx`` — trace work descriptors (columns + execution-graph JSON)
+* ``MMB2xx`` — pass/stage taxonomy
+* ``MMB3xx`` — stream schedules and serving timelines (race detection)
+* ``MMB4xx`` — fault plans
+* ``MMB5xx`` — tenant configs and op-mapping registries
+
+A :class:`Diagnostic` carries the code, a severity (``error`` blocks
+strict runs and pre-run hooks, ``warning`` blocks ``--strict`` only,
+``info`` never fails), an artifact location and a fix suggestion. Rules
+register themselves with the :func:`rule` decorator under an artifact
+*kind*; :func:`run_rules` runs every rule registered for a kind and
+folds the diagnostics into a :class:`LintReport`.
+
+Vectorized rules emit **one diagnostic per rule**, anchored at the first
+offending element with the total occurrence count in the message — a
+50k-kernel trace with 50k bad descriptors must not allocate 50k
+diagnostic objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, where it is, and how to fix it."""
+
+    code: str  # stable rule code, e.g. "MMB101"
+    severity: str  # "error" | "warning" | "info"
+    message: str  # what is wrong, with counts/values inline
+    location: str  # artifact-relative anchor, e.g. "kernel[17] 'conv2d'"
+    fix: str | None = None  # one-line suggestion
+    source: str = ""  # which artifact was linted (path, store key, ...)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; "
+                             f"valid: {SEVERITIES}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable suppression handle: code + location (message-free, so
+        reworded diagnostics stay suppressed)."""
+        return f"{self.code}:{self.location}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+        }
+        if self.fix:
+            out["fix"] = self.fix
+        if self.source:
+            out["source"] = self.source
+        return out
+
+    def render(self) -> str:
+        tail = f"  [fix: {self.fix}]" if self.fix else ""
+        where = f"{self.source}: " if self.source else ""
+        return f"{self.severity:>7} {self.code} {where}{self.location}: " \
+               f"{self.message}{tail}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    severity: str
+    kind: str  # artifact family: "trace" | "graph" | "schedule" | ...
+    summary: str  # one-line catalog entry (docs/lint.md)
+    fn: Callable[..., Iterable[Diagnostic]]
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(code: str, severity: str, kind: str,
+         summary: str) -> Callable[[Callable], Callable]:
+    """Register a rule under ``code`` for artifact family ``kind``.
+
+    The decorated function takes ``(artifact, ctx)`` and yields
+    :class:`Diagnostic` objects (it may also return a list). The rule's
+    declared severity is the default the helpers below stamp on emitted
+    diagnostics; a rule may emit at a different severity explicitly.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r} for rule {code}")
+
+    def register(fn: Callable) -> Callable:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code}")
+        _REGISTRY[code] = Rule(code, severity, kind, summary, fn)
+        fn.rule_code = code
+        return fn
+
+    return register
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code (the docs catalog order)."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda r: r.code))
+
+
+def rules_for(kind: str) -> tuple[Rule, ...]:
+    return tuple(r for r in all_rules() if r.kind == kind)
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]
+
+
+@dataclass
+class LintContext:
+    """Knobs and provenance shared by every rule of one run."""
+
+    source: str = ""  # path / store key / object description
+    unknown_threshold: float = 0.25  # MMB202 unknown-bucket ceiling
+    dead_threshold: int = 0  # MMB103 fires above this many dead kernels
+    horizon: float | None = None  # fault-plan horizon (seconds), if known
+    devices: tuple[str, ...] = ()  # device pool a fault plan runs against
+
+    def diag(self, rule_code: str, message: str, location: str,
+             fix: str | None = None,
+             severity: str | None = None) -> Diagnostic:
+        spec = _REGISTRY[rule_code]
+        return Diagnostic(
+            code=rule_code,
+            severity=severity if severity is not None else spec.severity,
+            message=message,
+            location=location,
+            fix=fix,
+            source=self.source,
+        )
+
+
+@dataclass
+class LintReport:
+    """The diagnostics of one lint run (possibly over many artifacts)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+    suppressed: int = 0  # dropped by the baseline, kept for accounting
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "info"]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings/infos allowed)."""
+        return not self.errors
+
+    def codes(self) -> list[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI exit code: 1 on errors, 1 on warnings too under strict."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    # -- composition ------------------------------------------------------------
+
+    def extend(self, other: "LintReport") -> "LintReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.sources.extend(s for s in other.sources
+                            if s not in self.sources)
+        self.suppressed += other.suppressed
+        return self
+
+    def apply_baseline(self, suppress: Iterable[str]) -> "LintReport":
+        """Drop diagnostics matched by the baseline.
+
+        Entries are either bare rule codes (``MMB202`` suppresses the rule
+        everywhere) or full fingerprints (``MMB202:kernel[3] 'x'``
+        suppresses one location).
+        """
+        keys = set(suppress)
+        if not keys:
+            return self
+        kept = [d for d in self.diagnostics
+                if d.code not in keys and d.fingerprint not in keys]
+        return LintReport(
+            diagnostics=kept,
+            sources=list(self.sources),
+            suppressed=self.suppressed + len(self.diagnostics) - len(kept),
+        )
+
+    # -- rendering --------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        parts = [f"{len(self.errors)} error(s)",
+                 f"{len(self.warnings)} warning(s)",
+                 f"{len(self.infos)} info(s)"]
+        if self.suppressed:
+            parts.append(f"{self.suppressed} suppressed")
+        n_src = len(self.sources)
+        return f"lint: {', '.join(parts)} across {n_src} artifact(s)"
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "mmbench-lint/1",
+            "sources": list(self.sources),
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+                "suppressed": self.suppressed,
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+class LintFailure(ValueError):
+    """Raised by pre-run lint hooks when an artifact has lint *errors*.
+
+    Carries the full report so callers can render or serialize it; the
+    message inlines the first few diagnostics so a bare traceback is
+    already actionable.
+    """
+
+    def __init__(self, report: LintReport, what: str = "artifact"):
+        self.report = report
+        head = "; ".join(f"{d.code} {d.location}: {d.message}"
+                         for d in report.errors[:3])
+        more = len(report.errors) - 3
+        if more > 0:
+            head += f"; ... {more} more"
+        super().__init__(
+            f"{what} failed lint with {len(report.errors)} error(s): {head} "
+            f"(pass lint=False to skip pre-run lint)")
+
+
+def run_rules(kind: str, artifact, ctx: LintContext | None = None) -> LintReport:
+    """Run every rule registered for ``kind`` against ``artifact``."""
+    ctx = ctx if ctx is not None else LintContext()
+    report = LintReport(sources=[ctx.source] if ctx.source else [])
+    for spec in rules_for(kind):
+        report.diagnostics.extend(spec.fn(artifact, ctx))
+    return report
+
+
+# -- suppressions / baseline files ------------------------------------------------
+
+BASELINE_SCHEMA = "mmbench-lint-baseline/1"
+
+
+def load_baseline(path) -> set[str]:
+    """Read a baseline file into a suppression set.
+
+    The file is JSON: ``{"schema": ..., "suppress": [codes or
+    fingerprints]}``. A missing file is an empty baseline (so a fresh
+    checkout lints unsuppressed).
+    """
+    p = Path(path)
+    if not p.exists():
+        return set()
+    payload = json.loads(p.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{p}: not a lint baseline "
+                         f"(schema {payload.get('schema')!r})")
+    entries = payload.get("suppress", [])
+    if not isinstance(entries, list) or \
+            not all(isinstance(e, str) for e in entries):
+        raise ValueError(f"{p}: 'suppress' must be a list of strings")
+    return set(entries)
+
+
+def write_baseline(path, report: LintReport) -> int:
+    """Write every current diagnostic's fingerprint as the new baseline.
+
+    The adopt-then-ratchet workflow: run once with ``--write-baseline``
+    to accept existing findings, commit the file, and from then on only
+    *new* diagnostics fail the gate.
+    """
+    prints = sorted({d.fingerprint for d in report.diagnostics})
+    payload = {"schema": BASELINE_SCHEMA, "suppress": prints}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(prints)

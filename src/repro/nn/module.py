@@ -12,7 +12,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.nn.tensor import DEFAULT_DTYPE, Tensor
+from repro.nn.tensor import Tensor
 
 
 class Parameter(Tensor):

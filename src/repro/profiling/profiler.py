@@ -186,14 +186,24 @@ class MMBenchProfiler:
         )
         return self.profile_stored(stored, batch_size)
 
-    def profile_stored(self, stored: StoredTrace, batch_size: int) -> ProfileResult:
+    def profile_stored(self, stored: StoredTrace, batch_size: int,
+                       lint: bool = True) -> ProfileResult:
         """Price a :class:`~repro.trace.store.StoredTrace` on this profiler's
         device.
 
         The common tail of :meth:`profile_workload` and the ingest path:
         any stored entry — captured from a built-in workload or ingested
         from an external execution graph — prices identically from here.
+        The trace is lint-checked first (a few array reductions; raises
+        :class:`~repro.lint.core.LintFailure` on errors such as negative
+        or NaN work descriptors, which would silently corrupt the priced
+        numbers); pass ``lint=False`` to price a known-bad trace anyway.
         """
+        if lint:
+            from repro.lint import check, lint_trace
+
+            check(lint_trace(stored, source=stored.model_name),
+                  what=f"stored trace {stored.model_name!r}")
         report = self.price(
             None, stored.trace, batch_size,
             model_bytes=stored.parameter_bytes, input_bytes=stored.input_bytes,

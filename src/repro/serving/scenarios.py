@@ -52,6 +52,18 @@ from repro.serving.faults import CHAOS_SCENARIO_NAMES, CHAOS_SCENARIOS, chaos_pl
 from repro.serving.request import Request, make_mixed_requests
 from repro.serving.simulator import TenantSpec
 
+__all__ = [
+    "CHAOS_SCENARIO_NAMES",
+    "CHAOS_SCENARIOS",
+    "SCENARIO_NAMES",
+    "SCENARIOS",
+    "Scenario",
+    "chaos_plan",
+    "get_scenario",
+    "make_tenants",
+    "scenario_requests",
+]
+
 # Shape knobs, fixed so scenario names mean the same thing everywhere.
 _ZIPF_EXPONENT = 1.0  # heavy-head: weight_i ~ 1 / rank^s
 _DIURNAL_AMPLITUDE = 0.8  # rate swings between 0.2x and 1.8x the mean

@@ -693,6 +693,7 @@ def simulate_mixed(
     seed: int = 0,
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
+    lint: bool = True,
 ) -> ServingReport:
     """Serve a mix of tenants concurrently on a shared device pool.
 
@@ -729,6 +730,22 @@ def simulate_mixed(
         raise ValueError(f"duplicate tenant names: {names}")
     if not devices:
         raise ValueError("need at least one device")
+    if lint:
+        # Pre-run static lint: the tenant set and the fault plan are both
+        # declarative, so errors (an unreachable recover, a plan that
+        # blacks out the whole pool) are caught here in microseconds
+        # instead of surfacing as a wrong number mid-simulation. Opt out
+        # with lint=False to study a deliberately broken configuration.
+        from repro.lint import check, lint_fault_plan, lint_tenants
+
+        pre = lint_tenants(tenants, source="simulate_mixed")
+        if faults is not None and not faults.empty:
+            horizon = (n_requests / arrival_rate
+                       if requests is None and arrival_rate else None)
+            pre.extend(lint_fault_plan(
+                faults, source="simulate_mixed",
+                devices=slot_labels(tuple(devices)), horizon=horizon))
+        check(pre, what="serving configuration")
     router = router or EarliestFinishRouter()
 
     slowdown = 1.0

@@ -276,6 +276,16 @@ class OpMappingRegistry:
         self._memo[name] = rule
         return rule
 
+    @property
+    def rule_list(self) -> tuple[OpRule, ...]:
+        """The ordered pattern rules (first match wins), read-only."""
+        return tuple(self._rules)
+
+    @property
+    def exact_names(self) -> tuple[str, ...]:
+        """The pinned canonical names, read-only."""
+        return tuple(self._exact)
+
     def copy(self) -> "OpMappingRegistry":
         dup = OpMappingRegistry(self._rules)
         dup._exact = dict(self._exact)
@@ -834,14 +844,26 @@ def ingest_graph(source, registry: OpMappingRegistry | None = None,
                           source=label)
     modalities = list(model_meta.get("modalities") or report.modalities)
 
+    def _model_count(key: str) -> int:
+        # Same contract as node-level descriptors: finite, non-negative,
+        # numeric. These feed the peak-memory model, so a negative or
+        # garbage value silently corrupts every priced run downstream.
+        value = model_meta.get(key, 0)
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or not math.isfinite(value) or value < 0:
+            raise IngestError(
+                f"model.{key} must be a finite non-negative number, "
+                f"got {value!r}", source=label)
+        return int(value)
+
     trace = Trace(kernels=kernels, host_events=host_events)
     return IngestedGraph(
         trace=trace,
         name=str(graph_name),
         batch_size=batch_size,
-        parameters=int(model_meta.get("parameters", 0)),
-        parameter_bytes=int(model_meta.get("parameter_bytes", 0)),
-        input_bytes=int(model_meta.get("input_bytes", 0)),
+        parameters=_model_count("parameters"),
+        parameter_bytes=_model_count("parameter_bytes"),
+        input_bytes=_model_count("input_bytes"),
         modalities=modalities,
         report=report,
         topo_order=tuple(ids[pos] for pos in order),

@@ -429,6 +429,27 @@ class TraceStore:
             loaded += 1
         return loaded
 
+    def load_digest(self, digest: str) -> StoredTrace:
+        """Load one disk entry by (a unique prefix of) its content digest.
+
+        The lookup side door behind ``mmbench lint <store-key>``: the
+        short digests ``mmbench store ls`` prints are valid keys here.
+        Raises :class:`KeyError` when the prefix matches zero or several
+        entries, or the matched file is unreadable.
+        """
+        matches = [p for p in self._disk_files()
+                   if p.name.split(".", 1)[0].startswith(digest)]
+        if not matches:
+            raise KeyError(f"no store entry matches digest {digest!r}")
+        if len(matches) > 1:
+            short = ", ".join(p.name.split(".", 1)[0][:12] for p in matches)
+            raise KeyError(f"digest prefix {digest!r} is ambiguous: {short}")
+        entry = self._load_disk_file(matches[0])
+        if entry is None:
+            raise KeyError(f"store entry {matches[0].name} is unreadable "
+                           f"(quarantined)")
+        return entry
+
     def entries(self) -> list[dict]:
         """One info dict per disk entry (cheap: headers only, no columns)."""
         current = code_fingerprint()
@@ -615,7 +636,8 @@ class TraceStore:
         self.put(key, entry)
         return entry
 
-    def get_or_ingest(self, path, registry=None) -> StoredTrace:
+    def get_or_ingest(self, path, registry=None,
+                      lint: bool = True) -> StoredTrace:
         """Return the cached trace for an external graph file, ingesting on
         a miss.
 
@@ -626,6 +648,12 @@ class TraceStore:
         :class:`~repro.trace.ingest.IngestReport` ride along in
         ``StoredTrace.extra`` so warm hits still report the unknown-op
         fraction.
+
+        Freshly ingested traces are lint-checked before they are cached
+        (raising :class:`~repro.lint.core.LintFailure` on errors), so a
+        malformed external graph cannot poison the store; ``lint=False``
+        opts out. Warm hits skip the check — whatever is cached already
+        passed it.
         """
         from pathlib import Path as _Path
 
@@ -652,6 +680,11 @@ class TraceStore:
             return entry
 
         ingested = ingest_graph(path, registry=registry)
+        if lint:
+            from repro.lint import check, lint_trace
+
+            check(lint_trace(ingested, source=str(path)),
+                  what=f"ingested graph {_Path(str(path)).name!r}")
         entry = StoredTrace(
             trace=ingested.trace,
             model_name=ingested.name,

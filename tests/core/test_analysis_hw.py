@@ -4,7 +4,6 @@ that the paper's qualitative findings hold in the reproduction."""
 import pytest
 
 from repro.core import analysis
-from repro.trace.events import STAGE_ENCODER, STAGE_FUSION
 
 
 WORKLOADS_FAST = ["avmnist", "mujoco_push", "mmimdb"]

@@ -1,6 +1,5 @@
 """The ``mmbench train-analyze`` subcommand and serve --mix finetune path."""
 
-import pytest
 
 from repro.core.cli import main
 

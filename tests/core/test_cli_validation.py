@@ -105,6 +105,8 @@ class TestTraceOptions:
         assert main(["run", "--workload", "avmnist", "--batch-size", "2",
                      "--backend", "eager"]) == 0
         eager_out = capsys.readouterr().out
-        pick = lambda text: [ln for ln in text.splitlines()
-                             if "total" in ln or "GPU" in ln or "flops" in ln]
+        def pick(text):
+            return [ln for ln in text.splitlines()
+                    if "total" in ln or "GPU" in ln or "flops" in ln]
+
         assert pick(meta_out) == pick(eager_out)

@@ -1,6 +1,5 @@
 """Workload shape catalogue (Table 3 fidelity)."""
 
-import numpy as np
 import pytest
 
 from repro.data.shapes import (

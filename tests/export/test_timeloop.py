@@ -1,6 +1,5 @@
 """Timeloop-style export."""
 
-import numpy as np
 import pytest
 
 from repro import nn

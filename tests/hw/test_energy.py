@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.synthetic import random_batch
-from repro.hw.device import DeviceSpec, JETSON_NANO, RTX_2080TI
+from repro.hw.device import DeviceSpec
 from repro.hw.energy import (
     coefficients_for,
     energy_delay_product,

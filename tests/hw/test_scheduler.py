@@ -48,7 +48,9 @@ class TestOpenLoop:
         assert result.mean_latency < 0.05
 
     def test_overload_queues_build(self):
-        slow = lambda k: 1e-3 + 1e-4 * k  # service slower than arrivals
+        def slow(k):
+            return 1e-3 + 1e-4 * k  # service slower than arrivals
+
         result = simulate_serving(slow, batch_size=4, n_tasks=300,
                                   arrival_rate=10_000.0, seed=1)
         assert result.server_utilization > 0.9

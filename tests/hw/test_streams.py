@@ -113,7 +113,8 @@ class TestModalityStreams:
         cols = trace.columns()
         loads = modality_streams(cols, np.array([1.0, 1.0]),
                                  shares={"image": 0.7, "audio": 0.3})
-        assert {l.name: l.share for l in loads} == {"image": 0.7, "audio": 0.3}
+        assert {load.name: load.share
+                for load in loads} == {"image": 0.7, "audio": 0.3}
         with pytest.raises(KeyError, match="audio"):
             modality_streams(cols, np.array([1.0, 1.0]), shares={"image": 1.0})
 

@@ -1,0 +1,131 @@
+"""``mmbench lint`` / ``mmbench store lint``: exit codes, formats,
+baselines, and the nine-workload clean-corpus property."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.cli import main
+from repro.workloads.registry import list_workloads
+from repro.lint import lint_trace
+from repro.trace.store import TraceStore, set_default_store
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "execution_graphs"
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_store(monkeypatch):
+    monkeypatch.delenv("MMBENCH_CACHE_DIR", raising=False)
+    prev = set_default_store(None)
+    yield
+    set_default_store(prev)
+
+
+def fixture(name: str) -> str:
+    return str(FIXTURES / f"{name}.json")
+
+
+class TestLintCommand:
+    def test_clean_graph_exits_zero(self, capsys):
+        assert main(["lint", fixture("cnn_forward")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_fixture_exits_one(self, capsys):
+        assert main(["lint", fixture("cyclic")]) == 1
+        assert "MMB111" in capsys.readouterr().out
+
+    def test_warnings_pass_unless_strict(self, capsys):
+        assert main(["lint", fixture("unknown_ops")]) == 0
+        assert "MMB202" in capsys.readouterr().out
+        assert main(["lint", "--strict", fixture("unknown_ops")]) == 1
+
+    def test_infos_never_fail(self):
+        assert main(["lint", "--strict", fixture("empty")]) == 0
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json",
+                     fixture("missing_parent")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "mmbench-lint/1"
+        assert payload["counts"]["error"] >= 1
+        assert any(d["code"] == "MMB111" for d in payload["diagnostics"])
+
+    def test_many_targets_merge_into_one_report(self, capsys):
+        assert main(["lint", fixture("cnn_forward"),
+                     fixture("transformer_train")]) == 0
+        assert "2 artifact(s)" in capsys.readouterr().out
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["lint", "no-such-thing"]) == 2
+        assert "no-such-thing" in capsys.readouterr().err
+
+    def test_workload_name_lints_captured_trace(self, tmp_path, capsys):
+        assert main(["lint", "avmnist", "--cache-dir", str(tmp_path),
+                     "--strict", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sources"] == ["workload:avmnist"]
+
+    def test_store_digest_prefix_target(self, tmp_path, capsys):
+        store = TraceStore(tmp_path)
+        entry_key = store.make_key("avmnist", batch_size=2, backend="meta")
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        digest = entry_key.digest()[:10]
+        assert main(["lint", digest, "--cache-dir", str(tmp_path),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sources"] == [f"store:{digest}"]
+
+    def test_digest_without_cache_dir_hints(self, capsys):
+        assert main(["lint", "deadbeef00"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_write_then_suppress(self, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        # Adopt: record the unknown-op warning as accepted debt.
+        assert main(["lint", fixture("unknown_ops"),
+                     "--write-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # Ratchet: strict now passes because the finding is baselined.
+        assert main(["lint", "--strict", fixture("unknown_ops"),
+                     "--baseline", str(baseline)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestStoreLint:
+    def test_store_lint_walks_every_entry(self, tmp_path, capsys):
+        store = TraceStore(tmp_path)
+        store.get_or_capture("avmnist", batch_size=2, backend="meta")
+        store.get_or_capture("mmimdb", batch_size=2, backend="meta")
+        assert main(["store", "lint", "--cache-dir", str(tmp_path),
+                     "--strict"]) == 0
+        assert "2 artifact(s)" in capsys.readouterr().out
+
+    def test_store_lint_requires_cache_dir(self, capsys):
+        assert main(["store", "lint"]) == 2
+
+
+class TestCleanCorpus:
+    """The paper's nine workloads are the lint rules' null hypothesis:
+    a clean capture must produce zero findings at any severity."""
+
+    @pytest.mark.parametrize("workload", sorted(list_workloads()))
+    def test_workload_capture_lints_clean(self, workload, tmp_path):
+        store = TraceStore(tmp_path)
+        stored = store.get_or_capture(workload, batch_size=4, backend="meta")
+        report = lint_trace(stored, source=workload)
+        assert report.diagnostics == [], \
+            [d.render() for d in report.diagnostics]
+
+    def test_training_capture_lints_clean(self, tmp_path):
+        store = TraceStore(tmp_path)
+        stored = store.get_or_capture_training("avmnist", batch_size=4,
+                                               backend="meta")
+        report = lint_trace(stored, source="avmnist+train")
+        assert report.diagnostics == [], \
+            [d.render() for d in report.diagnostics]

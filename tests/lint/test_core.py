@@ -1,0 +1,158 @@
+"""Lint framework mechanics: diagnostics, the registry, reports,
+baselines, and the LintFailure contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.core import (
+    BASELINE_SCHEMA,
+    Diagnostic,
+    LintFailure,
+    LintReport,
+    all_rules,
+    get_rule,
+    load_baseline,
+    rule,
+    rules_for,
+    write_baseline,
+)
+
+
+def diag(code="MMB101", severity="error", message="bad", location="kernel[0]",
+         **kw) -> Diagnostic:
+    return Diagnostic(code=code, severity=severity, message=message,
+                      location=location, **kw)
+
+
+class TestDiagnostic:
+    def test_fingerprint_is_code_plus_location(self):
+        d = diag(code="MMB202", location="kernel[3] 'x'")
+        assert d.fingerprint == "MMB202:kernel[3] 'x'"
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            diag(severity="fatal")
+
+    def test_render_carries_code_location_and_fix(self):
+        line = diag(fix="do better", source="a.json").render()
+        assert "MMB101" in line and "kernel[0]" in line
+        assert "a.json" in line and "[fix: do better]" in line
+
+    def test_to_dict_omits_empty_optionals(self):
+        assert "fix" not in diag().to_dict()
+        assert diag(fix="f").to_dict()["fix"] == "f"
+
+
+class TestRegistry:
+    def test_rule_codes_are_unique(self):
+        with pytest.raises(ValueError, match="duplicate lint rule code"):
+            rule("MMB101", "error", "trace", "dupe")(lambda a, c: [])
+
+    def test_catalog_is_sorted_and_complete(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        # The issue's floor: at least 12 distinct stable rule codes.
+        assert len(codes) >= 12
+        for band in ("MMB1", "MMB2", "MMB3", "MMB4", "MMB5"):
+            assert any(c.startswith(band) for c in codes), band
+
+    def test_rules_for_partitions_by_kind(self):
+        trace_codes = {r.code for r in rules_for("trace")}
+        schedule_codes = {r.code for r in rules_for("schedule")}
+        assert trace_codes and schedule_codes
+        assert not trace_codes & schedule_codes
+
+    def test_get_rule_summary_is_nonempty(self):
+        assert get_rule("MMB101").summary
+
+
+class TestLintReport:
+    def test_severity_buckets_and_ok(self):
+        report = LintReport(diagnostics=[
+            diag(severity="error"), diag(code="MMB103", severity="warning"),
+            diag(code="MMB204", severity="info"),
+        ])
+        assert len(report.errors) == len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert not report.ok
+        assert report.codes() == ["MMB101", "MMB103", "MMB204"]
+
+    def test_exit_codes(self):
+        errors = LintReport(diagnostics=[diag()])
+        warnings = LintReport(diagnostics=[diag(severity="warning")])
+        infos = LintReport(diagnostics=[diag(severity="info")])
+        assert errors.exit_code() == errors.exit_code(strict=True) == 1
+        assert warnings.exit_code() == 0
+        assert warnings.exit_code(strict=True) == 1
+        assert infos.exit_code(strict=True) == 0
+        assert LintReport().exit_code(strict=True) == 0
+
+    def test_extend_merges_and_dedupes_sources(self):
+        a = LintReport(diagnostics=[diag()], sources=["x"])
+        b = LintReport(diagnostics=[diag(code="MMB102")], sources=["x", "y"],
+                       suppressed=2)
+        a.extend(b)
+        assert len(a) == 2
+        assert a.sources == ["x", "y"]
+        assert a.suppressed == 2
+
+    def test_apply_baseline_by_code_and_fingerprint(self):
+        report = LintReport(diagnostics=[
+            diag(code="MMB202", location="kernel[1] 'a'"),
+            diag(code="MMB202", location="kernel[9] 'b'"),
+            diag(code="MMB101", location="kernel[0] 'c'"),
+        ])
+        by_code = report.apply_baseline({"MMB202"})
+        assert by_code.codes() == ["MMB101"]
+        assert by_code.suppressed == 2
+        by_print = report.apply_baseline({"MMB202:kernel[1] 'a'"})
+        assert len(by_print) == 2
+
+    def test_to_dict_schema(self):
+        payload = LintReport(diagnostics=[diag()], sources=["t"]).to_dict()
+        assert payload["schema"] == "mmbench-lint/1"
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "MMB101"
+        json.loads(LintReport().to_json())  # round-trips
+
+
+class TestBaselineFiles:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_write_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        report = LintReport(diagnostics=[diag(), diag(code="MMB202")])
+        assert write_baseline(path, report) == 2
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert load_baseline(path) == {"MMB101:kernel[0]",
+                                       "MMB202:kernel[0]"}
+        assert report.apply_baseline(load_baseline(path)).diagnostics == []
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something-else/9", "suppress": []}')
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(path)
+
+    def test_rejects_non_string_entries(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": BASELINE_SCHEMA,
+                                    "suppress": [1, 2]}))
+        with pytest.raises(ValueError, match="list of strings"):
+            load_baseline(path)
+
+
+class TestLintFailure:
+    def test_message_inlines_first_errors_and_opt_out(self):
+        report = LintReport(diagnostics=[
+            diag(location=f"kernel[{i}]") for i in range(5)])
+        err = LintFailure(report, what="stored trace 'x'")
+        assert err.report is report
+        assert "stored trace 'x' failed lint with 5 error(s)" in str(err)
+        assert "... 2 more" in str(err)
+        assert "lint=False" in str(err)

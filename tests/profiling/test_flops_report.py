@@ -1,6 +1,5 @@
 """FLOP counting and report rendering."""
 
-import numpy as np
 import pytest
 
 from repro.data.synthetic import random_batch

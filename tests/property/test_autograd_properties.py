@@ -1,7 +1,6 @@
 """Property-based tests for the autodiff core (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 

@@ -1,7 +1,6 @@
 """Property-based tests for the data substrate."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.generators import ChannelSpec, LatentMultimodalDataset

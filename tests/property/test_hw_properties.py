@@ -1,6 +1,5 @@
 """Property-based tests for the hardware model invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.serving import PROFILE_STATS, ProfiledCostModel, clear_cost_cache
 from repro.trace.store import (
-    StoredTrace,
     TraceStore,
     code_fingerprint,
     default_store,
