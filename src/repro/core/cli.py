@@ -188,6 +188,8 @@ def _cmd_serve(args) -> int:
     from repro.hw.device import get_device
     from repro.workloads.registry import get_workload
 
+    if args.fleet:
+        return _cmd_serve_fleet(args)
     if args.mix is not None:
         return _cmd_serve_mix(args)
     args.workload = args.workload or "avmnist"
@@ -351,6 +353,136 @@ def _cmd_serve_mix(args) -> int:
         print(f"mix={args.mix} policy={name} "
               f"workloads={','.join(workloads)} devices={','.join(devices)}")
         print(mixed_serving_summary(report))
+        print()
+    _print_store_stats()
+    return 0
+
+
+def _cmd_serve_fleet(args) -> int:
+    """The ``mmbench serve --fleet`` path: device groups + autoscaling."""
+    import os
+
+    from repro.serving import (
+        chaos_plan,
+        fleet_summary,
+        get_scenario,
+        load_fault_plan,
+        make_policy,
+        make_tenants,
+        parse_autoscale,
+        parse_groups,
+        simulate_fleet,
+    )
+    from repro.serving.faults import CHAOS_SCENARIO_NAMES
+    from repro.workloads.registry import get_workload
+
+    from repro.hw.device import get_device
+
+    scenario = args.mix or "uniform"
+    try:
+        if args.workload is not None or args.fusion is not None:
+            raise ValueError("--workload/--fusion don't apply to --fleet; "
+                             "name the tenants with --workloads instead")
+        if args.groups is None:
+            raise ValueError("--fleet needs --groups DEV:REPLICAS[:POOL],...")
+        if args.router not in ("earliest-finish", "eft"):
+            raise ValueError("--fleet routes per group with earliest-finish "
+                             f"placement; --router {args.router} is a "
+                             "per-slot router")
+        if args.finetune_workloads is not None:
+            raise ValueError("--finetune-workloads doesn't apply to --fleet")
+        if args.request_deadline is not None or args.degrade_after is not None:
+            raise ValueError("--request-deadline/--degrade-after are classic-"
+                             "simulator features; the fleet loop never sheds")
+        get_scenario(scenario)
+        policy_names = args.policy.split(",")
+
+        def policy_factory(name):
+            return lambda _workload: make_policy(
+                name, batch_size=args.batch_size, timeout=args.timeout,
+                slo=args.slo, max_batch=args.max_batch)
+
+        for name in policy_names:  # validate every policy name up front
+            policy_factory(name)("probe")
+        workloads = tuple((args.workloads or ",".join(list_workloads())).split(","))
+        if len(set(workloads)) != len(workloads):
+            raise ValueError(f"duplicate workloads in --workloads: "
+                             f"{','.join(workloads)}")
+        for workload in workloads:
+            get_workload(workload)
+        groups = parse_groups(args.groups)
+        for group in groups:
+            get_device(group.device)
+        if args.n_requests <= 0:
+            raise ValueError(f"--n-requests must be positive, got {args.n_requests}")
+        if args.arrival_rate is not None and args.arrival_rate <= 0:
+            raise ValueError("--arrival-rate must be positive")
+        if get_scenario(scenario).needs_rate and args.arrival_rate is None:
+            raise ValueError(f"--mix {scenario} needs --arrival-rate "
+                             "(its traffic shape is time-varying)")
+        if args.slo <= 0:
+            raise ValueError(f"--slo must be positive, got {args.slo}")
+        if args.seed < 0:
+            raise ValueError(f"--seed must be non-negative, got {args.seed}")
+        if args.hop_bytes < 0:
+            raise ValueError(f"--hop-bytes must be non-negative, "
+                             f"got {args.hop_bytes}")
+        autoscale = None
+        if args.autoscale is not None:
+            autoscale = parse_autoscale(args.autoscale,
+                                        min_replicas=args.autoscale_min,
+                                        max_replicas=args.autoscale_max)
+        group_names = tuple(g.device for g in groups)
+        plan = None
+        if args.faults is not None:
+            if args.faults in CHAOS_SCENARIO_NAMES:
+                if args.arrival_rate is None:
+                    raise ValueError(
+                        f"--faults {args.faults} needs --arrival-rate to size "
+                        "its horizon (n_requests / rate)")
+                horizon = args.n_requests / args.arrival_rate
+                plan = chaos_plan(args.faults, group_names, horizon,
+                                  seed=args.seed)
+            elif os.path.exists(args.faults):
+                plan = load_fault_plan(args.faults)
+            else:
+                raise ValueError(
+                    f"--faults must name a chaos scenario "
+                    f"({', '.join(CHAOS_SCENARIO_NAMES)}) or an existing plan "
+                    f"JSON file, got {args.faults!r}")
+            # Validate at group granularity up front: unknown groups and
+            # slot-level stall events get one clean line, not a traceback.
+            resolved = plan.resolve(list(group_names),
+                                    {g: g for g in group_names})
+            if any(kind == "stall" for _, _, kind, _, _ in resolved):
+                raise ValueError(
+                    f"--faults {args.faults} contains transient stalls, "
+                    "which are slot-level events the fleet loop rejects; "
+                    "pick a stall-free scenario (e.g. single-failure, "
+                    "thermal-brownout) or run without --fleet")
+        from repro.lint import check, lint_fleet
+
+        check(lint_fleet(groups, autoscale=autoscale, faults=plan,
+                         source="mmbench serve --fleet"),
+              what="fleet configuration")
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    _configure_store(args)
+    for name in policy_names:
+        tenants = make_tenants(workloads, policy_factory=policy_factory(name),
+                               slo=args.slo, seed=args.seed,
+                               backend=args.backend)
+        report = simulate_fleet(
+            tenants, groups, n_requests=args.n_requests,
+            arrival_rate=args.arrival_rate, scenario=scenario,
+            autoscale=autoscale, faults=plan, hop_bytes=args.hop_bytes,
+            seed=args.seed,
+        )
+        print(f"fleet mix={scenario} policy={name} "
+              f"workloads={','.join(workloads)} groups={args.groups}")
+        print(fleet_summary(report))
         print()
     _print_store_stats()
     return 0
@@ -908,6 +1040,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="--mix only: tenants shed their costliest modality "
                             "encoder (degraded mode) once their oldest queued "
                             "request waits this long")
+    serve.add_argument("--fleet", action="store_true",
+                       help="fleet-scale simulator: homogeneous device groups "
+                            "with vectorized event epochs (needs --groups)")
+    serve.add_argument("--groups", default=None,
+                       metavar="DEV:REPLICAS[:POOL],...",
+                       help="--fleet device groups, e.g. "
+                            "2080ti:64,orin:32,nano:16 (POOL = autoscale "
+                            "ceiling, default REPLICAS)")
+    serve.add_argument("--autoscale", default=None,
+                       metavar="METRIC:THRESHOLD[:INTERVAL[:COOLDOWN]]",
+                       help="--fleet reactive autoscaling, e.g. queue:64 or "
+                            "p99:0.1:0.05:0.25 (metric: queue depth or "
+                            "windowed p99 latency)")
+    serve.add_argument("--autoscale-min", type=int, default=1,
+                       metavar="REPLICAS",
+                       help="per-group autoscale floor (default 1)")
+    serve.add_argument("--autoscale-max", type=int, default=None,
+                       metavar="REPLICAS",
+                       help="per-group autoscale ceiling (default: the "
+                            "group's pool)")
+    serve.add_argument("--hop-bytes", type=float, default=0.0,
+                       metavar="BYTES",
+                       help="--fleet per-request payload priced as an h2d "
+                            "transfer whenever a tenant's batch moves to a "
+                            "different group")
     serve.add_argument("--seed", type=int, default=0)
     _add_trace_options(serve)
     serve.set_defaults(fn=_cmd_serve)

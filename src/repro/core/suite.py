@@ -180,6 +180,56 @@ class BenchmarkSuite:
             faults=plan, retry=retry if retry is not None else RetryPolicy(),
         )
 
+    # -- fleet-scale serving -------------------------------------------------------
+
+    def fleet_serve(self, groups="2080ti:4,nano:2", workloads=None,
+                    mix: str = "uniform", n_requests: int = 10_000,
+                    arrival_rate: float | None = None, slo: float = 50e-3,
+                    autoscale=None, faults=None, hop_bytes: float = 0.0,
+                    seed: int = 0, backend: str = "meta"):
+        """Serve a tenant mix on a fleet of device groups; returns a
+        :class:`~repro.serving.fleet.FleetReport`.
+
+        The programmatic twin of ``mmbench serve --fleet``: ``groups`` is
+        either a ``"dev:replicas[:pool],..."`` spec string or a sequence
+        of :class:`~repro.serving.fleet.DeviceGroup`; ``autoscale`` is an
+        :class:`~repro.serving.fleet.AutoscalePolicy` (or a CLI-style
+        ``"metric:threshold[:interval[:cooldown]]"`` spec); ``faults`` is
+        a :class:`~repro.serving.faults.FaultPlan` or a chaos-scenario
+        name resolved against the group device names (requires
+        ``arrival_rate`` to size its horizon).
+        """
+        from repro.serving import (
+            chaos_plan,
+            make_tenants,
+            parse_autoscale,
+            parse_groups,
+            simulate_fleet,
+        )
+        from repro.serving.faults import CHAOS_SCENARIO_NAMES
+
+        if isinstance(groups, str):
+            groups = parse_groups(groups)
+        if isinstance(autoscale, str):
+            autoscale = parse_autoscale(autoscale)
+        if isinstance(faults, str):
+            if faults not in CHAOS_SCENARIO_NAMES:
+                raise ValueError(
+                    f"unknown chaos scenario {faults!r}; "
+                    f"available: {', '.join(CHAOS_SCENARIO_NAMES)}")
+            if arrival_rate is None:
+                raise ValueError(f"chaos scenario {faults!r} needs an "
+                                 "arrival_rate to size its horizon")
+            faults = chaos_plan(faults, tuple(g.device for g in groups),
+                                n_requests / arrival_rate, seed=seed)
+        workloads = tuple(workloads) if workloads else tuple(list_workloads())
+        tenants = make_tenants(workloads, slo=slo, seed=seed, backend=backend)
+        return simulate_fleet(
+            tenants, groups, n_requests=n_requests, arrival_rate=arrival_rate,
+            scenario=mix, autoscale=autoscale, faults=faults,
+            hop_bytes=hop_bytes, seed=seed,
+        )
+
     # -- external execution graphs -----------------------------------------------
 
     def ingest(self, path, registry=None, batch_size: int | None = None,

@@ -8,6 +8,7 @@ artifact type, each returning a :class:`~repro.lint.core.LintReport`:
 * :func:`lint_schedule` — a :class:`~repro.hw.streams.StreamSchedule`
 * :func:`lint_serving_report` — a ``ServingReport`` (race replay)
 * :func:`lint_fault_plan` — a ``FaultPlan`` (static, pre-resolve)
+* :func:`lint_fleet` — a fleet config (groups + autoscale + fault plan)
 * :func:`lint_tenants` / :func:`lint_registry` — configs
 * :func:`lint_path` — sniff a JSON file (graph vs fault plan) and lint it
 * :func:`lint_artifact` — dispatch on the object's type
@@ -26,7 +27,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.lint import schedule_rules, trace_rules  # noqa: F401  (registers rules)
+from repro.lint import fleet_rules, schedule_rules, trace_rules  # noqa: F401  (registers rules)
 from repro.lint.core import (
     Diagnostic,
     LintContext,
@@ -43,7 +44,7 @@ __all__ = [
     "Diagnostic", "LintContext", "LintFailure", "LintReport", "Rule",
     "all_rules", "load_baseline", "write_baseline",
     "lint_trace", "lint_graph", "lint_schedule", "lint_serving_report",
-    "lint_fault_plan", "lint_tenants", "lint_registry",
+    "lint_fault_plan", "lint_fleet", "lint_tenants", "lint_registry",
     "lint_path", "lint_artifact", "check",
 ]
 
@@ -95,6 +96,22 @@ def lint_fault_plan(plan, source: str = "fault-plan", *, devices=(),
     ctx.devices = tuple(devices)
     ctx.horizon = horizon
     return run_rules("fault_plan", plan, ctx)
+
+
+def lint_fleet(groups, autoscale=None, faults=None, source: str = "fleet",
+               **options) -> LintReport:
+    """Fleet-config rules (MMB31x) over groups + autoscale + fault plan.
+
+    Accepts either a ready :class:`~repro.serving.fleet.FleetConfig` (as
+    ``groups``) or the pieces separately.
+    """
+    if hasattr(groups, "groups") and hasattr(groups, "autoscale"):
+        cfg = groups
+    else:
+        from repro.serving.fleet import FleetConfig
+
+        cfg = FleetConfig(tuple(groups), autoscale, faults)
+    return run_rules("fleet", cfg, _ctx(source, **options))
 
 
 def lint_tenants(tenants, source: str = "tenants", **options) -> LintReport:
@@ -163,6 +180,8 @@ def lint_artifact(obj, source: str | None = None, **options) -> LintReport:
         return lint_serving_report(obj, source=source or name, **options)
     if hasattr(obj, "events") and hasattr(obj, "empty"):
         return lint_fault_plan(obj, source=source or name, **options)
+    if hasattr(obj, "groups") and hasattr(obj, "autoscale"):
+        return lint_fleet(obj, source=source or name, **options)
     if hasattr(obj, "rule_list"):
         return lint_registry(obj, source=source or name, **options)
     if isinstance(obj, (list, tuple)) and obj and hasattr(obj[0], "policy"):

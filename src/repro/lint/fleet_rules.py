@@ -1,0 +1,99 @@
+"""Fleet-configuration lint rules (MMB31x).
+
+A fleet configuration (:class:`repro.serving.fleet.FleetConfig`) is
+fully declarative — device groups, an optional autoscale policy, an
+optional fault plan — so misconfigurations that would surface as silent
+clamping or a mid-run crash are statically checkable:
+
+* **MMB310** — autoscale bounds oversubscribe a group's provisioned
+  pool: ``max_replicas`` (or ``min_replicas``) above the group's
+  capacity is silently clamped at run time, so the configured ceiling is
+  never reachable.
+* **MMB311** — autoscale thrash: a cooldown shorter than the evaluation
+  interval cannot suppress anything (every tick is already past it),
+  so a hovering metric flaps the fleet every interval.
+* **MMB312** — the fault plan targets a device name that is not a group
+  in this fleet; at run time plan resolution would refuse the whole
+  plan.
+
+The rules duck-type the config object (``groups`` / ``autoscale`` /
+``faults`` attributes) so this module stays import-light — it never
+pulls the serving stack in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, LintContext, rule
+
+
+def _capacity(group) -> int:
+    pool = getattr(group, "pool", None)
+    return group.replicas if pool is None else pool
+
+
+@rule("MMB310", "warning", "fleet",
+      "autoscale replica bounds exceed a group's provisioned pool")
+def oversubscribed_groups(cfg, ctx: LintContext) -> Iterator[Diagnostic]:
+    scale = cfg.autoscale
+    if scale is None:
+        return
+    for group in cfg.groups:
+        cap = _capacity(group)
+        if scale.max_replicas is not None and scale.max_replicas > cap:
+            yield ctx.diag(
+                "MMB310",
+                f"autoscale max_replicas={scale.max_replicas} exceeds "
+                f"group {group.device!r} pool of {cap}; the ceiling is "
+                f"clamped and never reached",
+                f"group '{group.device}'",
+                fix=f"provision the group with pool>={scale.max_replicas} "
+                    f"or lower max_replicas to {cap}")
+        if scale.min_replicas > cap:
+            yield ctx.diag(
+                "MMB310",
+                f"autoscale min_replicas={scale.min_replicas} exceeds "
+                f"group {group.device!r} pool of {cap}; the floor is "
+                f"clamped to the pool",
+                f"group '{group.device}'",
+                fix=f"lower min_replicas to at most {cap}")
+
+
+@rule("MMB311", "warning", "fleet",
+      "autoscale cooldown shorter than the evaluation interval (thrash)")
+def autoscale_thrash(cfg, ctx: LintContext) -> Iterator[Diagnostic]:
+    scale = cfg.autoscale
+    if scale is None:
+        return
+    if scale.cooldown < scale.interval:
+        yield ctx.diag(
+            "MMB311",
+            f"cooldown {scale.cooldown:g}s is shorter than the evaluation "
+            f"interval {scale.interval:g}s, so it suppresses nothing: a "
+            f"metric hovering at the threshold flaps the fleet every tick",
+            "autoscale",
+            fix=f"raise cooldown to at least {scale.interval:g}s "
+                f"(several intervals is typical)")
+
+
+@rule("MMB312", "error", "fleet",
+      "fault plan targets a device that is not a fleet group")
+def unknown_fault_groups(cfg, ctx: LintContext) -> Iterator[Diagnostic]:
+    plan = cfg.faults
+    if plan is None or not getattr(plan, "events", ()):
+        return
+    known = {group.device for group in cfg.groups}
+    seen: set[str] = set()
+    for i, event in enumerate(plan.events):
+        device = event.device
+        if device in known or device in seen:
+            continue
+        seen.add(device)
+        yield ctx.diag(
+            "MMB312",
+            f"fault event targets {device!r}, which is not a group of this "
+            f"fleet (groups: {', '.join(sorted(known))}); plan resolution "
+            f"would refuse the whole plan",
+            f"event[{i}] '{device}'",
+            fix="name an existing group, or add the device as a group")

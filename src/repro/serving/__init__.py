@@ -17,6 +17,9 @@ with a discrete-event simulator driven by memoized profiler cost models:
   degradation, and the named chaos scenarios
 * :mod:`repro.serving.simulator` — the event loop (single- and
   multi-tenant) and its report
+* :mod:`repro.serving.fleet` — fleet-scale simulator: homogeneous
+  device groups, vectorized epochs, cross-group hop costs, reactive
+  autoscaling
 * :mod:`repro.serving.report` — formatted throughput–tail-latency tables
 """
 
@@ -47,6 +50,18 @@ from repro.serving.faults import (
     degraded_mode_for,
     load_fault_plan,
 )
+from repro.serving.fleet import (
+    AutoscalePolicy,
+    DeviceGroup,
+    FleetConfig,
+    FleetConfigError,
+    FleetReport,
+    GroupStats,
+    ScalingEvent,
+    parse_autoscale,
+    parse_groups,
+    simulate_fleet,
+)
 from repro.serving.finetune import (
     FinetuneJob,
     FinetuneStats,
@@ -65,6 +80,7 @@ from repro.serving.policies import (
     make_policy,
 )
 from repro.serving.report import (
+    fleet_summary,
     format_device_breakdown,
     format_fault_stats,
     format_finetune_breakdown,
@@ -75,15 +91,18 @@ from repro.serving.report import (
 )
 from repro.serving.request import (
     Request,
+    RequestColumns,
     closed_arrivals,
     make_mixed_requests,
     make_requests,
     poisson_arrivals,
+    sort_request_columns,
 )
 from repro.serving.router import (
     EarliestFinishRouter,
     RoundRobinRouter,
     Router,
+    RouterScaleError,
     make_router,
 )
 from repro.serving.scenarios import (
@@ -92,6 +111,7 @@ from repro.serving.scenarios import (
     Scenario,
     get_scenario,
     make_tenants,
+    scenario_columns,
     scenario_requests,
 )
 from repro.serving.simulator import (
@@ -112,18 +132,22 @@ __all__ = [
     "DeviceFaultStats", "DeviceRecover", "FaultPlan", "FaultPlanError",
     "FaultStats", "RetryPolicy", "TenantFaultStats", "ThermalThrottle",
     "TransientStall", "chaos_plan", "degraded_mode_for", "load_fault_plan",
+    "AutoscalePolicy", "DeviceGroup", "FleetConfig", "FleetConfigError",
+    "FleetReport", "GroupStats", "ScalingEvent", "parse_autoscale",
+    "parse_groups", "simulate_fleet",
     "FinetuneJob", "FinetuneStats", "TrainingCostModel", "finetune_progress",
     "inference_slowdown", "make_finetune_jobs", "total_background_share",
     "POLICY_NAMES", "AdaptiveSLOPolicy", "BatchingPolicy", "FixedBatchPolicy",
     "TimeoutBatchPolicy", "make_policy",
-    "format_device_breakdown", "format_fault_stats",
+    "fleet_summary", "format_device_breakdown", "format_fault_stats",
     "format_finetune_breakdown", "format_policy_comparison",
     "format_tenant_breakdown", "mixed_serving_summary", "serving_summary",
-    "Request", "closed_arrivals", "make_mixed_requests", "make_requests",
-    "poisson_arrivals",
-    "EarliestFinishRouter", "RoundRobinRouter", "Router", "make_router",
+    "Request", "RequestColumns", "closed_arrivals", "make_mixed_requests",
+    "make_requests", "poisson_arrivals", "sort_request_columns",
+    "EarliestFinishRouter", "RoundRobinRouter", "Router", "RouterScaleError",
+    "make_router",
     "SCENARIO_NAMES", "SCENARIOS", "Scenario", "get_scenario", "make_tenants",
-    "scenario_requests",
+    "scenario_columns", "scenario_requests",
     "DeviceStats", "ServingReport", "TenantSpec", "TenantStats",
     "simulate", "simulate_mixed", "slot_labels", "validate_fault_plan",
 ]

@@ -174,6 +174,59 @@ def mixed_serving_summary(report: ServingReport) -> str:
     return "\n".join(lines)
 
 
+def fleet_summary(report) -> str:
+    """Full ``mmbench serve --fleet`` report: tenants, groups, scaling.
+
+    ``report`` is a :class:`~repro.serving.fleet.FleetReport`; the
+    tenant table is shared with the classic mixed report (both expose
+    ``tenant_stats``).
+    """
+    rate = ("closed batch (all at t=0)" if report.arrival_rate is None
+            else f"~{report.arrival_rate:g} req/s aggregate")
+    total_replicas = sum(s.peak_replicas for s in report.group_stats.values())
+    lines = [
+        f"fleet serving: {report.n_requests:,} requests over "
+        f"{len(report.tenant_stats)} tenants, {rate}, "
+        f"{len(report.group_stats)} groups / {total_replicas} replicas (peak)",
+        f"makespan {format_seconds(report.makespan)}, "
+        f"{report.throughput:,.0f} req/s served; "
+        f"{report.completed:,} completed = {report.n_requests:,} "
+        f"issued (conserved)",
+        "",
+        format_tenant_breakdown(report),
+        "",
+    ]
+    rows = []
+    for name, stats in report.group_stats.items():
+        hop = (f"{stats.hop_batches} ({format_seconds(stats.hop_time)})"
+               if stats.hop_batches else "-")
+        rows.append([
+            name,
+            f"{stats.replicas}/{stats.peak_replicas}",
+            f"{stats.mean_replicas:.1f}",
+            stats.batches,
+            stats.requests,
+            f"{stats.mean_batch:.1f}",
+            f"{stats.utilization:.0%}",
+            hop,
+        ])
+    lines.append(format_table(
+        ["group", "replicas (end/peak)", "mean", "batches", "requests",
+         "mean batch", "utilization", "hops"],
+        rows, title="Per-group fleet breakdown"))
+    if report.scaling_events:
+        out = sum(1 for e in report.scaling_events if e.after > e.before)
+        lines += [
+            "",
+            f"autoscaling: {len(report.scaling_events)} actions "
+            f"({out} out, {len(report.scaling_events) - out} in); last: "
+            + "; ".join(
+                f"{e.group} {e.before}->{e.after} @ {format_seconds(e.time)}"
+                for e in report.scaling_events[-3:]),
+        ]
+    return "\n".join(lines)
+
+
 def format_device_breakdown(reports: dict[str, ServingReport]) -> str:
     """Per-(policy, device slot) routing and utilization breakdown."""
     rows = []

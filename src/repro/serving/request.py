@@ -84,6 +84,72 @@ def make_requests(arrivals: np.ndarray, tenant: str = "") -> list[Request]:
             for i, t in enumerate(arrivals)]
 
 
+@dataclass(frozen=True)
+class RequestColumns:
+    """A tagged, arrival-sorted request stream as parallel columns.
+
+    The columnar twin of a ``list[Request]``: ``arrivals`` is sorted
+    ascending, ``codes[i]`` indexes ``tenants`` for request ``i``. The
+    fleet simulator (:mod:`repro.serving.fleet`) consumes the columns
+    directly; the classic per-request loop materializes objects via
+    :meth:`to_requests`.
+    """
+
+    arrivals: np.ndarray  # float64, sorted ascending
+    codes: np.ndarray  # int64 index into ``tenants``, parallel to arrivals
+    tenants: tuple[str, ...]
+
+    def __post_init__(self):
+        arrivals = np.ascontiguousarray(self.arrivals, dtype=np.float64)
+        codes = np.ascontiguousarray(self.codes, dtype=np.int64)
+        if arrivals.shape != codes.shape or arrivals.ndim != 1:
+            raise ValueError("arrivals and codes must be parallel 1-D arrays")
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.tenants)):
+            raise ValueError("tenant codes out of range")
+        object.__setattr__(self, "arrivals", arrivals)
+        object.__setattr__(self, "codes", codes)
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+
+    def __len__(self) -> int:
+        return int(self.arrivals.size)
+
+    def to_requests(self) -> list[Request]:
+        """Materialize the stream as simulator ``Request`` objects.
+
+        A thin adapter for the classic per-request event loop; one
+        ``tolist`` per column instead of a per-attribute numpy indexing
+        loop.
+        """
+        names = list(self.tenants)
+        return [
+            Request(index=i, arrival=arrival, tenant=names[code])
+            for i, (arrival, code) in enumerate(
+                zip(self.arrivals.tolist(), self.codes.tolist()))
+        ]
+
+
+def sort_request_columns(
+    arrivals: np.ndarray,
+    tenant_codes: np.ndarray,
+    tenants: Sequence[str],
+) -> RequestColumns:
+    """Sort parallel (arrival, code) arrays into :class:`RequestColumns`.
+
+    The sort is stable (same-instant requests keep their generated order)
+    and skipped entirely when the arrivals are already non-decreasing —
+    the common case, since Poisson-style generators emit cumulative sums.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    tenant_codes = np.asarray(tenant_codes, dtype=np.int64)
+    if arrivals.shape != tenant_codes.shape:
+        raise ValueError("arrivals and tenant_codes must be parallel arrays")
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        order = np.argsort(arrivals, kind="stable")
+        arrivals = arrivals[order]
+        tenant_codes = tenant_codes[order]
+    return RequestColumns(arrivals, tenant_codes, tuple(tenants))
+
+
 def make_mixed_requests(
     arrivals: np.ndarray,
     tenant_codes: np.ndarray,
@@ -96,12 +162,4 @@ def make_mixed_requests(
     (stable, so same-instant requests keep their generated order) and
     indexed globally.
     """
-    arrivals = np.asarray(arrivals, dtype=np.float64)
-    tenant_codes = np.asarray(tenant_codes, dtype=np.int64)
-    if arrivals.shape != tenant_codes.shape:
-        raise ValueError("arrivals and tenant_codes must be parallel arrays")
-    order = np.argsort(arrivals, kind="stable")
-    return [
-        Request(index=i, arrival=float(arrivals[j]), tenant=tenants[int(tenant_codes[j])])
-        for i, j in enumerate(order)
-    ]
+    return sort_request_columns(arrivals, tenant_codes, tenants).to_requests()

@@ -10,6 +10,17 @@ bulk of the stream and the slow one mop up overflow.
 from __future__ import annotations
 
 
+class RouterScaleError(RuntimeError):
+    """The per-request router was asked to rank a fleet-sized slot pool.
+
+    Ranking is O(idle · cost-model calls) per offer; past a few hundred
+    idle slots the classic event loop degrades quadratically. The fix is
+    to group homogeneous replicas and simulate with
+    :func:`repro.serving.fleet.simulate_fleet`, which routes per *group*
+    instead of per slot.
+    """
+
+
 class Router:
     """Orders idle device slots; subclasses override :meth:`rank`."""
 
@@ -68,16 +79,40 @@ class EarliestFinishRouter(Router):
     Ranks idle devices by ``latency(k)/k`` at the batch size the queue
     could fill right now — effectively earliest-finish-time placement for
     the work at hand. Deterministic tie-break on slot label.
+
+    ``probe_cap`` bounds the *probe batch size* used for the amortized
+    comparison, not the number of slots ranked: with a 10k-deep queue the
+    router prices ``latency(s, 128)/128`` rather than walking cost models
+    out to the full queue depth. Callers whose policies batch past 128
+    can raise it per instance or per call (``rank(..., probe_cap=...)``).
+
+    ``max_idle`` is a scale guard: ranking is a per-offer sort with one
+    cost-model call per idle slot, so a fleet-sized pool (hundreds of
+    replicas) turns the classic event loop quadratic. Exceeding it raises
+    :class:`RouterScaleError` pointing at the fleet simulator instead of
+    silently crawling.
     """
 
     name = "earliest-finish"
 
-    def __init__(self, probe_cap: int = 128):
+    def __init__(self, probe_cap: int = 128, max_idle: int = 1024):
+        if probe_cap < 1:
+            raise ValueError(f"probe_cap must be >= 1, got {probe_cap}")
+        if max_idle < 1:
+            raise ValueError(f"max_idle must be >= 1, got {max_idle}")
         self.probe_cap = probe_cap
+        self.max_idle = max_idle
 
-    def rank(self, idle, queue_len, cost):
+    def rank(self, idle, queue_len, cost, probe_cap=None):
         idle = self._exclude_down(idle)
-        probe = max(1, min(queue_len, self.probe_cap))
+        if len(idle) > self.max_idle:
+            raise RouterScaleError(
+                f"{len(idle)} idle slots exceed the per-request router's "
+                f"max_idle={self.max_idle}; group homogeneous replicas and "
+                "use repro.serving.fleet.simulate_fleet for fleet-scale "
+                "pools (or raise max_idle explicitly)")
+        cap = self.probe_cap if probe_cap is None else probe_cap
+        probe = max(1, min(queue_len, cap))
         return sorted(idle, key=lambda s: (cost.latency(s, probe) / probe, s))
 
 

@@ -49,7 +49,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.serving.faults import CHAOS_SCENARIO_NAMES, CHAOS_SCENARIOS, chaos_plan
-from repro.serving.request import Request, make_mixed_requests
+from repro.serving.request import Request, RequestColumns, sort_request_columns
 from repro.serving.simulator import TenantSpec
 
 __all__ = [
@@ -61,6 +61,7 @@ __all__ = [
     "chaos_plan",
     "get_scenario",
     "make_tenants",
+    "scenario_columns",
     "scenario_requests",
 ]
 
@@ -176,14 +177,21 @@ def get_scenario(name: str) -> Scenario:
             f"unknown scenario {name!r}; available: {SCENARIO_NAMES}") from None
 
 
-def scenario_requests(
+def scenario_columns(
     scenario: str,
     tenants: Sequence[TenantSpec],
     n_requests: int,
     arrival_rate: float | None = None,
     seed: int = 0,
-) -> list[Request]:
-    """Generate the tagged, arrival-sorted request stream of a scenario."""
+) -> RequestColumns:
+    """Generate a scenario's request stream as columnar arrays.
+
+    This is the fast path: the fleet simulator consumes the columns
+    directly, and the sort is a no-op for the generators that already
+    emit non-decreasing arrivals (everything but ``bursty``'s ties is a
+    cumulative sum). :func:`scenario_requests` materializes the same
+    stream as ``Request`` objects for the classic loop.
+    """
     if n_requests < 0:
         raise ValueError(f"n_requests must be non-negative, got {n_requests}")
     if not tenants:
@@ -194,12 +202,26 @@ def scenario_requests(
                          "(its traffic shape is time-varying)")
     if arrival_rate is not None and arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
+    names = [t.name for t in tenants]
     if n_requests == 0:
-        return []
+        return RequestColumns(np.empty(0), np.empty(0, dtype=np.int64), tuple(names))
     rng = np.random.default_rng(seed)
     codes = rng.choice(len(tenants), size=n_requests, p=spec.tenant_probs(tenants))
     arrivals = spec.arrivals(n_requests, arrival_rate, rng)
-    return make_mixed_requests(arrivals, codes, [t.name for t in tenants])
+    return sort_request_columns(arrivals, codes, names)
+
+
+def scenario_requests(
+    scenario: str,
+    tenants: Sequence[TenantSpec],
+    n_requests: int,
+    arrival_rate: float | None = None,
+    seed: int = 0,
+) -> list[Request]:
+    """Generate the tagged, arrival-sorted request stream of a scenario."""
+    return scenario_columns(
+        scenario, tenants, n_requests, arrival_rate=arrival_rate, seed=seed,
+    ).to_requests()
 
 
 def make_tenants(

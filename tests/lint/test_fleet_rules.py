@@ -1,0 +1,127 @@
+"""Golden diagnostics for the MMB31x fleet-configuration rules — one
+hand-built bad config per rule code, with code/severity/location pinned,
+plus a clean-corpus check over representative valid fleets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import check, lint_fleet
+from repro.lint.core import LintFailure
+from repro.serving import AutoscalePolicy, DeviceGroup, FleetConfig
+from repro.serving.faults import DeviceDown, DeviceRecover, FaultPlan, ThermalThrottle
+
+GROUPS = (DeviceGroup("2080ti", 4, pool=8), DeviceGroup("nano", 2))
+
+
+def one(report, code):
+    found = [d for d in report.diagnostics if d.code == code]
+    assert len(found) == 1, f"expected exactly one {code}, got {report}"
+    return found[0]
+
+
+# -- MMB310: autoscale bounds vs provisioned pool -------------------------------------------------
+
+
+def test_mmb310_max_replicas_over_pool():
+    report = lint_fleet(GROUPS, autoscale=AutoscalePolicy(max_replicas=16))
+    diags = [d for d in report.diagnostics if d.code == "MMB310"]
+    assert [d.location for d in diags] == ["group '2080ti'", "group 'nano'"]
+    assert all(d.severity == "warning" for d in diags)
+    assert "max_replicas=16" in diags[0].message
+    assert "pool of 8" in diags[0].message
+    assert "pool>=16" in diags[0].fix
+
+
+def test_mmb310_min_replicas_over_pool():
+    report = lint_fleet(GROUPS, autoscale=AutoscalePolicy(min_replicas=3))
+    diag = one(report, "MMB310")
+    assert diag.location == "group 'nano'"
+    assert "min_replicas=3" in diag.message
+
+
+def test_mmb310_bounds_within_pool_are_clean():
+    # The ceiling must fit every group's pool (nano's is 2).
+    report = lint_fleet(GROUPS, autoscale=AutoscalePolicy(min_replicas=2,
+                                                          max_replicas=2))
+    assert "MMB310" not in report.codes()
+
+
+# -- MMB311: cooldown shorter than interval -------------------------------------------------------
+
+
+def test_mmb311_cooldown_shorter_than_interval():
+    report = lint_fleet(GROUPS, autoscale=AutoscalePolicy(interval=0.1,
+                                                          cooldown=0.05))
+    diag = one(report, "MMB311")
+    assert diag.severity == "warning"
+    assert diag.location == "autoscale"
+    assert "0.05s" in diag.message and "0.1s" in diag.message
+    assert "raise cooldown" in diag.fix
+
+
+def test_mmb311_cooldown_at_interval_is_clean():
+    report = lint_fleet(GROUPS, autoscale=AutoscalePolicy(interval=0.1,
+                                                          cooldown=0.1))
+    assert "MMB311" not in report.codes()
+
+
+# -- MMB312: fault plan targets unknown groups ----------------------------------------------------
+
+
+def test_mmb312_unknown_fault_device():
+    plan = FaultPlan(events=(
+        DeviceDown(time=0.5, device="tpu"),
+        DeviceRecover(time=1.0, device="tpu"),
+        DeviceDown(time=2.0, device="nano"),
+        DeviceRecover(time=2.5, device="nano"),
+    ))
+    report = lint_fleet(GROUPS, faults=plan)
+    diag = one(report, "MMB312")  # deduplicated per unknown device
+    assert diag.severity == "error"
+    assert diag.location == "event[0] 'tpu'"
+    assert "'tpu'" in diag.message
+    assert "2080ti" in diag.message and "nano" in diag.message
+
+
+def test_mmb312_known_devices_are_clean():
+    plan = FaultPlan(events=(
+        ThermalThrottle(device="2080ti", time=0.5, until=1.0, factor=2.0),))
+    report = lint_fleet(GROUPS, faults=plan)
+    assert "MMB312" not in report.codes()
+
+
+def test_mmb312_fails_check():
+    plan = FaultPlan(events=(DeviceDown(time=0.5, device="tpu"),
+                             DeviceRecover(time=1.0, device="tpu")))
+    report = lint_fleet(GROUPS, faults=plan)
+    with pytest.raises(LintFailure, match="MMB312"):
+        check(report, what="fleet configuration")
+
+
+# -- dispatch and clean corpus --------------------------------------------------------------------
+
+
+def test_lint_artifact_dispatches_fleet_config():
+    from repro.lint import lint_artifact
+
+    config = FleetConfig(groups=GROUPS, autoscale=AutoscalePolicy(
+        interval=0.1, cooldown=0.05))
+    report = lint_artifact(config)
+    assert "MMB311" in report.codes()
+
+
+@pytest.mark.parametrize("autoscale", [
+    None,
+    AutoscalePolicy(),
+    AutoscalePolicy(metric="p99", threshold=0.1, interval=0.05, cooldown=0.25,
+                    min_replicas=1, max_replicas=2),
+], ids=["no-autoscale", "defaults", "p99-bounded"])
+def test_clean_fleet_corpus(autoscale):
+    plan = FaultPlan(events=(
+        DeviceDown(time=0.5, device="nano"),
+        DeviceRecover(time=1.0, device="nano"),
+    ))
+    report = lint_fleet(GROUPS, autoscale=autoscale, faults=plan)
+    assert not report.diagnostics, report
+    check(report, what="fleet configuration")

@@ -202,3 +202,74 @@ class TestServeFaults:
                      "--arrival-rate", "100"])
         assert code == 2
         assert "--devices" in capsys.readouterr().err
+
+
+class TestServeFleetCommand:
+    def test_fleet_run_reports_groups_and_conservation(self, capsys):
+        code = main([
+            "serve", "--fleet", "--groups", "2080ti:4,nano:2",
+            "--workloads", "avmnist,mmimdb", "--policy", "adaptive",
+            "--n-requests", "2000", "--arrival-rate", "3000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet mix=" in out
+        assert "issued (conserved)" in out
+        assert "Per-group fleet breakdown" in out
+        assert "2080ti" in out and "nano" in out
+
+    def test_fleet_autoscale_flags(self, capsys):
+        code = main([
+            "serve", "--fleet", "--groups", "2080ti:1:6",
+            "--workloads", "transfuser", "--policy", "fixed",
+            "--batch-size", "8", "--n-requests", "3000",
+            "--arrival-rate", "6000", "--autoscale", "queue:16:0.02:0.04",
+            "--autoscale-max", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autoscaling:" in out
+
+    def test_fleet_chaos_scenario(self, capsys):
+        code = main([
+            "serve", "--fleet", "--groups", "2080ti:2,nano:2",
+            "--workloads", "avmnist", "--policy", "fixed", "--batch-size", "8",
+            "--n-requests", "2000", "--arrival-rate", "1500",
+            "--faults", "single-failure",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "issued (conserved)" in out
+
+    def test_fleet_requires_groups(self, capsys):
+        code = main(["serve", "--fleet", "--workloads", "avmnist",
+                     "--n-requests", "100"])
+        assert code == 2
+        assert "--groups" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_group_spec(self, capsys):
+        code = main(["serve", "--fleet", "--groups", "2080ti",
+                     "--workloads", "avmnist", "--n-requests", "100"])
+        assert code == 2
+        assert "bad group spec" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_autoscale_spec(self, capsys):
+        code = main(["serve", "--fleet", "--groups", "2080ti:2",
+                     "--workloads", "avmnist", "--n-requests", "100",
+                     "--arrival-rate", "500", "--autoscale", "cpu:10"])
+        assert code == 2
+        assert "autoscale" in capsys.readouterr().err
+
+    def test_fleet_rejects_stall_scenarios(self, capsys):
+        code = main(["serve", "--fleet", "--groups", "2080ti:2,nano:2",
+                     "--workloads", "avmnist", "--n-requests", "100",
+                     "--arrival-rate", "500", "--faults", "flaky-device"])
+        assert code == 2
+        assert "stall" in capsys.readouterr().err
+
+    def test_fleet_rejects_round_robin_router(self, capsys):
+        code = main(["serve", "--fleet", "--groups", "2080ti:2",
+                     "--workloads", "avmnist", "--n-requests", "100",
+                     "--router", "round-robin"])
+        assert code == 2
+        assert "router" in capsys.readouterr().err
